@@ -1,0 +1,24 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def run_once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The simulations measured here are deterministic round-counting runs that
+    can take seconds; repeating them for statistical timing precision would
+    only slow the suite without changing the recorded round counts, which
+    are the quantity of interest.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+def record_table(name: str, text: str) -> None:
+    """Persist a rendered result table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

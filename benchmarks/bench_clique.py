@@ -1,0 +1,66 @@
+"""Experiment T1-R1 (scaling view): the Dolev et al. clique algorithm.
+
+Complements the single-point Table-1 measurement with a size sweep on the
+congested clique, verifying:
+
+* full recall at every size (the algorithm is deterministic and exact),
+* the measured cost stays below the published ``n^{1/3} (log n)^{2/3}``
+  reference curve times a fixed constant,
+* the measured cost stays above the Theorem-3 floor (the bound the paper
+  proves is tight for the clique up to polylog factors),
+* the clique algorithm beats the naive CONGEST baseline at every size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fit_power_law, render_scaling_table
+from repro.core import (
+    DolevCliqueListing,
+    NaiveTwoHopListing,
+    dolev_round_bound,
+    theorem3_round_lower_bound,
+)
+from repro.graphs import gnp_random_graph
+
+from _bench_utils import record_table, run_once
+
+SIZES = [48, 72, 96, 144, 192]
+EDGE_PROBABILITY = 0.5
+SHAPE_CONSTANT = 8.0
+
+
+def test_dolev_clique_scaling(benchmark):
+    """Clique listing: measured rounds vs the published n^{1/3} bound."""
+
+    def sweep():
+        rows = []
+        for num_nodes in SIZES:
+            graph = gnp_random_graph(num_nodes, EDGE_PROBABILITY, seed=6000 + num_nodes)
+            dolev = DolevCliqueListing().run(graph, seed=1)
+            naive = NaiveTwoHopListing().run(graph, seed=1)
+            assert dolev.solves_listing(graph)
+            rows.append((num_nodes, dolev.rounds, naive.rounds))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    measured = [float(dolev) for _, dolev, _ in rows]
+    reference = [dolev_round_bound(n) for n in SIZES]
+    fit = fit_power_law([float(n) for n in SIZES], measured)
+    record_table(
+        "dolev_clique_scaling",
+        render_scaling_table(
+            "T1-R1 scaling: Dolev et al. listing on the congested clique, G(n, 0.5)",
+            SIZES,
+            measured,
+            reference,
+            fit=fit,
+            expected_exponent=1.0 / 3.0,
+        ),
+    )
+
+    for (num_nodes, dolev, naive), bound in zip(rows, reference):
+        assert dolev <= SHAPE_CONSTANT * bound
+        assert dolev >= theorem3_round_lower_bound(num_nodes)
+        assert dolev < naive, "the clique algorithm must beat the naive CONGEST baseline"
+    # Sublinear growth: the fitted exponent stays clearly below 1.
+    assert fit.exponent < 0.85

@@ -1,0 +1,99 @@
+"""Experiment S-THM1: scaling of Theorem-1 triangle finding with n.
+
+Sweeps the network size on dense ``G(n, 0.5)`` workloads, measures the round
+complexity of one (A1, A3) finding pass, and compares the measured curve
+against the Theorem-1 reference bound ``n^{2/3} (log n)^{2/3}``.
+
+Shape criteria (what "reproducing the result" means at simulator scale):
+
+* every run is sound and solves the finding problem,
+* the measured cost stays below the reference bound times a fixed constant
+  across the whole sweep (the bound is an upper bound, and the constant,
+  once calibrated, is size-independent),
+* the measured cost grows strictly slower than the naive baseline's
+  ``d_max = Θ(n)`` on the same workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import fit_power_law, render_scaling_table
+from repro.core import (
+    NaiveTwoHopListing,
+    TriangleFinding,
+    finding_epsilon_asymptotic,
+    theorem1_round_bound,
+)
+from repro.graphs import gnp_random_graph
+
+from _bench_utils import record_table, run_once
+
+SIZES = [40, 60, 80, 100, 120]
+EDGE_PROBABILITY = 0.5
+#: Calibrated once on the smallest size and then held fixed: the measured
+#: cost divided by the reference bound must not grow with n.
+SHAPE_CONSTANT = 6.0
+
+
+def _workload(num_nodes: int):
+    return gnp_random_graph(num_nodes, EDGE_PROBABILITY, seed=1000 + num_nodes)
+
+
+def test_finding_scaling_against_theorem1_bound(benchmark):
+    """S-THM1: measured finding rounds vs the Theorem-1 reference curve."""
+
+    def sweep():
+        measured = []
+        baseline = []
+        for num_nodes in SIZES:
+            graph = _workload(num_nodes)
+            result = TriangleFinding(
+                repetitions=1, epsilon=finding_epsilon_asymptotic()
+            ).run(graph, seed=num_nodes)
+            result.check_soundness(graph)
+            assert result.solves_finding(graph)
+            measured.append(result.rounds)
+            baseline.append(NaiveTwoHopListing().run(graph, seed=num_nodes).rounds)
+        return measured, baseline
+
+    measured, baseline = run_once(benchmark, sweep)
+    reference = [theorem1_round_bound(n) for n in SIZES]
+
+    fit = fit_power_law([float(n) for n in SIZES], [float(r) for r in measured])
+    table = render_scaling_table(
+        "S-THM1: Theorem 1 finding on G(n, 0.5), 1 repetition",
+        SIZES,
+        [float(r) for r in measured],
+        reference,
+        fit=fit,
+        expected_exponent=2.0 / 3.0,
+    )
+    record_table("finding_scaling", table)
+
+    # Upper-bound shape: measured / reference stays below a fixed constant.
+    for rounds, bound in zip(measured, reference):
+        assert rounds <= SHAPE_CONSTANT * bound
+
+    # The algorithm's cost must not grow faster than the naive baseline's
+    # linear d_max cost: the ratio measured/naive must not increase from the
+    # smallest to the largest size by more than measurement noise.
+    first_ratio = measured[0] / baseline[0]
+    last_ratio = measured[-1] / baseline[-1]
+    assert last_ratio <= first_ratio * 1.6
+
+
+def test_finding_cost_grows_with_size(benchmark):
+    """Monotonicity sanity: more nodes cannot make the measured cost collapse."""
+
+    def endpoints():
+        small = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic()).run(
+            _workload(SIZES[0]), seed=7
+        )
+        large = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic()).run(
+            _workload(SIZES[-1]), seed=7
+        )
+        return small.rounds, large.rounds
+
+    small_rounds, large_rounds = run_once(benchmark, endpoints)
+    assert large_rounds > small_rounds

@@ -1,0 +1,111 @@
+"""Experiment S-THM2: scaling of Theorem-2 triangle listing with n.
+
+Sweeps the network size on dense ``G(n, 0.5)`` workloads, measures the round
+complexity of one (A2, A3) listing pass, and compares the measured curve
+against the Theorem-2 reference bound ``n^{3/4} log n``.
+
+A single pass is measured (rather than the full ``⌈c log n⌉`` repetitions)
+so that the per-pass shape is visible; the repetition factor is a known
+multiplicative ``log n`` recorded separately in the table-1 benchmark.
+
+Shape criteria:
+
+* every run is sound; across the sweep the per-pass recall stays high
+  (the guarantee is per-triangle-constant-probability, so per-pass recall
+  well above 1/2 is the expected behaviour, not certainty),
+* the measured cost stays below the reference bound times a fixed constant,
+* listing costs at least as much as finding at every size (listing is the
+  harder problem).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fit_power_law, render_scaling_table
+from repro.core import (
+    TriangleFinding,
+    TriangleListing,
+    finding_epsilon_asymptotic,
+    listing_epsilon_asymptotic,
+    theorem2_round_bound,
+)
+from repro.graphs import gnp_random_graph
+
+from _bench_utils import record_table, run_once
+
+SIZES = [40, 60, 80, 100, 120]
+EDGE_PROBABILITY = 0.5
+SHAPE_CONSTANT = 6.0
+
+
+def _workload(num_nodes: int):
+    return gnp_random_graph(num_nodes, EDGE_PROBABILITY, seed=2000 + num_nodes)
+
+
+def test_listing_scaling_against_theorem2_bound(benchmark):
+    """S-THM2: measured listing rounds vs the Theorem-2 reference curve."""
+
+    def sweep():
+        rows = []
+        for num_nodes in SIZES:
+            graph = _workload(num_nodes)
+            result = TriangleListing(
+                repetitions=1, epsilon=listing_epsilon_asymptotic()
+            ).run(graph, seed=num_nodes)
+            result.check_soundness(graph)
+            rows.append((result.rounds, result.listing_recall(graph)))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    measured = [float(rounds) for rounds, _ in rows]
+    recalls = [recall for _, recall in rows]
+    reference = [theorem2_round_bound(n) for n in SIZES]
+
+    fit = fit_power_law([float(n) for n in SIZES], measured)
+    table = render_scaling_table(
+        "S-THM2: Theorem 2 listing on G(n, 0.5), 1 repetition "
+        f"(per-pass recalls: {', '.join(f'{r:.2f}' for r in recalls)})",
+        SIZES,
+        measured,
+        reference,
+        fit=fit,
+        expected_exponent=3.0 / 4.0,
+    )
+    record_table("listing_scaling", table)
+
+    for rounds, bound in zip(measured, reference):
+        assert rounds <= SHAPE_CONSTANT * bound
+    assert min(recalls) >= 0.5
+    assert sum(recalls) / len(recalls) >= 0.9
+
+
+def test_listing_costs_at_least_finding(benchmark):
+    """Listing is the harder problem: per-pass cost dominates finding's."""
+
+    def compare():
+        pairs = []
+        for num_nodes in (SIZES[0], SIZES[-1]):
+            graph = _workload(num_nodes)
+            listing = TriangleListing(
+                repetitions=1, epsilon=listing_epsilon_asymptotic()
+            ).run(graph, seed=3)
+            finding = TriangleFinding(
+                repetitions=1, epsilon=finding_epsilon_asymptotic()
+            ).run(graph, seed=3)
+            pairs.append((listing.rounds, finding.rounds))
+        return pairs
+
+    pairs = run_once(benchmark, compare)
+    for listing_rounds, finding_rounds in pairs:
+        assert listing_rounds >= 0.8 * finding_rounds
+
+
+def test_full_listing_recall_with_amplification(benchmark):
+    """With the paper's ⌈log n⌉ repetitions the listing recall reaches 1.0."""
+
+    def amplified():
+        graph = _workload(80)
+        result = TriangleListing(epsilon=listing_epsilon_asymptotic()).run(graph, seed=9)
+        return result.listing_recall(graph), result.rounds
+
+    recall, _ = run_once(benchmark, amplified)
+    assert recall == 1.0

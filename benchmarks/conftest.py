@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration.
+
+Ensures ``src/`` and the benchmark directory itself are importable whether
+or not the package has been installed, so ``pytest benchmarks/`` works from
+a clean checkout.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)

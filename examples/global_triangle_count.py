@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Network-wide triangle counting with BFS-tree aggregation (extension).
+
+The paper's problems only require *local* outputs (some node reports each
+triangle).  A natural companion task — and the one the Censor-Hillel et al.
+clique algorithm discussed in Table 1 actually solves — is computing the
+total number of triangles of the network.  This example runs the
+:class:`repro.core.TriangleCounting` extension: a 2-hop exchange, a BFS-tree
+convergecast of the per-node counts, and a tree broadcast so every node
+learns the global total, all with honest CONGEST round accounting.
+
+Run with::
+
+    python examples/global_triangle_count.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import TriangleCounting
+from repro.graphs import count_triangles, lollipop_graph
+
+
+def main() -> None:
+    clique_size, tail_length = 14, 26
+    graph = lollipop_graph(clique_size, tail_length)
+    print(f"Lollipop network: a {clique_size}-clique with a {tail_length}-node tail")
+    print(f"  n={graph.num_nodes}, m={graph.num_edges}, diameter ≈ {tail_length + 1}, "
+          f"d_max={graph.max_degree()}\n")
+
+    counting = TriangleCounting(root=0, disseminate=True)
+    result = counting.run(graph, seed=1)
+
+    print(result.summary())
+    print(f"  centralized ground truth: {count_triangles(graph)} triangles")
+    print(f"  per-node counts (clique members): "
+          f"{sorted(set(result.per_node_counts[v] for v in range(clique_size)))}")
+    print(f"  per-node counts (tail members):   "
+          f"{sorted(set(result.per_node_counts[v] for v in range(clique_size, graph.num_nodes)))}")
+
+    print("\nCost anatomy: the 2-hop exchange pays about d_max rounds, while the")
+    print("BFS tree, convergecast and dissemination each pay about one round per")
+    print("level of the tail — on this topology the diameter term dominates,")
+    print("which is exactly why the paper's listing problems (that need no global")
+    print("aggregation) can beat the O(D) barrier that global problems face.")
+
+
+if __name__ == "__main__":
+    main()

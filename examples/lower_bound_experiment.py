@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The Theorem-3 information-theoretic accounting, run on real executions.
+
+Theorem 3 argues: on G(n, 1/2), the node w(T) that outputs the most
+triangles must cover Ω(n^{4/3}) edges with its output (Lemma 4 + Lemma 5),
+hence must have received that many bits, hence Ω(n^{1/3}/log n) rounds are
+needed — even in the congested clique.  Proposition 5 strengthens the floor
+to Ω(n/log n) when every node must output its *own* triangles.
+
+This example measures every quantity in that chain for three different
+listing algorithms on the same G(n, 1/2) instance and prints them side by
+side with the floors.
+
+Run with::
+
+    python examples/lower_bound_experiment.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (
+    DolevCliqueListing,
+    NaiveTwoHopListing,
+    TriangleListing,
+    account_information,
+    expected_triangles_gnp_half,
+    listing_epsilon_asymptotic,
+    proposition5_round_lower_bound,
+    theorem3_round_lower_bound,
+)
+from repro.graphs import count_triangles, gnp_random_graph
+
+
+def main() -> None:
+    num_nodes = 64
+    graph = gnp_random_graph(num_nodes, 0.5, seed=99)
+    print(f"Input: G(n={num_nodes}, 1/2) — {graph.num_edges} edges, "
+          f"{count_triangles(graph)} triangles "
+          f"(expectation {expected_triangles_gnp_half(num_nodes):.0f})\n")
+
+    algorithms = [
+        ("Theorem 2 listing (1 pass)", TriangleListing(repetitions=1, epsilon=listing_epsilon_asymptotic())),
+        ("Dolev et al. clique listing", DolevCliqueListing()),
+        ("naive 2-hop (local listing)", NaiveTwoHopListing()),
+    ]
+
+    for name, algorithm in algorithms:
+        result = algorithm.run(graph, seed=1)
+        accounting = account_information(result, graph)
+        print(f"=== {name} ===")
+        print(accounting.summary())
+        print()
+
+    print("Closed-form floors with the paper's explicit constants:")
+    print(f"  Theorem 3 (any listing):      {theorem3_round_lower_bound(num_nodes):.2f} rounds")
+    print(f"  Proposition 5 (local listing): {proposition5_round_lower_bound(num_nodes):.2f} rounds")
+    print("\n(At simulator-scale n the explicit constants make the closed-form"
+          "\nfloors small; the per-run accounting above is the informative check:"
+          "\nevery execution must — and does — sit above its own floor.)")
+
+
+if __name__ == "__main__":
+    main()

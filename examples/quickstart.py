@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: find and list triangles of a random network in the CONGEST model.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a random graph, runs the paper's Theorem-1 finding and
+Theorem-2 listing algorithms on the CONGEST simulator, verifies the outputs
+against the centralized ground truth, and prints the measured round
+complexities next to the closed-form bounds.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (
+    TriangleFinding,
+    TriangleListing,
+    finding_epsilon_asymptotic,
+    listing_epsilon_asymptotic,
+    theorem1_round_bound,
+    theorem2_round_bound,
+)
+from repro.graphs import count_triangles, gnp_random_graph
+
+
+def main() -> None:
+    num_nodes = 64
+    edge_probability = 0.4
+    seed = 7
+
+    print(f"Workload: G(n={num_nodes}, p={edge_probability}), seed={seed}")
+    graph = gnp_random_graph(num_nodes, edge_probability, seed=seed)
+    ground_truth = count_triangles(graph)
+    print(f"  {graph.num_edges} edges, {ground_truth} triangles, d_max = {graph.max_degree()}\n")
+
+    print("Triangle finding (Theorem 1, one repetition):")
+    finding = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic())
+    finding_result = finding.run(graph, seed=seed)
+    finding_result.check_soundness(graph)
+    some_triangle = next(iter(finding_result.triangles_found()), None)
+    print(f"  found a triangle: {some_triangle}")
+    print(f"  measured rounds:  {finding_result.rounds}")
+    print(f"  reference bound:  n^(2/3) (log n)^(2/3) = {theorem1_round_bound(num_nodes):.0f}\n")
+
+    print("Triangle listing (Theorem 2, ceil(log2 n) repetitions):")
+    listing = TriangleListing(epsilon=listing_epsilon_asymptotic())
+    listing_result = listing.run(graph, seed=seed)
+    listing_result.check_soundness(graph)
+    recall = listing_result.listing_recall(graph)
+    print(f"  distinct triangles listed: {len(listing_result.triangles_found())} / {ground_truth}")
+    print(f"  recall:                    {recall:.3f}")
+    print(f"  measured rounds:           {listing_result.rounds}")
+    print(f"  reference bound:           n^(3/4) log n = {theorem2_round_bound(num_nodes):.0f}")
+
+    if recall == 1.0:
+        print("\nAll triangles of the network were listed. ✓")
+    else:
+        missed = listing_result.missed_triangles(graph)
+        print(f"\nMissed {len(missed)} triangles (increase repetitions to amplify).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Motif census of a synthetic social network (the paper's listing use case).
+
+Triangle listing "can be seen as a special case of motif finding, which is a
+popular problem in the context of network data analysis" (Section 1).  This
+example builds a preferential-attachment network — a stand-in for a social
+graph — lists all its triangles with the Theorem-2 algorithm, and derives the
+per-node census statistics an analyst would actually consume: triangle
+participation counts and clustering coefficients, computed from the
+*distributed* output and cross-checked against the centralized oracle.
+
+Run with::
+
+    python examples/triangle_census.py
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import duplication_factor, verify_result
+from repro.core import TriangleListing, listing_epsilon_asymptotic
+from repro.graphs import (
+    barabasi_albert_graph,
+    clustering_coefficient,
+    local_triangle_count,
+)
+
+
+def main() -> None:
+    num_nodes = 80
+    attachment = 4
+    seed = 2024
+
+    print(f"Synthetic social network: Barabási–Albert, n={num_nodes}, m0={attachment}")
+    graph = barabasi_albert_graph(num_nodes, attachment, seed=seed)
+    print(f"  {graph.num_edges} edges, d_max = {graph.max_degree()}\n")
+
+    print("Running distributed triangle listing (Theorem 2)...")
+    result = TriangleListing(epsilon=listing_epsilon_asymptotic()).run(graph, seed=seed)
+    report = verify_result(result, graph)
+    print(f"  {report.summary()}")
+    print(f"  measured rounds: {result.rounds}")
+    print(f"  duplication factor (nodes per reported triangle): {duplication_factor(result):.2f}\n")
+
+    # Census from the distributed output: count, for every vertex, the
+    # triangles it participates in (regardless of which node reported them).
+    participation: Counter[int] = Counter()
+    for triangle in result.triangles_found():
+        for vertex in triangle:
+            participation[vertex] += 1
+
+    oracle = local_triangle_count(graph)
+    mismatches = [v for v in graph.nodes() if participation.get(v, 0) != oracle[v]]
+    print("Per-node triangle census (top 10 by participation):")
+    print("  node  degree  triangles  clustering")
+    for node, count in participation.most_common(10):
+        coefficient = clustering_coefficient(graph, node)
+        print(f"  {node:>4}  {graph.degree(node):>6}  {count:>9}  {coefficient:>10.3f}")
+
+    if mismatches:
+        print(f"\nWARNING: census disagrees with the oracle at {len(mismatches)} nodes")
+    else:
+        print("\nDistributed census matches the centralized oracle at every node. ✓")
+
+
+if __name__ == "__main__":
+    main()

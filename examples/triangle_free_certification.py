@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Certifying triangle-freeness of a network (the paper's finding use case).
+
+The introduction motivates triangle finding with a practical concern: "for
+several graph problems faster algorithms are known over triangle-free
+graphs ... the ability to efficiently check if the network is triangle-free
+is essential when considering such algorithms in practice."
+
+This example runs the Theorem-1 finding algorithm on two networks — one
+bipartite (hence triangle-free) and one with a handful of planted triangles —
+and shows how the one-sided output is interpreted: a reported triple is a
+certificate that the network is *not* triangle-free; an empty output after
+amplification certifies triangle-freeness with high probability.
+
+Run with::
+
+    python examples/triangle_free_certification.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import TriangleFinding, finding_epsilon_asymptotic
+from repro.graphs import (
+    count_triangles,
+    planted_triangle_graph,
+    triangle_free_bipartite,
+)
+
+
+def certify(name: str, graph, seed: int) -> None:
+    print(f"Network {name!r}: n={graph.num_nodes}, m={graph.num_edges}, "
+          f"actual triangles = {count_triangles(graph)}")
+    finder = TriangleFinding(
+        epsilon=finding_epsilon_asymptotic(), stop_on_success=True
+    )
+    result = finder.run(graph, seed=seed)
+    result.check_soundness(graph)
+    if result.found_any():
+        witness = sorted(result.triangles_found())[0]
+        print(f"  -> NOT triangle-free: witness triangle {witness} "
+              f"(found in {result.rounds} rounds)")
+    else:
+        repetitions = result.parameters["repetitions"]
+        print(f"  -> no triangle found after {repetitions} amplification passes "
+              f"({result.rounds} rounds): triangle-free with high probability")
+    print()
+
+
+def main() -> None:
+    num_nodes = 60
+
+    bipartite = triangle_free_bipartite(num_nodes, 0.4, seed=5)
+    certify("bipartite backbone", bipartite, seed=5)
+
+    planted, triangles = planted_triangle_graph(
+        num_nodes, 3, background_probability=0.35, seed=6
+    )
+    print(f"(planted triangles: {triangles})")
+    certify("backbone with 3 planted triangles", planted, seed=6)
+
+    print("Interpretation: any reported triple is a sound certificate of a\n"
+          "triangle; an empty answer is correct with probability 1 - delta,\n"
+          "amplified by repeating the (A1, A3) pass (Theorem 1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — reproduction of *Triangle Finding and Listing in CONGEST Networks*.
+
+This package implements, from scratch, the algorithms, substrates and
+experiments of Izumi & Le Gall (PODC 2017):
+
+* :mod:`repro.graphs` — graph representation, synthetic workload generators
+  and centralized triangle ground truth,
+* :mod:`repro.hashing` — 3-wise independent hash families (Wegman–Carter),
+* :mod:`repro.congest` — round-accurate CONGEST and CONGEST-clique
+  simulators,
+* :mod:`repro.core` — the paper's algorithms (A1, A2, A3, Theorem 1 finding,
+  Theorem 2 listing), the baselines and the lower-bound accounting,
+* :mod:`repro.analysis` — complexity predictions, output verification, the
+  experiment harness and the Table-1 renderer.
+
+Quickstart::
+
+    from repro.graphs import gnp_random_graph
+    from repro.core import TriangleListing
+
+    graph = gnp_random_graph(60, 0.3, seed=7)
+    result = TriangleListing().run(graph, seed=7)
+    print(result.summary())
+    print(f"recall = {result.listing_recall(graph):.2f}")
+"""
+
+from ._version import __version__
+from .errors import (
+    AnalysisError,
+    BandwidthExceededError,
+    GraphError,
+    HashingError,
+    ProtocolError,
+    ReproError,
+    RoundLimitExceededError,
+    SimulationError,
+    TopologyError,
+    VerificationError,
+)
+from .types import (
+    Edge,
+    NodeId,
+    Triangle,
+    edges_of_triangles,
+    make_edge,
+    make_triangle,
+    triangle_edges,
+)
+
+__all__ = [
+    "__version__",
+    "AnalysisError",
+    "BandwidthExceededError",
+    "GraphError",
+    "HashingError",
+    "ProtocolError",
+    "ReproError",
+    "RoundLimitExceededError",
+    "SimulationError",
+    "TopologyError",
+    "VerificationError",
+    "Edge",
+    "NodeId",
+    "Triangle",
+    "edges_of_triangles",
+    "make_edge",
+    "make_triangle",
+    "triangle_edges",
+]

@@ -1,0 +1,189 @@
+"""Experiment harness: run algorithm × workload sweeps and collect records.
+
+The benchmarks and examples all need the same loop: generate a workload
+graph, run one or more algorithms on it, verify the outputs against the
+ground truth, and record the measured round counts next to the predicted
+bounds.  This module provides that loop once, with explicit seeds so every
+record is reproducible, and simple aggregation helpers for the table
+renderers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..core.output import AlgorithmResult
+from ..errors import AnalysisError
+from ..graphs.graph import Graph
+from ..graphs.triangles import count_triangles
+from .verification import VerificationReport, verify_result
+
+
+class RunnableAlgorithm(Protocol):
+    """Anything with the ``name`` / ``model`` / ``run(graph, seed)`` interface."""
+
+    name: str
+    model: str
+
+    def run(self, graph: Graph, seed: Optional[int | np.random.Generator] = None) -> AlgorithmResult:
+        """Run on ``graph`` with the given seed."""
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One (algorithm, workload, seed) measurement."""
+
+    experiment: str
+    algorithm: str
+    model: str
+    num_nodes: int
+    num_edges: int
+    num_triangles: int
+    seed: int
+    rounds: int
+    messages: int
+    bits: int
+    recall: float
+    sound: bool
+    solves_finding: bool
+    solves_listing: bool
+    truncated: bool
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a flat dictionary (for CSV-style dumps)."""
+        base = {
+            "experiment": self.experiment,
+            "algorithm": self.algorithm,
+            "model": self.model,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "num_triangles": self.num_triangles,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "recall": self.recall,
+            "sound": self.sound,
+            "solves_finding": self.solves_finding,
+            "solves_listing": self.solves_listing,
+            "truncated": self.truncated,
+        }
+        base.update(self.extra)
+        return base
+
+
+def run_single(
+    experiment: str,
+    algorithm: RunnableAlgorithm,
+    graph: Graph,
+    seed: int,
+    extra: Optional[Dict[str, Any]] = None,
+) -> ExperimentRecord:
+    """Run ``algorithm`` once on ``graph`` and return the verified record."""
+    result = algorithm.run(graph, seed=seed)
+    report: VerificationReport = verify_result(result, graph)
+    return ExperimentRecord(
+        experiment=experiment,
+        algorithm=result.algorithm,
+        model=result.model,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_triangles=report.total_truth,
+        seed=seed,
+        rounds=result.cost.rounds,
+        messages=result.cost.messages,
+        bits=result.cost.bits,
+        recall=report.recall,
+        sound=report.sound,
+        solves_finding=report.solves_finding,
+        solves_listing=report.solves_listing,
+        truncated=result.truncated,
+        extra=dict(extra or {}),
+    )
+
+
+def run_repeated(
+    experiment: str,
+    algorithm_factory: Callable[[], RunnableAlgorithm],
+    graph_factory: Callable[[int], Graph],
+    seeds: Sequence[int],
+    extra: Optional[Dict[str, Any]] = None,
+) -> List[ExperimentRecord]:
+    """Run an algorithm over several seeds, regenerating the workload per seed.
+
+    ``graph_factory`` receives the seed so workloads can be resampled (as the
+    lower-bound experiments over ``G(n, 1/2)`` require) or held fixed (by
+    ignoring the argument).
+    """
+    if not seeds:
+        raise AnalysisError("run_repeated needs at least one seed")
+    records = []
+    for seed in seeds:
+        graph = graph_factory(seed)
+        records.append(
+            run_single(experiment, algorithm_factory(), graph, seed, extra=extra)
+        )
+    return records
+
+
+def run_size_sweep(
+    experiment: str,
+    algorithm_factory: Callable[[], RunnableAlgorithm],
+    graph_factory: Callable[[int, int], Graph],
+    sizes: Sequence[int],
+    seeds_per_size: int = 1,
+    base_seed: int = 0,
+) -> List[ExperimentRecord]:
+    """Sweep the network size ``n`` and collect one record per (size, seed).
+
+    ``graph_factory(num_nodes, seed)`` builds the workload at each size.
+    """
+    if not sizes:
+        raise AnalysisError("run_size_sweep needs at least one size")
+    if seeds_per_size < 1:
+        raise AnalysisError("seeds_per_size must be at least 1")
+    records: List[ExperimentRecord] = []
+    for size_index, size in enumerate(sizes):
+        for repeat in range(seeds_per_size):
+            seed = base_seed + 1000 * size_index + repeat
+            graph = graph_factory(size, seed)
+            records.append(
+                run_single(experiment, algorithm_factory(), graph, seed)
+            )
+    return records
+
+
+def mean_rounds_by_size(records: Iterable[ExperimentRecord]) -> Dict[int, float]:
+    """Return the mean measured rounds grouped by network size."""
+    totals: Dict[int, List[int]] = {}
+    for record in records:
+        totals.setdefault(record.num_nodes, []).append(record.rounds)
+    return {size: sum(values) / len(values) for size, values in totals.items()}
+
+
+def mean_recall(records: Iterable[ExperimentRecord]) -> float:
+    """Return the mean recall over a collection of records."""
+    values = [record.recall for record in records]
+    if not values:
+        raise AnalysisError("mean_recall needs at least one record")
+    return sum(values) / len(values)
+
+
+def all_sound(records: Iterable[ExperimentRecord]) -> bool:
+    """Return ``True`` when every record in the collection was sound."""
+    return all(record.sound for record in records)
+
+
+def describe_workload(graph: Graph) -> Dict[str, Any]:
+    """Return the workload descriptors recorded next to experiment results."""
+    return {
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "num_triangles": count_triangles(graph),
+        "max_degree": graph.max_degree(),
+        "density": graph.density(),
+    }

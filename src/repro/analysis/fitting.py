@@ -1,0 +1,113 @@
+"""Growth-exponent fitting for scaling experiments.
+
+The reproduction cannot (and is not expected to) match the paper's constant
+factors, so the scaling benchmarks validate *exponents*: measured round
+counts over a sweep of ``n`` are fitted as ``rounds ≈ a · n^b`` and the
+fitted ``b`` is compared to the theorem's exponent.  Because the bounds also
+carry polylogarithmic factors, the helpers can divide them out before
+fitting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """The result of fitting ``y ≈ a · x^b`` on a log–log scale."""
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted power law at ``x``."""
+        return self.prefactor * x ** self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ a x^b`` by least squares on log-transformed data.
+
+    Raises
+    ------
+    AnalysisError
+        If fewer than two points are provided or any value is non-positive
+        (a power law is undefined there).
+    """
+    if len(xs) != len(ys):
+        raise AnalysisError(
+            f"xs and ys must have the same length, got {len(xs)} and {len(ys)}"
+        )
+    if len(xs) < 2:
+        raise AnalysisError("fitting a power law requires at least two points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise AnalysisError("power-law fitting requires strictly positive data")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predictions = slope * log_x + intercept
+    residual = float(np.sum((log_y - predictions) ** 2))
+    total = float(np.sum((log_y - np.mean(log_y)) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        exponent=float(slope), prefactor=float(math.exp(intercept)), r_squared=r_squared
+    )
+
+
+def fit_exponent_with_log_correction(
+    sizes: Sequence[int],
+    rounds: Sequence[float],
+    log_exponent: float = 0.0,
+) -> PowerLawFit:
+    """Fit the polynomial exponent after dividing out a ``(log2 n)^c`` factor.
+
+    The paper's bounds have the shape ``n^b (log n)^c``; dividing the
+    measured values by ``(log2 n)^c`` before fitting isolates the polynomial
+    exponent ``b``, which is what the scaling benches assert on.
+    """
+    if len(sizes) != len(rounds):
+        raise AnalysisError(
+            f"sizes and rounds must have the same length, got {len(sizes)} and {len(rounds)}"
+        )
+    corrected = [
+        value / (math.log2(max(2.0, float(size))) ** log_exponent)
+        for size, value in zip(sizes, rounds)
+    ]
+    return fit_power_law([float(size) for size in sizes], corrected)
+
+
+def relative_shape_error(
+    sizes: Sequence[int],
+    measured: Sequence[float],
+    reference: Callable[[int], float],
+) -> float:
+    """Return the max relative deviation of measured/reference from its mean.
+
+    A scale-free comparison: if the measured curve has the same *shape* as
+    the reference bound, the ratio measured/reference is constant across the
+    sweep and the returned error is close to zero, regardless of constant
+    factors.
+    """
+    if len(sizes) != len(measured):
+        raise AnalysisError(
+            f"sizes and measured must have the same length, got {len(sizes)} and {len(measured)}"
+        )
+    if not sizes:
+        raise AnalysisError("shape comparison requires at least one point")
+    ratios = []
+    for size, value in zip(sizes, measured):
+        predicted = reference(size)
+        if predicted <= 0:
+            raise AnalysisError(f"reference bound is non-positive at n={size}")
+        ratios.append(value / predicted)
+    mean_ratio = sum(ratios) / len(ratios)
+    if mean_ratio == 0:
+        return 0.0
+    return max(abs(ratio - mean_ratio) / mean_ratio for ratio in ratios)

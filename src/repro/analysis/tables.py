@@ -1,0 +1,158 @@
+"""Rendering of Table 1 and of scaling tables.
+
+The benchmarks print two kinds of artifacts:
+
+* the *Table 1 reproduction*: one row per entry of the paper's Table 1,
+  showing the published asymptotic formula, the closed-form prediction at
+  the benchmark's ``n``, and — for the rows we implement — the measured
+  round count of our implementation on the benchmark workload;
+* *scaling tables*: measured rounds over a sweep of ``n`` next to the
+  reference curve and the fitted exponent.
+
+Rendering is plain fixed-width text (no external dependencies) so the tables
+appear directly in pytest/benchmark output and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .complexity import ComplexityRow, table1_rows
+from .fitting import PowerLawFit
+
+
+@dataclass
+class Table1Entry:
+    """One rendered row of the Table 1 reproduction."""
+
+    row: ComplexityRow
+    predicted: float
+    measured_rounds: Optional[int] = None
+    measured_note: str = ""
+
+    def cells(self) -> List[str]:
+        """Return the formatted cells of this entry."""
+        measured = "—" if self.measured_rounds is None else str(self.measured_rounds)
+        return [
+            self.row.reference,
+            self.row.problem,
+            self.row.model,
+            self.row.formula,
+            f"{self.predicted:.1f}",
+            measured,
+            self.measured_note,
+        ]
+
+
+TABLE1_HEADER = [
+    "reference",
+    "problem",
+    "model",
+    "published bound",
+    "predicted@n",
+    "measured rounds",
+    "notes",
+]
+
+
+def render_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a fixed-width text table."""
+    widths = [len(column) for column in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(header)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(header))))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_table1(
+    num_nodes: int,
+    measured: Optional[Dict[str, int]] = None,
+    notes: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render the Table 1 reproduction at a given network size.
+
+    Parameters
+    ----------
+    num_nodes:
+        The ``n`` at which the closed-form predictions are evaluated.
+    measured:
+        Mapping from Table-1 row key to measured rounds for the rows that
+        were actually executed.
+    notes:
+        Optional per-row annotation (e.g. the workload used).
+    """
+    measured = measured or {}
+    notes = notes or {}
+    entries = [
+        Table1Entry(
+            row=row,
+            predicted=row.predicted(num_nodes),
+            measured_rounds=measured.get(row.key),
+            measured_note=notes.get(row.key, "" if row.implemented else "not implemented"),
+        )
+        for row in table1_rows()
+    ]
+    body = [entry.cells() for entry in entries]
+    title = f"Table 1 reproduction at n = {num_nodes}"
+    return title + "\n" + render_table(TABLE1_HEADER, body)
+
+
+def render_scaling_table(
+    title: str,
+    sizes: Sequence[int],
+    measured_rounds: Sequence[float],
+    reference_curve: Sequence[float],
+    fit: Optional[PowerLawFit] = None,
+    expected_exponent: Optional[float] = None,
+) -> str:
+    """Render a scaling experiment: measured rounds vs the reference bound."""
+    header = ["n", "measured rounds", "reference bound", "measured/reference"]
+    rows = []
+    for size, value, reference in zip(sizes, measured_rounds, reference_curve):
+        ratio = value / reference if reference else float("nan")
+        rows.append(
+            [str(size), f"{value:.1f}", f"{reference:.1f}", f"{ratio:.3f}"]
+        )
+    lines = [title, render_table(header, rows)]
+    if fit is not None:
+        suffix = ""
+        if expected_exponent is not None:
+            suffix = f" (expected {expected_exponent:.3f})"
+        lines.append(
+            f"fitted exponent: {fit.exponent:.3f}{suffix}, R^2 = {fit.r_squared:.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_records_table(title: str, records: Sequence) -> str:
+    """Render a list of :class:`~repro.analysis.experiments.ExperimentRecord`."""
+    header = [
+        "algorithm",
+        "model",
+        "n",
+        "m",
+        "triangles",
+        "rounds",
+        "recall",
+        "sound",
+    ]
+    rows = [
+        [
+            record.algorithm,
+            record.model,
+            str(record.num_nodes),
+            str(record.num_edges),
+            str(record.num_triangles),
+            str(record.rounds),
+            f"{record.recall:.3f}",
+            "yes" if record.sound else "NO",
+        ]
+        for record in records
+    ]
+    return title + "\n" + render_table(header, rows)

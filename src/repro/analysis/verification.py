@@ -1,0 +1,162 @@
+"""Verification of distributed outputs against the centralized ground truth.
+
+The paper's output model (Section 2) imposes two different requirements:
+
+* **soundness** — every reported triple is a triangle of ``G``; this is
+  unconditional (even for randomized algorithms, which must be one-sided);
+* **completeness** — for listing, every triangle of ``G`` is reported by at
+  least one node; for finding, some triangle is reported whenever one
+  exists.
+
+The helpers in this module measure both, plus the per-node properties the
+lower-bound section cares about (who reported what, how many edges the
+busiest node's output covers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from ..core.output import AlgorithmResult
+from ..errors import VerificationError
+from ..graphs.graph import Graph
+from ..graphs.triangles import (
+    heavy_triangles,
+    light_triangles,
+    list_triangles,
+    triangles_through_node,
+)
+from ..types import Triangle
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """The outcome of verifying one run against the ground truth."""
+
+    algorithm: str
+    sound: bool
+    total_truth: int
+    total_reported: int
+    recall: float
+    missed: FrozenSet[Triangle]
+    spurious: FrozenSet[Triangle]
+    solves_finding: bool
+    solves_listing: bool
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            f"{self.algorithm}: sound={self.sound} recall={self.recall:.3f} "
+            f"({self.total_reported}/{self.total_truth}) "
+            f"finding={'yes' if self.solves_finding else 'no'} "
+            f"listing={'yes' if self.solves_listing else 'no'}"
+        )
+
+
+def verify_result(result: AlgorithmResult, graph: Graph) -> VerificationReport:
+    """Verify ``result`` against ``graph`` and return a report.
+
+    Unlike :meth:`AlgorithmResult.check_soundness`, this function does not
+    raise on spurious triples: it records them, so experiment sweeps can
+    aggregate failures instead of aborting.  (The test suite separately
+    asserts that no algorithm in this repository ever produces a spurious
+    triple.)
+    """
+    truth = frozenset(list_triangles(graph))
+    reported = result.triangles_found()
+    spurious = frozenset(t for t in reported if t not in truth)
+    missed = truth - reported
+    recall = 1.0 if not truth else (len(truth) - len(missed)) / len(truth)
+    sound = not spurious
+    solves_finding = bool(reported & truth) if truth else not reported
+    solves_listing = sound and not missed
+    return VerificationReport(
+        algorithm=result.algorithm,
+        sound=sound,
+        total_truth=len(truth),
+        total_reported=len(reported & truth),
+        recall=recall,
+        missed=missed,
+        spurious=spurious,
+        solves_finding=solves_finding,
+        solves_listing=solves_listing,
+    )
+
+
+def require_sound(result: AlgorithmResult, graph: Graph) -> None:
+    """Raise :class:`VerificationError` if the run reported any non-triangle."""
+    report = verify_result(result, graph)
+    if not report.sound:
+        example = next(iter(report.spurious))
+        raise VerificationError(
+            f"{result.algorithm} reported {len(report.spurious)} non-triangles, "
+            f"e.g. {example}"
+        )
+
+
+def recall_by_heaviness(
+    result: AlgorithmResult, graph: Graph, epsilon: float
+) -> Dict[str, float]:
+    """Return recall split into ε-heavy and non-heavy triangles.
+
+    The paper's component algorithms have guarantees restricted to one side
+    of the split (A2 covers heavy triangles, A3 covers light ones); this
+    breakdown is what the component benchmarks report.
+    """
+    reported = result.triangles_found()
+    heavy = heavy_triangles(graph, epsilon)
+    light = light_triangles(graph, epsilon)
+    heavy_recall = (
+        1.0 if not heavy else sum(1 for t in heavy if t in reported) / len(heavy)
+    )
+    light_recall = (
+        1.0 if not light else sum(1 for t in light if t in reported) / len(light)
+    )
+    return {"heavy": heavy_recall, "light": light_recall}
+
+
+def local_listing_complete(result: AlgorithmResult, graph: Graph) -> bool:
+    """Return ``True`` when every node output all the triangles containing it.
+
+    This is the success criterion of the Proposition-5 (local listing)
+    setting, satisfied by the naive baseline but *not* required of the
+    paper's sublinear algorithms (whose whole point is that a triangle may
+    be output by a node not contained in it).
+    """
+    for node in graph.nodes():
+        required = set(triangles_through_node(graph, node))
+        if not required <= set(result.output.node_output(node)):
+            return False
+    return True
+
+
+def nodes_reporting_foreign_triangles(
+    result: AlgorithmResult, graph: Graph
+) -> List[int]:
+    """Return the nodes that reported a triangle not containing themselves.
+
+    The discussion after Proposition 5 points out that any sublinear listing
+    algorithm *must* let some node output a triangle it does not belong to;
+    this helper makes that mechanism observable in experiments.
+    """
+    offenders: List[int] = []
+    for node, triples in result.output.per_node.items():
+        for triangle in triples:
+            if node not in triangle:
+                offenders.append(node)
+                break
+    return sorted(offenders)
+
+
+def duplication_factor(result: AlgorithmResult) -> float:
+    """Return the average number of nodes reporting each distinct triangle.
+
+    The output model allows duplicates (the ``T_i`` need not be disjoint);
+    the duplication factor quantifies the redundancy of a run.  Returns 0.0
+    when nothing was reported.
+    """
+    distinct = result.triangles_found()
+    if not distinct:
+        return 0.0
+    return result.output.total_reported() / len(distinct)

@@ -1,0 +1,50 @@
+"""CONGEST and CONGEST-clique simulation substrate.
+
+The simulator provides two complementary execution models:
+
+* :class:`~repro.congest.simulator.CongestSimulator` — phase-based execution
+  with exact per-phase round accounting; used by all the paper's algorithms.
+* :class:`~repro.congest.engine.RoundEngine` — strict round-by-round
+  execution of generator node programs; used for cross-validation and
+  pedagogy.
+
+The clique variant (:class:`~repro.congest.clique.CliqueSimulator`) and the
+Lenzen routing primitive (:class:`~repro.congest.routing.LenzenRouter`)
+support the CONGEST-clique baselines and lower-bound experiments.
+"""
+
+from .aggregation import broadcast_from_root, build_bfs_tree, convergecast_sum
+from .bandwidth import DEFAULT_BANDWIDTH, BandwidthPolicy
+from .broadcast import BroadcastCongestSimulator
+from .clique import CliqueSimulator
+from .engine import NodeProgram, RoundContext, RoundEngine
+from .metrics import AlgorithmCost, ExecutionMetrics, PhaseReport
+from .node import NodeContext
+from .routing import LenzenRouter, RoutingRequest
+from .simulator import CongestSimulator
+from .wire import default_bit_size, edge_bits, id_bits, integer_bits, triangle_bits
+
+__all__ = [
+    "broadcast_from_root",
+    "build_bfs_tree",
+    "convergecast_sum",
+    "DEFAULT_BANDWIDTH",
+    "BandwidthPolicy",
+    "BroadcastCongestSimulator",
+    "CliqueSimulator",
+    "NodeProgram",
+    "RoundContext",
+    "RoundEngine",
+    "AlgorithmCost",
+    "ExecutionMetrics",
+    "PhaseReport",
+    "NodeContext",
+    "LenzenRouter",
+    "RoutingRequest",
+    "CongestSimulator",
+    "default_bit_size",
+    "edge_bits",
+    "id_bits",
+    "integer_bits",
+    "triangle_bits",
+]

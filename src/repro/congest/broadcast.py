@@ -1,0 +1,128 @@
+"""The broadcast CONGEST model: one common message per node per round.
+
+Table 1 cites the Drucker et al. lower bound in the *broadcast* CONGEST
+model, where at each round a node sends the same single ``O(log n)``-bit
+message to all of its neighbours (rather than a possibly different message
+per link).  The model is strictly weaker than CONGEST, which is why a lower
+bound proved there does not transfer to the standard model.
+
+This simulator variant exists for completeness of the model family and for
+experiments that want to quantify how much the per-link addressing of full
+CONGEST buys: any protocol written for the broadcast model runs unchanged on
+the standard simulator, but not vice versa.  The accounting rule is the
+broadcast constraint taken literally: within one phase, the rounds charged
+to a node are determined by the *total* bits it broadcasts (every neighbour
+receives every message), and the phase cost is the maximum over nodes rather
+than over directed links.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import RoundLimitExceededError, SimulationError, TopologyError
+from ..graphs.graph import Graph
+from ..types import NodeId
+from .metrics import PhaseReport
+from .node import NodeContext
+from .simulator import CongestSimulator
+from .wire import default_bit_size
+
+
+class BroadcastCongestSimulator(CongestSimulator):
+    """Phase-based simulator for the broadcast CONGEST model.
+
+    The programming interface is identical to
+    :class:`~repro.congest.simulator.CongestSimulator` except that per-link
+    ``send`` is rejected: node programs must use
+    :meth:`~repro.congest.node.NodeContext.broadcast`, which queues the same
+    payload on every incident edge.  The phase accounting then charges each
+    node ``⌈broadcast bits / bandwidth⌉`` rounds and takes the maximum over
+    nodes.
+    """
+
+    def run_phase(self, name: str = "phase", extra_rounds: int = 0) -> PhaseReport:
+        """Deliver queued broadcasts and charge broadcast-model rounds.
+
+        Raises
+        ------
+        TopologyError
+            If any node queued different payload sequences for different
+            neighbours (i.e. used point-to-point addressing), which the
+            broadcast model does not allow.
+        """
+        per_node_bits: Dict[NodeId, int] = {}
+        deliveries: Dict[NodeId, List[Tuple[NodeId, Any]]] = {
+            context.node_id: [] for context in self._contexts
+        }
+        total_messages = 0
+        total_bits = 0
+        received_bits: Dict[NodeId, int] = {}
+        received_msgs: Dict[NodeId, int] = {}
+
+        for context in self._contexts:
+            outgoing = context._drain_outgoing()
+            if not outgoing:
+                continue
+            per_destination: Dict[NodeId, List[Tuple[Any, Optional[int]]]] = {}
+            for destination, payload, bits in outgoing:
+                per_destination.setdefault(destination, []).append((payload, bits))
+            neighbors = context.neighbors
+            reference = per_destination.get(next(iter(neighbors)), []) if neighbors else []
+            for neighbor in neighbors:
+                if per_destination.get(neighbor, []) != reference:
+                    raise TopologyError(
+                        f"node {context.node_id} sent per-link messages; the "
+                        "broadcast CONGEST model only supports broadcast()"
+                    )
+            if set(per_destination) - set(neighbors):
+                raise TopologyError(
+                    f"node {context.node_id} addressed a non-neighbour in the "
+                    "broadcast CONGEST model"
+                )
+            node_bits = sum(
+                size if size is not None else default_bit_size(payload, self.num_nodes)
+                for payload, size in reference
+            )
+            per_node_bits[context.node_id] = node_bits
+            for neighbor in neighbors:
+                for payload, size in reference:
+                    actual = (
+                        size
+                        if size is not None
+                        else default_bit_size(payload, self.num_nodes)
+                    )
+                    deliveries[neighbor].append((context.node_id, payload))
+                    total_messages += 1
+                    total_bits += actual
+                    received_bits[neighbor] = received_bits.get(neighbor, 0) + actual
+                    received_msgs[neighbor] = received_msgs.get(neighbor, 0) + 1
+
+        max_node_bits = max(per_node_bits.values()) if per_node_bits else 0
+        rounds = self._bandwidth.rounds_for_bits(max_node_bits, self.num_nodes)
+        rounds += extra_rounds
+
+        report = PhaseReport(
+            name=name,
+            rounds=rounds,
+            messages=total_messages,
+            bits=total_bits,
+            max_link_bits=max_node_bits,
+        )
+        self._metrics.record_phase(report)
+        for node, bits in received_bits.items():
+            self._metrics.record_delivery(node, bits, received_msgs.get(node, 0))
+        for context in self._contexts:
+            context._deliver(deliveries[context.node_id])
+
+        if self._round_limit is not None and self._metrics.total_rounds > self._round_limit:
+            raise RoundLimitExceededError(
+                f"round budget of {self._round_limit} exceeded "
+                f"(now at {self._metrics.total_rounds} rounds)"
+            )
+        return report
+
+    @property
+    def model_name(self) -> str:
+        """Human-readable name of the communication model."""
+        return "CONGEST broadcast"

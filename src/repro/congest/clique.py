@@ -1,0 +1,42 @@
+"""The CONGEST clique model: all-to-all communication topology.
+
+Section 2 of the paper: "the CONGEST clique model ... allows an algorithm to
+transfer a O(log n)-bit message per round between any two nodes not
+necessarily adjacent in G".  The input graph ``G`` is still the problem
+instance (each node initially knows its incident edges), but the
+communication topology is the complete graph ``K_n``.
+
+The clique simulator reuses the phase-based accounting of
+:class:`~repro.congest.simulator.CongestSimulator`; only the communication
+targets differ.  It is used by the Dolev et al. baseline (Table 1, row 1)
+and by the lower-bound experiments (Theorem 3 is proved against the clique,
+which makes the bound stronger).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..graphs.graph import Graph
+from ..types import NodeId
+from .simulator import CongestSimulator
+
+
+class CliqueSimulator(CongestSimulator):
+    """Phase-based simulator for the CONGEST clique model.
+
+    The constructor signature is identical to
+    :class:`~repro.congest.simulator.CongestSimulator`; the only difference
+    is that every node may address every other node directly, so per-phase
+    round accounting runs over all ``n(n-1)`` directed node pairs instead of
+    only the edges of ``G``.
+    """
+
+    def _communication_targets(self, graph: Graph, node: NodeId) -> Iterable[NodeId]:
+        """All other nodes: the communication topology is the complete graph."""
+        return (other for other in graph.nodes() if other != node)
+
+    @property
+    def model_name(self) -> str:
+        """Human-readable name of the communication model."""
+        return "CONGEST clique"

@@ -1,0 +1,234 @@
+"""Literal round-by-round CONGEST engine for generator-style node programs.
+
+The phase-based :class:`~repro.congest.simulator.CongestSimulator` is the
+workhorse used by the paper's algorithms, because they are phase-synchronous
+and the bulk accounting is exact for that class of protocols.  This module
+provides the complementary *strict* engine: node programs are Python
+generators that ``yield`` once per round, and the engine enforces the raw
+CONGEST constraint that a single round carries at most one bandwidth-sized
+message per directed edge.
+
+The strict engine serves three purposes:
+
+* it documents the model precisely (one message per edge per round, no bulk
+  shortcuts),
+* it lets the test suite cross-validate the phase-based accounting: a
+  phase-synchronous protocol implemented on both engines must report the
+  same number of rounds,
+* it is a convenient substrate for tiny pedagogical protocols (the examples
+  use it to show what a literal round looks like).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import BandwidthExceededError, ProtocolError, SimulationError, TopologyError
+from ..graphs.graph import Graph
+from ..types import NodeId
+from .bandwidth import DEFAULT_BANDWIDTH, BandwidthPolicy
+from .metrics import ExecutionMetrics, PhaseReport
+from .wire import default_bit_size
+
+#: A node program: receives its RoundContext and yields once per round.
+NodeProgram = Callable[["RoundContext"], Generator[None, None, None]]
+
+
+class RoundContext:
+    """Per-node interface for the strict round-by-round engine.
+
+    Unlike the phase-based :class:`~repro.congest.node.NodeContext`, sends
+    are limited to **one message per neighbour per round**, and each message
+    must individually fit into the per-round bandwidth.
+    """
+
+    __slots__ = (
+        "node_id",
+        "num_nodes",
+        "neighbors",
+        "rng",
+        "state",
+        "_bandwidth_bits",
+        "_pending",
+        "_inbox",
+    )
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        num_nodes: int,
+        neighbors: frozenset[NodeId],
+        rng: np.random.Generator,
+        bandwidth_bits: int,
+    ) -> None:
+        self.node_id = node_id
+        self.num_nodes = num_nodes
+        self.neighbors = neighbors
+        self.rng = rng
+        self.state: Dict[str, Any] = {}
+        self._bandwidth_bits = bandwidth_bits
+        self._pending: Dict[NodeId, Tuple[Any, int]] = {}
+        self._inbox: List[Tuple[NodeId, Any]] = []
+
+    def send(self, destination: NodeId, payload: Any, bits: Optional[int] = None) -> None:
+        """Send one message to ``destination`` this round.
+
+        Raises
+        ------
+        TopologyError
+            If ``destination`` is not a neighbour.
+        ProtocolError
+            If a message was already queued for ``destination`` this round.
+        BandwidthExceededError
+            If the message exceeds the per-round bandwidth.
+        """
+        if destination not in self.neighbors:
+            raise TopologyError(
+                f"node {self.node_id} has no edge to {destination}"
+            )
+        if destination in self._pending:
+            raise ProtocolError(
+                f"node {self.node_id} already sent to {destination} this round"
+            )
+        size = bits if bits is not None else default_bit_size(payload, self.num_nodes)
+        if size > self._bandwidth_bits:
+            raise BandwidthExceededError(
+                f"message of {size} bits exceeds the per-round bandwidth of "
+                f"{self._bandwidth_bits} bits; use the phase-based simulator "
+                "for multi-round transfers"
+            )
+        self._pending[destination] = (payload, size)
+
+    def received(self) -> List[Tuple[NodeId, Any]]:
+        """Return the ``(sender, payload)`` pairs delivered at the start of this round."""
+        return list(self._inbox)
+
+    def _drain(self) -> Dict[NodeId, Tuple[Any, int]]:
+        pending = self._pending
+        self._pending = {}
+        return pending
+
+    def _deliver(self, messages: List[Tuple[NodeId, Any]]) -> None:
+        self._inbox = messages
+
+
+class RoundEngine:
+    """Execute generator node programs round by round.
+
+    Parameters
+    ----------
+    graph:
+        The network topology.
+    bandwidth:
+        Per-edge per-round bandwidth policy.
+    seed:
+        Seed for per-node private randomness.
+    max_rounds:
+        Safety limit; exceeding it raises :class:`SimulationError` so a
+        non-terminating protocol cannot hang the test suite.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth: BandwidthPolicy = DEFAULT_BANDWIDTH,
+        seed: Optional[int | np.random.Generator] = None,
+        max_rounds: int = 1_000_000,
+    ) -> None:
+        if graph.num_nodes < 1:
+            raise SimulationError("cannot simulate an empty network")
+        self._graph = graph
+        self._bandwidth = bandwidth
+        self._max_rounds = max_rounds
+        self._metrics = ExecutionMetrics()
+        root_rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+        child_seeds = root_rng.integers(0, 2**63 - 1, size=graph.num_nodes)
+        bits = bandwidth.bits_per_round(graph.num_nodes)
+        self._contexts = [
+            RoundContext(
+                node_id=node,
+                num_nodes=graph.num_nodes,
+                neighbors=graph.neighbors(node),
+                rng=np.random.default_rng(int(child_seeds[node])),
+                bandwidth_bits=bits,
+            )
+            for node in graph.nodes()
+        ]
+
+    @property
+    def contexts(self) -> List[RoundContext]:
+        """The per-node round contexts, indexed by node identifier."""
+        return self._contexts
+
+    @property
+    def metrics(self) -> ExecutionMetrics:
+        """Execution metrics accumulated so far."""
+        return self._metrics
+
+    def run(self, program: NodeProgram) -> int:
+        """Run ``program`` on every node until all generators finish.
+
+        Returns
+        -------
+        int
+            The number of rounds executed.
+        """
+        generators: Dict[NodeId, Generator[None, None, None]] = {
+            context.node_id: program(context) for context in self._contexts
+        }
+        active = dict(generators)
+        rounds = 0
+        # Prime every generator: execution up to the first yield is the
+        # node's round-1 computation and sends.
+        finished = [node for node, gen in active.items() if _advance(gen)]
+        for node in finished:
+            del active[node]
+
+        while active or any(ctx._pending for ctx in self._contexts):
+            if rounds >= self._max_rounds:
+                raise SimulationError(
+                    f"protocol did not terminate within {self._max_rounds} rounds"
+                )
+            rounds += 1
+            self._exchange(rounds)
+            finished = [node for node, gen in active.items() if _advance(gen)]
+            for node in finished:
+                del active[node]
+
+        report = PhaseReport(
+            name="strict-run",
+            rounds=rounds,
+            messages=self._metrics.total_messages,
+            bits=self._metrics.total_bits,
+            max_link_bits=self._bandwidth.bits_per_round(self._graph.num_nodes),
+        )
+        # Messages/bits were recorded per round by _exchange; only add rounds.
+        self._metrics.phases.append(report)
+        self._metrics.total_rounds += rounds
+        return rounds
+
+    def _exchange(self, round_number: int) -> None:
+        deliveries: Dict[NodeId, List[Tuple[NodeId, Any]]] = {
+            context.node_id: [] for context in self._contexts
+        }
+        for context in self._contexts:
+            for destination, (payload, size) in context._drain().items():
+                deliveries[destination].append((context.node_id, payload))
+                self._metrics.total_messages += 1
+                self._metrics.total_bits += size
+                self._metrics.record_delivery(destination, size, 1)
+        for context in self._contexts:
+            context._deliver(deliveries[context.node_id])
+
+
+def _advance(generator: Generator[None, None, None]) -> bool:
+    """Advance a node program by one round; return ``True`` when it finished."""
+    try:
+        next(generator)
+        return False
+    except StopIteration:
+        return True

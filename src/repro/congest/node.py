@@ -1,0 +1,167 @@
+"""The local view a node program is allowed to use.
+
+A central modelling rule of the CONGEST model (Section 2 of the paper) is
+that initially every node knows only *its own incident edges* and the value
+of ``n``, plus private randomness.  The :class:`NodeContext` object is the
+only handle node programs receive; it exposes exactly that local knowledge,
+an outgoing ``send`` primitive restricted to the communication topology, and
+whatever messages were delivered in the previous phase.  Node programs never
+touch the global :class:`~repro.graphs.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import TopologyError
+from ..types import NodeId, Triangle, make_triangle
+
+
+class NodeContext:
+    """The state and capabilities of one node in a simulated execution.
+
+    Instances are created by the simulator; algorithms interact with them
+    through the documented methods and the free-form :attr:`state` dict.
+    """
+
+    __slots__ = (
+        "node_id",
+        "num_nodes",
+        "neighbors",
+        "rng",
+        "state",
+        "_comm_targets",
+        "_outgoing",
+        "_inbox",
+        "_output",
+    )
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        num_nodes: int,
+        neighbors: Iterable[NodeId],
+        comm_targets: Iterable[NodeId],
+        rng: np.random.Generator,
+    ) -> None:
+        #: This node's identifier (``0 .. n-1``).
+        self.node_id = node_id
+        #: The number of nodes ``n`` (globally known, per the model).
+        self.num_nodes = num_nodes
+        #: The node's neighbours in the *input graph* ``G`` — its initial
+        #: knowledge of the topology.
+        self.neighbors: frozenset[NodeId] = frozenset(neighbors)
+        #: Private randomness for this node.
+        self.rng = rng
+        #: Free-form per-node algorithm state.
+        self.state: Dict[str, Any] = {}
+        # Nodes this node may send to: equal to ``neighbors`` in the CONGEST
+        # model, and to all other nodes in the CONGEST clique model.
+        self._comm_targets: frozenset[NodeId] = frozenset(comm_targets)
+        self._outgoing: List[Tuple[NodeId, Any, Optional[int]]] = []
+        self._inbox: List[Tuple[NodeId, Any]] = []
+        self._output: Set[Triangle] = set()
+
+    # ------------------------------------------------------------------
+    # topology queries
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """The node's degree in the input graph."""
+        return len(self.neighbors)
+
+    def sorted_neighbors(self) -> List[NodeId]:
+        """Return the node's neighbours in increasing identifier order."""
+        return sorted(self.neighbors)
+
+    def can_send_to(self, destination: NodeId) -> bool:
+        """Return ``True`` when the communication topology has a link to ``destination``."""
+        return destination in self._comm_targets
+
+    @property
+    def communication_targets(self) -> frozenset[NodeId]:
+        """All nodes this node may address directly (model dependent)."""
+        return self._comm_targets
+
+    # ------------------------------------------------------------------
+    # communication
+    # ------------------------------------------------------------------
+    def send(self, destination: NodeId, payload: Any, bits: Optional[int] = None) -> None:
+        """Queue ``payload`` for delivery to ``destination`` in the current phase.
+
+        Parameters
+        ----------
+        destination:
+            The receiving node.  Must be reachable in the communication
+            topology (a graph neighbour in the CONGEST model; any other node
+            in the clique model).
+        payload:
+            The message content.  Any Python object; the default bit size is
+            computed by :func:`repro.congest.wire.default_bit_size`.
+        bits:
+            Optional explicit on-wire size, overriding the default.
+
+        Raises
+        ------
+        TopologyError
+            If ``destination`` is not reachable from this node.
+        """
+        if destination == self.node_id:
+            raise TopologyError(f"node {self.node_id} cannot send to itself")
+        if destination not in self._comm_targets:
+            raise TopologyError(
+                f"node {self.node_id} has no communication link to {destination}"
+            )
+        self._outgoing.append((destination, payload, bits))
+
+    def broadcast(self, payload: Any, bits: Optional[int] = None) -> None:
+        """Queue ``payload`` for delivery to every neighbour in the input graph.
+
+        In the CONGEST model a "broadcast" is simply the same message sent on
+        each incident edge; it is charged per edge accordingly.
+        """
+        for neighbor in self.neighbors:
+            self.send(neighbor, payload, bits)
+
+    def received(self) -> List[Tuple[NodeId, Any]]:
+        """Return the ``(sender, payload)`` pairs delivered in the last phase."""
+        return list(self._inbox)
+
+    def received_from(self, sender: NodeId) -> List[Any]:
+        """Return the payloads delivered by ``sender`` in the last phase."""
+        return [payload for source, payload in self._inbox if source == sender]
+
+    def received_senders(self) -> Set[NodeId]:
+        """Return the set of nodes that delivered something in the last phase."""
+        return {source for source, _ in self._inbox}
+
+    # ------------------------------------------------------------------
+    # output
+    # ------------------------------------------------------------------
+    def output_triangle(self, a: NodeId, b: NodeId, c: NodeId) -> None:
+        """Add the triple ``{a, b, c}`` to this node's output set ``T_i``."""
+        self._output.add(make_triangle(a, b, c))
+
+    @property
+    def output(self) -> frozenset[Triangle]:
+        """The node's current output set ``T_i`` (canonicalised triples)."""
+        return frozenset(self._output)
+
+    # ------------------------------------------------------------------
+    # simulator-facing internals
+    # ------------------------------------------------------------------
+    def _drain_outgoing(self) -> List[Tuple[NodeId, Any, Optional[int]]]:
+        outgoing = self._outgoing
+        self._outgoing = []
+        return outgoing
+
+    def _deliver(self, messages: List[Tuple[NodeId, Any]]) -> None:
+        self._inbox = messages
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeContext(node_id={self.node_id}, degree={self.degree}, "
+            f"outputs={len(self._output)})"
+        )

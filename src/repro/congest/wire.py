@@ -1,0 +1,88 @@
+"""On-wire size accounting for message payloads.
+
+The CONGEST model constrains the number of *bits* crossing each edge per
+round, so every payload the simulator carries needs a well-defined bit size.
+This module centralises that accounting:
+
+* a node identifier costs ``⌈log2 n⌉`` bits,
+* an edge (pair of identifiers) costs ``2⌈log2 n⌉`` bits,
+* a boolean flag costs 1 bit,
+* a hash-function description costs whatever its ``encoded_bits()`` reports,
+* small integers cost their binary length (at least 1 bit).
+
+Algorithms may always override the default by passing an explicit ``bits``
+argument to :meth:`repro.congest.node.NodeContext.send`; the defaults here
+exist so the common cases stay concise and consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from ..errors import SimulationError
+
+
+def id_bits(num_nodes: int) -> int:
+    """Return the number of bits needed to name one of ``num_nodes`` nodes."""
+    if num_nodes < 1:
+        raise SimulationError(f"num_nodes must be positive, got {num_nodes}")
+    return max(1, math.ceil(math.log2(num_nodes)))
+
+
+def edge_bits(num_nodes: int) -> int:
+    """Return the number of bits needed to name an edge (two node ids)."""
+    return 2 * id_bits(num_nodes)
+
+
+def triangle_bits(num_nodes: int) -> int:
+    """Return the number of bits needed to name a triangle (three node ids)."""
+    return 3 * id_bits(num_nodes)
+
+
+def integer_bits(value: int) -> int:
+    """Return the number of bits of the binary representation of ``value``."""
+    magnitude = abs(int(value))
+    return max(1, magnitude.bit_length()) + (1 if value < 0 else 0)
+
+
+def default_bit_size(payload: Any, num_nodes: int) -> int:
+    """Return the default on-wire size of ``payload`` in bits.
+
+    Supported payloads:
+
+    * ``bool`` — 1 bit,
+    * ``int`` — interpreted as a node identifier (``⌈log2 n⌉`` bits),
+    * ``str`` — 8 bits per character (protocol tags are short constant
+      strings, so this keeps them O(1) bits as the algorithms assume),
+    * tuples/lists of supported payloads — the sum of their element sizes
+      (so an edge ``(u, v)`` costs ``2⌈log2 n⌉`` bits),
+    * objects exposing ``encoded_bits()`` (e.g.
+      :class:`repro.hashing.HashFunction`) — whatever that method reports,
+    * ``None`` — 1 bit (a bare signal).
+
+    Raises
+    ------
+    SimulationError
+        For payload types without a defined default size.  Such payloads
+        must be sent with an explicit ``bits`` argument.
+    """
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return id_bits(num_nodes)
+    if isinstance(payload, str):
+        return max(1, 8 * len(payload))
+    if isinstance(payload, (tuple, list)):
+        return sum(default_bit_size(element, num_nodes) for element in payload)
+    if isinstance(payload, frozenset) or isinstance(payload, set):
+        return sum(default_bit_size(element, num_nodes) for element in payload)
+    encoded_bits = getattr(payload, "encoded_bits", None)
+    if callable(encoded_bits):
+        return int(encoded_bits())
+    raise SimulationError(
+        f"no default bit size defined for payload of type {type(payload).__name__}; "
+        "pass an explicit bits= argument"
+    )

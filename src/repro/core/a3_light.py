@@ -1,0 +1,342 @@
+"""Algorithm A3: listing the triangles that are *not* ε-heavy.
+
+Proposition 3 / Figure 2 of the paper — the main technical contribution of
+the upper-bound section.  The algorithm has two layers:
+
+``A(X, r)`` (Figure 2)
+    Given a landmark set ``X ⊆ V`` (each node knows whether it is a
+    landmark) and a threshold ``r``, list every triangle whose three edges
+    lie in ``∆(X)`` — the set of vertex pairs with no common neighbour
+    inside ``X``.  The procedure works on a shrinking active set ``U``
+    (initially ``V``):
+
+    1. every node announces whether it is in ``X`` (one bit),
+    2. every node sends ``N(k) ∩ X`` to all neighbours (≤ ``|X|`` rounds) —
+       afterwards a node can test ``{j, l} ∈ ∆(X)`` for any two of *its own*
+       neighbours ``j, l``,
+    4.1. every node ``k ∈ U`` computes ``S(j, k) = {l ∈ U : {j,l} ∈ ∆(X),
+       {k,l} ∈ E}`` for each neighbour ``j ∈ U`` and ships it to ``j``
+       whenever ``|S(j, k)| ≤ r``; the receiver lists the triangles this
+       reveals,
+    4.2. a node ``j`` is *r-good* when at most ``r`` of its neighbours kept
+       ``S(j, k)`` to themselves (``|S(j,k)| > r``),
+    4.3. every r-good node ``j`` sends that set of withholding neighbours,
+       ``V(j)``, to its neighbours, which list the triangles it reveals,
+    4.4/4.5. the r-good nodes retire from ``U`` and everyone learns the new
+       membership; the loop repeats on the residual graph.
+
+    Lemma 3 shows that for a random ``X`` at least half the nodes of any
+    ``U`` are r-good (w.h.p.), so the loop terminates after ``O(log n)``
+    iterations and the total cost is ``O(|X| + r log n)`` rounds.
+
+``A3`` (Proposition 3)
+    Pick ``X`` by including each node independently with probability
+    ``1/(9 n^ε)`` and run ``A(X, r)`` with ``r = sqrt(54 n^{1+ε} log n)``,
+    aborting if the round budget ``c (n^{1-ε} + n^{(1+ε)/2} log n)`` is
+    exceeded.  Lemma 2 shows every non-heavy triangle has all three edges in
+    ``∆(X)`` with probability ≥ 2/3, so each such triangle is listed with
+    constant probability.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Set
+
+from ..congest.node import NodeContext
+from ..congest.simulator import CongestSimulator
+from ..congest.wire import id_bits
+from ..errors import RoundLimitExceededError
+from .base import TriangleAlgorithm
+from .parameters import (
+    a3_goodness_threshold,
+    a3_landmark_probability,
+    a3_round_budget,
+)
+
+
+def run_axr(simulator: CongestSimulator, goodness_threshold: float, max_iterations: Optional[int] = None) -> bool:
+    """Run Algorithm ``A(X, r)`` (Figure 2) on ``simulator``.
+
+    Preconditions: every node context's ``state["in_X"]`` has been set (the
+    landmark indicator is each node's private knowledge, exactly as the
+    paper requires).
+
+    Parameters
+    ----------
+    simulator:
+        The CONGEST simulator to drive.  Its round limit, if any, is
+        honoured: budget exhaustion propagates as
+        :class:`~repro.errors.RoundLimitExceededError` to the caller.
+    goodness_threshold:
+        The threshold ``r``.
+    max_iterations:
+        Safety cap on while-loop iterations; defaults to ``2 log2 n + 2``
+        (twice the Lemma-3 guarantee, to accommodate unlucky landmark sets
+        without looping forever).
+
+    Returns
+    -------
+    bool
+        ``True`` when the loop stopped early because no node was r-good in
+        some iteration (no further progress possible), ``False`` otherwise.
+    """
+    num_nodes = simulator.num_nodes
+    node_id_bits = id_bits(num_nodes)
+    if max_iterations is None:
+        max_iterations = 2 * max(1, math.ceil(math.log2(max(2, num_nodes)))) + 2
+
+    # Step 1: announce landmark membership.
+    def announce_landmark(context: NodeContext) -> None:
+        context.broadcast(("in_X", bool(context.state.get("in_X", False))), bits=1)
+
+    simulator.for_each_node(announce_landmark)
+    simulator.run_phase("A(X,r):1-announce-X")
+
+    def record_landmark_neighbors(context: NodeContext) -> None:
+        landmark_neighbors: Set[int] = set()
+        for sender, payload in context.received():
+            _, is_landmark = payload
+            if is_landmark:
+                landmark_neighbors.add(sender)
+        if context.state.get("in_X", False):
+            # A node's own membership also matters when it tests pairs of
+            # its neighbours: it is a common neighbour of each such pair.
+            context.state["self_is_landmark"] = True
+        context.state["landmark_neighbors"] = landmark_neighbors
+
+    simulator.for_each_node(record_landmark_neighbors)
+
+    # Step 2: ship N(k) ∩ X to every neighbour.
+    def send_landmark_neighborhood(context: NodeContext) -> None:
+        landmark_neighbors = sorted(context.state["landmark_neighbors"])
+        if context.state.get("in_X", False):
+            # From a neighbour's perspective, "N(k) ∩ X" is what it needs to
+            # evaluate ∆(X); k itself being a landmark is visible to the
+            # neighbour already (step 1), so only the neighbourhood is sent.
+            pass
+        payload_bits = max(1, len(landmark_neighbors) * node_id_bits)
+        context.broadcast(("NX", tuple(landmark_neighbors)), bits=payload_bits)
+
+    simulator.for_each_node(send_landmark_neighborhood)
+    simulator.run_phase("A(X,r):2-send-X-neighbourhoods")
+
+    def record_neighbor_landmark_sets(context: NodeContext) -> None:
+        per_neighbor: Dict[int, frozenset] = {}
+        for sender, payload in context.received():
+            _, landmark_ids = payload
+            per_neighbor[sender] = frozenset(landmark_ids)
+        context.state["neighbor_landmark_sets"] = per_neighbor
+        context.state["in_U"] = True
+        context.state["neighbors_in_U"] = set(context.neighbors)
+
+    simulator.for_each_node(record_neighbor_landmark_sets)
+
+    def pair_in_delta(context: NodeContext, j: int, l: int) -> bool:
+        """Evaluate ``{j, l} ∈ ∆(X)`` from this node's local knowledge.
+
+        Both ``j`` and ``l`` are neighbours of the evaluating node, which
+        therefore knows ``N(j) ∩ X`` and ``N(l) ∩ X`` (step 2): the pair is
+        in ``∆(X)`` exactly when those sets are disjoint.
+        """
+        sets = context.state["neighbor_landmark_sets"]
+        nj = sets.get(j, frozenset())
+        nl = sets.get(l, frozenset())
+        return not (nj & nl)
+
+    truncated_by_progress = False
+    for _ in range(max_iterations):
+        any_active = any(ctx.state["in_U"] for ctx in simulator.contexts)
+        if not any_active:
+            break
+
+        # Step 4.1 — compute and ship the S(j, k) sets.
+        def compute_and_send_s(context: NodeContext) -> None:
+            if not context.state["in_U"]:
+                return
+            active_neighbors = context.state["neighbors_in_U"]
+            own_active_neighbors = sorted(active_neighbors)
+            for j in own_active_neighbors:
+                s_set: List[int] = [
+                    l
+                    for l in own_active_neighbors
+                    if l != j and pair_in_delta(context, j, l)
+                ]
+                if len(s_set) <= goodness_threshold:
+                    payload_bits = max(1, len(s_set) * node_id_bits)
+                    context.send(j, ("S", tuple(s_set)), bits=payload_bits)
+
+        simulator.for_each_node(compute_and_send_s)
+        simulator.run_phase("A(X,r):4.1-send-S")
+
+        # Receivers list revealed triangles and compute V(j) (step 4.2).
+        def process_s_and_decide_goodness(context: NodeContext) -> None:
+            if not context.state["in_U"]:
+                context.state["is_good"] = False
+                return
+            received_from: Set[int] = set()
+            for sender, payload in context.received():
+                _, s_set = payload
+                received_from.add(sender)
+                for third in s_set:
+                    if third in context.neighbors and third != context.node_id:
+                        context.output_triangle(context.node_id, sender, third)
+            withholding = {
+                k
+                for k in context.state["neighbors_in_U"]
+                if k not in received_from
+            }
+            context.state["withholding_neighbors"] = withholding
+            context.state["is_good"] = len(withholding) <= goodness_threshold
+
+        simulator.for_each_node(process_s_and_decide_goodness)
+
+        # Step 4.3 — r-good nodes ship V(j).
+        def send_withholding_sets(context: NodeContext) -> None:
+            if not context.state["in_U"] or not context.state["is_good"]:
+                return
+            withholding = sorted(context.state["withholding_neighbors"])
+            if not withholding:
+                return
+            payload_bits = max(1, len(withholding) * node_id_bits)
+            for neighbor in context.state["neighbors_in_U"]:
+                context.send(neighbor, ("V", tuple(withholding)), bits=payload_bits)
+
+        simulator.for_each_node(send_withholding_sets)
+        simulator.run_phase("A(X,r):4.3-send-V")
+
+        def process_withholding_sets(context: NodeContext) -> None:
+            for sender, payload in context.received():
+                tag, withheld = payload
+                if tag != "V":
+                    continue
+                for third in withheld:
+                    if third in context.neighbors and third != context.node_id:
+                        context.output_triangle(context.node_id, sender, third)
+
+        simulator.for_each_node(process_withholding_sets)
+
+        # Steps 4.4 / 4.5 — good nodes retire; everyone announces membership.
+        retired_this_round = [
+            ctx.node_id
+            for ctx in simulator.contexts
+            if ctx.state["in_U"] and ctx.state["is_good"]
+        ]
+
+        def retire_and_announce(context: NodeContext) -> None:
+            if context.state["in_U"] and context.state["is_good"]:
+                context.state["in_U"] = False
+            context.broadcast(("in_U", context.state["in_U"]), bits=1)
+
+        simulator.for_each_node(retire_and_announce)
+        simulator.run_phase("A(X,r):4.5-announce-U")
+
+        def update_neighbor_membership(context: NodeContext) -> None:
+            still_active: Set[int] = set()
+            for sender, payload in context.received():
+                _, in_u = payload
+                if in_u:
+                    still_active.add(sender)
+            context.state["neighbors_in_U"] = still_active
+
+        simulator.for_each_node(update_neighbor_membership)
+
+        if not retired_this_round:
+            # No node was r-good: the configuration is now static and more
+            # iterations cannot reveal anything new (the landmark set failed
+            # Lemma 3's guarantee).  Stop rather than loop until the budget.
+            truncated_by_progress = True
+            break
+
+    return truncated_by_progress
+
+
+class LightTrianglesLister(TriangleAlgorithm):
+    """Algorithm A3 (Proposition 3): list every triangle that is not ε-heavy.
+
+    Parameters
+    ----------
+    epsilon:
+        The heaviness exponent ε.
+    budget_constant:
+        The constant ``c`` in the round budget
+        ``c (n^{1-ε} + n^{(1+ε)/2} log n)``.
+    landmark_probability:
+        Override for the landmark sampling probability (default
+        ``1/(9 n^ε)``); exposed for ablations.
+    goodness_threshold:
+        Override for ``r`` (default ``sqrt(54 n^{1+ε} log n)``).
+    enforce_budget:
+        When ``False`` the round budget is not enforced (useful for studying
+        the untruncated behaviour of unlucky runs).
+    """
+
+    name = "A3-light-listing"
+    model = "CONGEST"
+
+    def __init__(
+        self,
+        epsilon: float,
+        budget_constant: float = 8.0,
+        landmark_probability: Optional[float] = None,
+        goodness_threshold: Optional[float] = None,
+        enforce_budget: bool = True,
+    ) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+        self._epsilon = epsilon
+        self._budget_constant = budget_constant
+        self._landmark_probability = landmark_probability
+        self._goodness_threshold = goodness_threshold
+        self._enforce_budget = enforce_budget
+        self._num_nodes_hint: Optional[int] = None
+
+    def describe_parameters(self) -> Dict[str, Any]:
+        return {
+            "epsilon": self._epsilon,
+            "budget_constant": self._budget_constant,
+            "landmark_probability": self._landmark_probability,
+            "goodness_threshold": self._goodness_threshold,
+            "enforce_budget": self._enforce_budget,
+        }
+
+    def _build_simulator(self, graph, seed):  # type: ignore[override]
+        round_limit = None
+        if self._enforce_budget:
+            round_limit = a3_round_budget(
+                graph.num_nodes, self._epsilon, self._budget_constant
+            )
+        return CongestSimulator(graph, seed=seed, round_limit=round_limit)
+
+    def _execute(self, simulator: CongestSimulator) -> bool:
+        num_nodes = simulator.num_nodes
+        probability = (
+            self._landmark_probability
+            if self._landmark_probability is not None
+            else a3_landmark_probability(num_nodes, self._epsilon)
+        )
+        threshold = (
+            self._goodness_threshold
+            if self._goodness_threshold is not None
+            else a3_goodness_threshold(num_nodes, self._epsilon)
+        )
+
+        def select_landmark(context: NodeContext) -> None:
+            context.state["in_X"] = bool(context.rng.random() < probability)
+
+        simulator.for_each_node(select_landmark)
+        try:
+            return run_axr(simulator, threshold)
+        except RoundLimitExceededError:
+            # The paper's A3 stops as soon as the budget is exceeded and
+            # keeps whatever has been output so far.
+            return True
+
+
+def expected_rounds(num_nodes: int, epsilon: float) -> float:
+    """Return the Proposition-3 round bound ``n^{1-ε} + n^{(1+ε)/2} log n``."""
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+    n = float(num_nodes)
+    log_n = max(1.0, math.log2(max(2, num_nodes)))
+    return n ** (1.0 - epsilon) + n ** ((1.0 + epsilon) / 2.0) * log_n

@@ -1,0 +1,111 @@
+"""Common machinery shared by the distributed triangle algorithms.
+
+Every algorithm in this package follows the same shape: build a simulator
+for the input graph, run a phase-structured node program against the node
+contexts, collect the per-node outputs, and wrap everything in an
+:class:`~repro.core.output.AlgorithmResult`.  The small base class below
+captures that shape so the individual algorithm modules contain only the
+protocol logic from the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..congest.metrics import AlgorithmCost, ExecutionMetrics
+from ..congest.simulator import CongestSimulator
+from ..graphs.graph import Graph
+from .output import AlgorithmResult, TriangleOutput
+
+
+class TriangleAlgorithm(abc.ABC):
+    """Abstract base class for distributed triangle finding/listing algorithms.
+
+    Subclasses implement :meth:`_execute`, which receives a freshly built
+    simulator and must drive the protocol phases.  The public :meth:`run`
+    method handles seeding, output collection and result packaging.
+    """
+
+    #: Human-readable algorithm name, shown in experiment tables.
+    name: str = "abstract"
+    #: The communication model the algorithm runs in.
+    model: str = "CONGEST"
+
+    @abc.abstractmethod
+    def _execute(self, simulator: CongestSimulator) -> bool:
+        """Run the protocol on ``simulator``.
+
+        Returns
+        -------
+        bool
+            ``True`` when the run was truncated (round budget exhausted
+            before the protocol finished), ``False`` otherwise.
+        """
+
+    def _build_simulator(
+        self, graph: Graph, seed: Optional[int | np.random.Generator]
+    ) -> CongestSimulator:
+        """Build the simulator this algorithm runs on (CONGEST by default)."""
+        return CongestSimulator(graph, seed=seed, round_limit=self._round_limit())
+
+    def _round_limit(self) -> Optional[int]:
+        """Return the round budget, if the algorithm has one."""
+        return None
+
+    def describe_parameters(self) -> Dict[str, Any]:
+        """Return the algorithm parameters recorded in results."""
+        return {}
+
+    def run(
+        self, graph: Graph, seed: Optional[int | np.random.Generator] = None
+    ) -> AlgorithmResult:
+        """Run the algorithm on ``graph`` and return the packaged result."""
+        simulator = self._build_simulator(graph, seed)
+        truncated = self._execute(simulator)
+        output = TriangleOutput.from_simulator_outputs(simulator.collect_outputs())
+        return AlgorithmResult(
+            algorithm=self.name,
+            model=simulator.model_name,
+            output=output,
+            cost=AlgorithmCost.from_metrics(simulator.metrics),
+            metrics=simulator.metrics,
+            parameters=self.describe_parameters(),
+            truncated=truncated,
+        )
+
+
+def combine_results(
+    algorithm: str,
+    model: str,
+    results: list[AlgorithmResult],
+    parameters: Optional[Dict[str, Any]] = None,
+) -> AlgorithmResult:
+    """Combine sequentially-composed sub-runs into a single result.
+
+    The composite output is the node-wise union of the sub-run outputs and
+    the composite cost is the sum of the sub-run costs, which is exactly how
+    the paper composes A1/A2/A3 into the Theorem 1 and Theorem 2 algorithms
+    (the sub-algorithms run one after the other on the same network).
+    """
+    if not results:
+        raise ValueError("combine_results needs at least one sub-result")
+    merged_metrics = ExecutionMetrics()
+    merged_output = results[0].output
+    truncated = results[0].truncated
+    merged_metrics.merge(results[0].metrics)
+    for result in results[1:]:
+        merged_output = merged_output.merged_with(result.output)
+        merged_metrics.merge(result.metrics)
+        truncated = truncated or result.truncated
+    return AlgorithmResult(
+        algorithm=algorithm,
+        model=model,
+        output=merged_output,
+        cost=AlgorithmCost.from_metrics(merged_metrics),
+        metrics=merged_metrics,
+        parameters=parameters or {},
+        truncated=truncated,
+    )

@@ -1,0 +1,154 @@
+"""Distributed triangle counting (an extension beyond the paper's problems).
+
+The paper distinguishes finding, listing and — in its discussion of the
+Censor-Hillel et al. clique algorithm — *counting*.  Theorem 3 even notes
+that its lower bound makes listing provably harder than counting on the
+clique.  The paper itself does not give a CONGEST counting algorithm; this
+module provides the natural one as an extension, built entirely from the
+substrates already in the repository:
+
+1. every node counts the triangles through itself from its 2-hop view
+   (the same exchange as the naive baseline, ``Θ(d_max)`` rounds),
+2. the per-node counts are summed by a convergecast over a BFS tree
+   (``O(D)`` rounds) and divided by three (each triangle is counted at each
+   of its three vertices),
+3. optionally, the total is pushed back down the tree so every node learns
+   it (another ``O(D)`` rounds).
+
+The round complexity is ``O(d_max + D)`` — linear in the worst case, like
+the naive baseline, but the point of the extension is the exact global
+aggregate with honest round accounting, not sublinearity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..congest.aggregation import broadcast_from_root, build_bfs_tree, convergecast_sum
+from ..congest.metrics import AlgorithmCost
+from ..congest.node import NodeContext
+from ..congest.simulator import CongestSimulator
+from ..congest.wire import id_bits
+from ..errors import SimulationError
+from ..graphs.graph import Graph
+from ..types import NodeId
+
+
+@dataclass(frozen=True)
+class CountingResult:
+    """Result of a distributed triangle-counting run."""
+
+    total_triangles: int
+    per_node_counts: Dict[NodeId, int]
+    cost: AlgorithmCost
+    root: NodeId
+    disseminated: bool
+
+    @property
+    def rounds(self) -> int:
+        """The measured round complexity of the run."""
+        return self.cost.rounds
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary."""
+        return (
+            f"triangle-counting: total={self.total_triangles}, "
+            f"rounds={self.cost.rounds}, root={self.root}"
+            + (", disseminated" if self.disseminated else "")
+        )
+
+
+class TriangleCounting:
+    """Exact distributed triangle counting via 2-hop counts + convergecast.
+
+    Parameters
+    ----------
+    root:
+        The node at which the global count is aggregated.
+    disseminate:
+        When ``True`` the total is broadcast back down the BFS tree so every
+        node ends up knowing it (costs another ``O(D)`` rounds).
+    """
+
+    name = "triangle-counting"
+    model = "CONGEST"
+
+    def __init__(self, root: NodeId = 0, disseminate: bool = False) -> None:
+        self._root = root
+        self._disseminate = disseminate
+
+    def describe_parameters(self) -> Dict[str, Any]:
+        return {"root": self._root, "disseminate": self._disseminate}
+
+    def run(
+        self, graph: Graph, seed: Optional[int | np.random.Generator] = None
+    ) -> CountingResult:
+        """Run the counting protocol on ``graph`` and return the result.
+
+        Raises
+        ------
+        SimulationError
+            If the graph is disconnected (a spanning tree from the root does
+            not reach every node, so a correct global count cannot be
+            aggregated).
+        """
+        simulator = CongestSimulator(graph, seed=seed)
+
+        # Phase 1: 2-hop exchange; each node counts its own triangles.
+        def send_neighborhood(context: NodeContext) -> None:
+            neighbors = context.sorted_neighbors()
+            if not neighbors:
+                context.state["local_triangles"] = 0
+                return
+            bits = len(neighbors) * id_bits(context.num_nodes)
+            context.broadcast(("N", tuple(neighbors)), bits=bits)
+
+        simulator.for_each_node(send_neighborhood)
+        simulator.run_phase("counting:exchange-neighbourhoods")
+
+        def count_local(context: NodeContext) -> None:
+            own_neighbors = context.neighbors
+            incidences = 0
+            for sender, payload in context.received():
+                _, sender_neighbors = payload
+                for third in sender_neighbors:
+                    if third == context.node_id or third == sender:
+                        continue
+                    if third in own_neighbors:
+                        incidences += 1
+            # Each triangle {i, j, k} through this node i is seen twice in
+            # the loop above (once via j's list containing k, once via k's
+            # list containing j).
+            context.state["local_triangles"] = incidences // 2
+
+        simulator.for_each_node(count_local)
+
+        # Phase 2: aggregate over a BFS tree.
+        tree = build_bfs_tree(simulator, root=self._root)
+        if len(tree) != graph.num_nodes:
+            raise SimulationError(
+                "triangle counting requires a connected network: the BFS tree "
+                f"reached only {len(tree)} of {graph.num_nodes} nodes"
+            )
+        triple_counted = convergecast_sum(
+            simulator, lambda ctx: ctx.state["local_triangles"], root=self._root
+        )
+        total = triple_counted // 3
+
+        if self._disseminate:
+            broadcast_from_root(simulator, total, root=self._root)
+
+        per_node = {
+            ctx.node_id: int(ctx.state.get("local_triangles", 0))
+            for ctx in simulator.contexts
+        }
+        return CountingResult(
+            total_triangles=total,
+            per_node_counts=per_node,
+            cost=AlgorithmCost.from_metrics(simulator.metrics),
+            root=self._root,
+            disseminated=self._disseminate,
+        )

@@ -1,0 +1,168 @@
+"""Algorithm output and result structures.
+
+Section 2 of the paper describes the output of a finding/listing algorithm
+as an n-tuple ``T = (T_0, ..., T_{n-1})`` where ``T_i`` is the set of
+triples output by node ``i``.  The algorithm *solves finding* when the union
+intersects ``T(G)`` (and ``T(G)`` is non-empty), and *solves listing* when
+the union equals ``T(G)``.  Outputs must be one-sided: every reported triple
+must actually be a triangle of ``G``.
+
+:class:`TriangleOutput` captures the tuple; :class:`AlgorithmResult` bundles
+it with the execution cost and parameters so experiments can report both
+correctness and round complexity from a single object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional
+
+from ..congest.metrics import AlgorithmCost, ExecutionMetrics
+from ..errors import VerificationError
+from ..graphs.graph import Graph
+from ..graphs.triangles import list_triangles
+from ..types import NodeId, Triangle
+
+
+@dataclass(frozen=True)
+class TriangleOutput:
+    """The per-node output tuple ``(T_0, ..., T_{n-1})``."""
+
+    per_node: Mapping[NodeId, FrozenSet[Triangle]]
+
+    @classmethod
+    def from_simulator_outputs(
+        cls, outputs: Mapping[NodeId, Iterable[Triangle]]
+    ) -> "TriangleOutput":
+        """Build an output tuple from the simulator's collected node outputs."""
+        return cls({node: frozenset(triples) for node, triples in outputs.items()})
+
+    def union(self) -> FrozenSet[Triangle]:
+        """Return ``T``, the union of all per-node outputs."""
+        combined: set[Triangle] = set()
+        for triples in self.per_node.values():
+            combined.update(triples)
+        return frozenset(combined)
+
+    def node_output(self, node: NodeId) -> FrozenSet[Triangle]:
+        """Return ``T_i`` for a single node (empty when the node output nothing)."""
+        return self.per_node.get(node, frozenset())
+
+    def total_reported(self) -> int:
+        """Return the total number of (node, triple) report events."""
+        return sum(len(triples) for triples in self.per_node.values())
+
+    def busiest_node(self) -> Optional[NodeId]:
+        """Return ``w(T)``: the node whose output set is largest (ties: lowest id).
+
+        Returns ``None`` when every node output the empty set.  This is the
+        node the lower-bound argument of Theorem 3 focuses on.
+        """
+        best_node: Optional[NodeId] = None
+        best_size = 0
+        for node in sorted(self.per_node):
+            size = len(self.per_node[node])
+            if size > best_size:
+                best_size = size
+                best_node = node
+        return best_node
+
+    def is_empty(self) -> bool:
+        """Return ``True`` when no node output any triple."""
+        return all(not triples for triples in self.per_node.values())
+
+    def merged_with(self, other: "TriangleOutput") -> "TriangleOutput":
+        """Return the node-wise union of two output tuples.
+
+        Used when an algorithm repeats a sub-algorithm several times and the
+        final output of each node is the union over repetitions.
+        """
+        nodes = set(self.per_node) | set(other.per_node)
+        return TriangleOutput(
+            {
+                node: self.node_output(node) | other.node_output(node)
+                for node in nodes
+            }
+        )
+
+
+@dataclass
+class AlgorithmResult:
+    """Everything produced by one run of a distributed triangle algorithm."""
+
+    algorithm: str
+    model: str
+    output: TriangleOutput
+    cost: AlgorithmCost
+    metrics: ExecutionMetrics
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    truncated: bool = False
+
+    @property
+    def rounds(self) -> int:
+        """The measured round complexity of the run."""
+        return self.cost.rounds
+
+    def triangles_found(self) -> FrozenSet[Triangle]:
+        """Return the union of all reported triples."""
+        return self.output.union()
+
+    def found_any(self) -> bool:
+        """Return ``True`` when at least one triple was reported."""
+        return not self.output.is_empty()
+
+    def check_soundness(self, graph: Graph) -> None:
+        """Raise :class:`VerificationError` if any reported triple is not a triangle.
+
+        One-sidedness is an unconditional requirement of the output model
+        (Section 2), so a violation is a bug, not a statistical failure.
+        """
+        for node, triples in self.output.per_node.items():
+            for a, b, c in triples:
+                if not (graph.has_edge(a, b) and graph.has_edge(a, c) and graph.has_edge(b, c)):
+                    raise VerificationError(
+                        f"node {node} reported ({a}, {b}, {c}) which is not a "
+                        f"triangle of the input graph"
+                    )
+
+    def listing_recall(self, graph: Graph) -> float:
+        """Return the fraction of ``T(G)`` present in the reported union.
+
+        1.0 means the run solved the listing problem on this instance;
+        recall below 1.0 quantifies how far a single (un-amplified) run is
+        from full listing.
+        """
+        truth = set(list_triangles(graph))
+        if not truth:
+            return 1.0
+        return len(self.triangles_found() & truth) / len(truth)
+
+    def missed_triangles(self, graph: Graph) -> FrozenSet[Triangle]:
+        """Return the triangles of ``G`` absent from the reported union."""
+        truth = frozenset(list_triangles(graph))
+        return truth - self.triangles_found()
+
+    def solves_finding(self, graph: Graph) -> bool:
+        """Return ``True`` when this run solves the finding problem on ``graph``.
+
+        Finding requires a reported triangle when ``T(G)`` is non-empty and
+        an empty output otherwise (the "not found" answer).
+        """
+        self.check_soundness(graph)
+        truth = list_triangles(graph)
+        if truth:
+            return self.found_any()
+        return not self.found_any()
+
+    def solves_listing(self, graph: Graph) -> bool:
+        """Return ``True`` when this run solves the listing problem on ``graph``."""
+        self.check_soundness(graph)
+        return self.listing_recall(graph) == 1.0
+
+    def summary(self) -> str:
+        """Return a one-line human-readable summary of the run."""
+        return (
+            f"{self.algorithm} [{self.model}]: rounds={self.cost.rounds}, "
+            f"reported={len(self.triangles_found())} distinct triangles"
+            + (", truncated" if self.truncated else "")
+        )

@@ -1,0 +1,79 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers embedding the simulator can catch library failures with a single
+``except`` clause while still distinguishing the specific failure modes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph constructions or queries.
+
+    Examples include adding a self-loop, querying the neighbourhood of a
+    vertex that does not exist, or constructing a generator with parameters
+    outside its documented domain.
+    """
+
+
+class HashingError(ReproError):
+    """Raised for invalid hash-family parameters.
+
+    Examples include requesting 0-wise independence or a hash range that is
+    not a positive integer.
+    """
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the CONGEST simulator."""
+
+
+class BandwidthExceededError(SimulationError):
+    """Raised when a single message does not fit into one round's bandwidth.
+
+    The strict round-level engine refuses oversized messages instead of
+    silently splitting them, because silent splitting would make round
+    accounting unfaithful to the CONGEST model.  Multi-round transfers must
+    go through the phase-based transfer layer, which performs the splitting
+    explicitly and charges the correct number of rounds.
+    """
+
+
+class TopologyError(SimulationError):
+    """Raised when a node attempts to use a communication link that does not
+    exist in the current communication topology (e.g. sending to a
+    non-neighbour in the standard CONGEST model)."""
+
+
+class ProtocolError(SimulationError):
+    """Raised when a node program violates the simulator's execution
+    contract (e.g. sending twice on the same link within one round in the
+    strict engine, or accessing messages before the first round)."""
+
+
+class RoundLimitExceededError(SimulationError):
+    """Raised when an execution exceeds its configured round budget.
+
+    Algorithm A3 in the paper explicitly stops once its round budget is
+    exhausted; the simulator surfaces budget exhaustion through this error so
+    the algorithm wrapper can convert it into the paper's "stop early"
+    behaviour.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when an algorithm output fails a soundness check.
+
+    Soundness (every reported triple is a real triangle) is an unconditional
+    requirement of the paper's output model; completeness failures are
+    reported as data (miss rates), not exceptions.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised for invalid analysis or experiment-harness configurations."""

@@ -1,0 +1,346 @@
+"""Synthetic graph generators used as workloads.
+
+The paper's statements are either worst-case (Theorems 1 and 2 hold for every
+input graph) or random-graph based (Theorem 3 and Proposition 5 are proved on
+``G(n, 1/2)``).  The experiment harness therefore needs generators that cover
+the regimes the analysis distinguishes:
+
+* dense and sparse Erdős–Rényi graphs (:func:`gnp_random_graph`) —
+  the lower-bound distribution and the generic listing workload,
+* graphs with *planted* triangles (:func:`planted_triangle_graph`) — the
+  finding workload where a handful of triangles hide in an otherwise
+  triangle-free graph,
+* *heavy-edge gadgets* (:func:`heavy_edge_gadget`) — graphs where one edge is
+  shared by many triangles, exercising the ε-heavy code path (Algorithms A1
+  and A2),
+* triangle-free graphs (:func:`triangle_free_bipartite`,
+  :func:`cycle_graph`) — the "not found" branch of triangle finding and the
+  triangle-freeness certification example,
+* skewed-degree graphs (:func:`barabasi_albert_graph`) and regular graphs
+  (:func:`random_regular_graph`) — realistic and adversarial degree
+  distributions for the baselines whose cost is governed by ``d_max``.
+
+Every generator takes an explicit ``seed`` (or ``rng``) so that experiments
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+from ..types import NodeId
+from .graph import Graph
+
+
+def _resolve_rng(seed: Optional[int | np.random.Generator]) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` from a seed or pass one through."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def empty_graph(num_nodes: int) -> Graph:
+    """Return the graph on ``num_nodes`` vertices with no edges."""
+    return Graph(num_nodes)
+
+
+def complete_graph(num_nodes: int) -> Graph:
+    """Return the complete graph ``K_n``.
+
+    ``K_n`` maximises both the triangle count (every triple is a triangle)
+    and ``d_max``; it is the worst case for the naive 2-hop baseline.
+    """
+    graph = Graph(num_nodes)
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            graph.add_edge(u, v)
+    return graph
+
+
+def gnp_random_graph(
+    num_nodes: int,
+    edge_probability: float,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Graph:
+    """Return an Erdős–Rényi graph ``G(n, p)``.
+
+    Each of the ``C(n, 2)`` possible edges is included independently with
+    probability ``edge_probability``.  ``G(n, 1/2)`` is exactly the input
+    distribution of the paper's lower-bound argument (Section 4).
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(
+            f"edge_probability must lie in [0, 1], got {edge_probability}"
+        )
+    rng = _resolve_rng(seed)
+    graph = Graph(num_nodes)
+    if num_nodes < 2 or edge_probability == 0.0:
+        return graph
+    # Vectorised sampling of the upper triangle keeps generation fast for the
+    # graph sizes the simulator targets (a few hundred nodes).
+    upper_u, upper_v = np.triu_indices(num_nodes, k=1)
+    mask = rng.random(upper_u.shape[0]) < edge_probability
+    for u, v in zip(upper_u[mask].tolist(), upper_v[mask].tolist()):
+        graph.add_edge(int(u), int(v))
+    return graph
+
+
+def triangle_free_bipartite(
+    num_nodes: int,
+    edge_probability: float = 0.5,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Graph:
+    """Return a random bipartite (hence triangle-free) graph.
+
+    Vertices ``0 .. ⌈n/2⌉-1`` form one side and the rest the other; each
+    cross pair becomes an edge independently with probability
+    ``edge_probability``.  Used for the "not found" branch of triangle
+    finding and for the triangle-freeness certification example.
+    """
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError(
+            f"edge_probability must lie in [0, 1], got {edge_probability}"
+        )
+    rng = _resolve_rng(seed)
+    graph = Graph(num_nodes)
+    split = (num_nodes + 1) // 2
+    for u in range(split):
+        for v in range(split, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """Return the cycle ``C_n`` (triangle-free for ``n != 3``)."""
+    graph = Graph(num_nodes)
+    if num_nodes < 3:
+        if num_nodes == 2:
+            graph.add_edge(0, 1)
+        return graph
+    for u in range(num_nodes):
+        graph.add_edge(u, (u + 1) % num_nodes)
+    return graph
+
+
+def planted_triangle_graph(
+    num_nodes: int,
+    num_planted: int,
+    background_probability: float = 0.0,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Tuple[Graph, List[Tuple[int, int, int]]]:
+    """Return a graph with ``num_planted`` vertex-disjoint planted triangles.
+
+    The background is a triangle-free bipartite random graph over the
+    remaining structure (edges inside each planted triple are always added).
+    When ``background_probability`` is zero the planted triangles are exactly
+    the triangles of the graph, which gives the finding experiments a sparse
+    needle-in-a-haystack workload.
+
+    Returns
+    -------
+    (graph, planted):
+        The graph and the list of planted triangles in canonical order.
+    """
+    if num_planted < 0:
+        raise GraphError(f"num_planted must be non-negative, got {num_planted}")
+    if 3 * num_planted > num_nodes:
+        raise GraphError(
+            f"cannot plant {num_planted} vertex-disjoint triangles in "
+            f"{num_nodes} vertices"
+        )
+    rng = _resolve_rng(seed)
+    graph = triangle_free_bipartite(num_nodes, background_probability, rng)
+    vertices = rng.permutation(num_nodes)
+    planted: List[Tuple[int, int, int]] = []
+    for index in range(num_planted):
+        a, b, c = (
+            int(vertices[3 * index]),
+            int(vertices[3 * index + 1]),
+            int(vertices[3 * index + 2]),
+        )
+        graph.add_edge(a, b)
+        graph.add_edge(a, c)
+        graph.add_edge(b, c)
+        planted.append(tuple(sorted((a, b, c))))  # type: ignore[arg-type]
+    return graph, sorted(planted)
+
+
+def heavy_edge_gadget(
+    num_nodes: int,
+    support: int,
+    background_probability: float = 0.0,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Tuple[Graph, Tuple[int, int]]:
+    """Return a graph in which one designated edge has support ``support``.
+
+    Vertices 0 and 1 are joined by an edge, and ``support`` further vertices
+    are adjacent to both — so the edge ``{0, 1}`` lies in exactly ``support``
+    triangles (plus any created by the optional random background).  This is
+    the canonical ε-heavy workload for Algorithms A1 and A2: the edge is
+    ε-heavy whenever ``support >= n^ε``.
+
+    Returns
+    -------
+    (graph, heavy_edge):
+        The gadget graph and the designated heavy edge ``(0, 1)``.
+    """
+    if num_nodes < 2:
+        raise GraphError("heavy_edge_gadget needs at least two vertices")
+    if support < 0 or support > num_nodes - 2:
+        raise GraphError(
+            f"support must lie in [0, {num_nodes - 2}], got {support}"
+        )
+    rng = _resolve_rng(seed)
+    graph = Graph(num_nodes)
+    graph.add_edge(0, 1)
+    for apex in range(2, 2 + support):
+        graph.add_edge(0, apex)
+        graph.add_edge(1, apex)
+    if background_probability > 0.0:
+        for u in range(2, num_nodes):
+            for v in range(u + 1, num_nodes):
+                if rng.random() < background_probability:
+                    graph.add_edge(u, v)
+    return graph, (0, 1)
+
+
+def barabasi_albert_graph(
+    num_nodes: int,
+    attachment: int,
+    seed: Optional[int | np.random.Generator] = None,
+) -> Graph:
+    """Return a preferential-attachment (Barabási–Albert style) graph.
+
+    Starting from a clique on ``attachment + 1`` vertices, each new vertex
+    attaches to ``attachment`` distinct existing vertices chosen with
+    probability proportional to their degree.  The resulting skewed degree
+    distribution and naturally occurring triangles make this the "synthetic
+    social network" workload for the motif-census example.
+    """
+    if attachment < 1:
+        raise GraphError(f"attachment must be at least 1, got {attachment}")
+    if num_nodes < attachment + 1:
+        raise GraphError(
+            f"num_nodes must be at least attachment + 1 = {attachment + 1}, "
+            f"got {num_nodes}"
+        )
+    rng = _resolve_rng(seed)
+    graph = Graph(num_nodes)
+    # Seed clique.
+    for u in range(attachment + 1):
+        for v in range(u + 1, attachment + 1):
+            graph.add_edge(u, v)
+    # Repeated-endpoint list implements preferential attachment.
+    endpoints: List[int] = []
+    for u in range(attachment + 1):
+        endpoints.extend([u] * graph.degree(u))
+    for new_vertex in range(attachment + 1, num_nodes):
+        targets: set[int] = set()
+        while len(targets) < attachment:
+            choice = int(endpoints[int(rng.integers(0, len(endpoints)))])
+            targets.add(choice)
+        for target in targets:
+            graph.add_edge(new_vertex, target)
+            endpoints.append(target)
+            endpoints.append(new_vertex)
+    return graph
+
+
+def random_regular_graph(
+    num_nodes: int,
+    degree: int,
+    seed: Optional[int | np.random.Generator] = None,
+    max_attempts: int = 200,
+) -> Graph:
+    """Return a random ``degree``-regular graph via the pairing model.
+
+    The pairing (configuration) model is retried until it produces a simple
+    graph; for the moderate degrees used in experiments this succeeds within
+    a few attempts.
+
+    Raises
+    ------
+    GraphError
+        If ``num_nodes * degree`` is odd, ``degree >= num_nodes``, or no
+        simple pairing is found within ``max_attempts`` attempts.
+    """
+    if degree < 0 or degree >= num_nodes:
+        raise GraphError(
+            f"degree must lie in [0, num_nodes), got degree={degree}, "
+            f"num_nodes={num_nodes}"
+        )
+    if (num_nodes * degree) % 2 != 0:
+        raise GraphError("num_nodes * degree must be even for a regular graph")
+    rng = _resolve_rng(seed)
+    if degree == 0:
+        return Graph(num_nodes)
+    stubs = np.repeat(np.arange(num_nodes), degree)
+    for _ in range(max_attempts):
+        permuted = rng.permutation(stubs)
+        graph = Graph(num_nodes)
+        simple = True
+        for index in range(0, len(permuted), 2):
+            u, v = int(permuted[index]), int(permuted[index + 1])
+            if u == v or graph.has_edge(u, v):
+                simple = False
+                break
+            graph.add_edge(u, v)
+        if simple:
+            return graph
+    raise GraphError(
+        f"failed to generate a simple {degree}-regular graph on "
+        f"{num_nodes} vertices in {max_attempts} attempts"
+    )
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Graph:
+    """Return a lollipop graph: a clique with a path attached.
+
+    The clique supplies ``C(clique_size, 3)`` triangles concentrated in one
+    region while the path keeps the diameter large — a useful sanity
+    workload showing that the algorithms' cost is governed by congestion,
+    not diameter.
+    """
+    if clique_size < 1 or path_length < 0:
+        raise GraphError(
+            "clique_size must be >= 1 and path_length >= 0, got "
+            f"clique_size={clique_size}, path_length={path_length}"
+        )
+    num_nodes = clique_size + path_length
+    graph = Graph(num_nodes)
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            graph.add_edge(u, v)
+    previous = clique_size - 1
+    for offset in range(path_length):
+        current = clique_size + offset
+        graph.add_edge(previous, current)
+        previous = current
+    return graph
+
+
+def union_of_cliques(
+    clique_sizes: Sequence[int],
+) -> Graph:
+    """Return a disjoint union of cliques of the given sizes.
+
+    Every edge inside a clique of size ``s`` has support ``s - 2``, so by
+    picking the sizes this generator produces graphs whose triangles are all
+    heavy, all light, or a controlled mixture — the workload used by the
+    heavy/light decomposition example and the ε ablation.
+    """
+    if any(size < 1 for size in clique_sizes):
+        raise GraphError("all clique sizes must be positive")
+    num_nodes = sum(clique_sizes)
+    graph = Graph(num_nodes)
+    offset = 0
+    for size in clique_sizes:
+        for u in range(offset, offset + size):
+            for v in range(u + 1, offset + size):
+                graph.add_edge(u, v)
+        offset += size
+    return graph

@@ -1,0 +1,209 @@
+"""Centralized (ground-truth) triangle computations.
+
+The distributed algorithms in the paper are verified against a centralized
+oracle.  This module provides that oracle:
+
+* :func:`list_triangles` / :func:`count_triangles` — enumerate ``T(G)``,
+* :func:`edge_support` — the quantity ``#(e)`` from Section 2 (the number of
+  triangles containing edge ``e``),
+* :func:`heavy_triangles` / :func:`light_triangles` — the ε-heavy / non-heavy
+  partition of ``T(G)`` that drives the paper's algorithmic decomposition,
+* :func:`is_triangle_free` — the predicate motivating the problem in the
+  paper's introduction,
+* :func:`delta_set_membership` — the ``∆(X)`` filter from Section 3.2.
+
+All functions run on the global :class:`~repro.graphs.graph.Graph`; they are
+never used by node programs, only by generators, verification and analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Set
+
+from ..types import Edge, NodeId, Triangle, make_edge
+from .graph import Graph
+
+
+def iter_triangles(graph: Graph) -> Iterator[Triangle]:
+    """Iterate over all triangles of ``graph`` in canonical sorted order.
+
+    The enumeration uses the standard "forward" strategy: each triangle
+    ``{u, v, w}`` with ``u < v < w`` is reported exactly once, by scanning the
+    neighbours of ``u`` greater than ``u`` and intersecting adjacency sets.
+    The running time is ``O(sum_e min(deg))`` which is adequate for the
+    graph sizes the simulator targets.
+    """
+    for u in graph.nodes():
+        higher = [v for v in graph.sorted_neighbors(u) if v > u]
+        higher_set = set(higher)
+        for index, v in enumerate(higher):
+            v_neighbors = graph.neighbors(v)
+            for w in higher[index + 1:]:
+                if w in v_neighbors and w in higher_set:
+                    yield (u, v, w)
+
+
+def list_triangles(graph: Graph) -> List[Triangle]:
+    """Return all triangles of ``graph`` (the set ``T(G)``) as a sorted list."""
+    return list(iter_triangles(graph))
+
+
+def count_triangles(graph: Graph) -> int:
+    """Return ``|T(G)|``, the number of triangles of ``graph``."""
+    return sum(1 for _ in iter_triangles(graph))
+
+
+def is_triangle_free(graph: Graph) -> bool:
+    """Return ``True`` when ``graph`` contains no triangle."""
+    for _ in iter_triangles(graph):
+        return False
+    return True
+
+
+def triangles_through_node(graph: Graph, node: NodeId) -> List[Triangle]:
+    """Return all triangles containing ``node``.
+
+    This is the per-node output required from a *local* listing algorithm
+    (Proposition 5 setting).
+    """
+    result: List[Triangle] = []
+    neighbors = graph.sorted_neighbors(node)
+    for i, u in enumerate(neighbors):
+        u_neighbors = graph.neighbors(u)
+        for v in neighbors[i + 1:]:
+            if v in u_neighbors:
+                result.append(tuple(sorted((node, u, v))))  # type: ignore[arg-type]
+    return sorted(result)
+
+
+def edge_support(graph: Graph, edge: Edge | None = None) -> Dict[Edge, int] | int:
+    """Return ``#(e)`` for one edge, or for every edge when ``edge`` is None.
+
+    ``#(e)`` is the number of triangles containing ``e`` (Section 2),
+    equivalently the number of common neighbours of its endpoints.
+
+    Parameters
+    ----------
+    graph:
+        The input graph.
+    edge:
+        When given, return the support of that single edge as an ``int``.
+        When omitted, return a dict mapping every edge of the graph to its
+        support.
+    """
+    if edge is not None:
+        u, v = make_edge(*edge)
+        return len(graph.common_neighbors(u, v))
+    supports: Dict[Edge, int] = {}
+    for u, v in graph.edges():
+        supports[(u, v)] = len(graph.common_neighbors(u, v))
+    return supports
+
+
+def heaviness_threshold(num_nodes: int, epsilon: float) -> float:
+    """Return the ε-heaviness threshold ``n^ε`` used throughout Section 3."""
+    if not 0.0 <= epsilon <= 1.0:
+        raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
+    if num_nodes <= 0:
+        return 0.0
+    return float(num_nodes) ** epsilon
+
+
+def is_heavy_triangle(graph: Graph, triangle: Triangle, epsilon: float) -> bool:
+    """Return ``True`` when ``triangle`` is ε-heavy in ``graph``.
+
+    A triangle is ε-heavy when at least one of its edges ``e`` satisfies
+    ``#(e) >= n^ε`` (Section 3).
+    """
+    threshold = heaviness_threshold(graph.num_nodes, epsilon)
+    a, b, c = triangle
+    for u, v in ((a, b), (a, c), (b, c)):
+        if len(graph.common_neighbors(u, v)) >= threshold:
+            return True
+    return False
+
+
+def heavy_triangles(graph: Graph, epsilon: float) -> List[Triangle]:
+    """Return ``T_ε(G)``: all ε-heavy triangles of ``graph``."""
+    return [t for t in iter_triangles(graph) if is_heavy_triangle(graph, t, epsilon)]
+
+
+def light_triangles(graph: Graph, epsilon: float) -> List[Triangle]:
+    """Return ``T(G) \\ T_ε(G)``: all triangles of ``graph`` that are not ε-heavy."""
+    return [t for t in iter_triangles(graph) if not is_heavy_triangle(graph, t, epsilon)]
+
+
+def heavy_edges(graph: Graph, epsilon: float) -> List[Edge]:
+    """Return all edges ``e`` with ``#(e) >= n^ε``."""
+    threshold = heaviness_threshold(graph.num_nodes, epsilon)
+    return [
+        (u, v)
+        for u, v in graph.edges()
+        if len(graph.common_neighbors(u, v)) >= threshold
+    ]
+
+
+def delta_set_membership(graph: Graph, landmarks: Iterable[NodeId]) -> Set[Edge]:
+    """Return the pairs of the graph's edge set that belong to ``∆(X)``.
+
+    ``∆(X)`` (Section 3.2) is defined over *all* vertex pairs: the pairs with
+    no common neighbour in ``X``.  The algorithms only ever query membership
+    for pairs that are edges of the graph, so this helper restricts the
+    enumeration to ``E`` which keeps it quadratic-free.  Use
+    :func:`pair_in_delta` for arbitrary pairs.
+    """
+    landmark_set = set(landmarks)
+    members: Set[Edge] = set()
+    for u, v in graph.edges():
+        if not (graph.common_neighbors(u, v) & landmark_set):
+            members.add((u, v))
+    return members
+
+
+def pair_in_delta(graph: Graph, u: NodeId, v: NodeId, landmarks: Iterable[NodeId]) -> bool:
+    """Return ``True`` when the pair ``{u, v}`` belongs to ``∆(X)``.
+
+    The pair does not need to be an edge of the graph; ``∆(X)`` is defined on
+    ``E(V)``, all unordered vertex pairs.
+    """
+    landmark_set = set(landmarks)
+    return not (graph.common_neighbors(u, v) & landmark_set)
+
+
+def local_triangle_count(graph: Graph) -> Dict[NodeId, int]:
+    """Return, for every node, the number of triangles containing it."""
+    counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes()}
+    for a, b, c in iter_triangles(graph):
+        counts[a] += 1
+        counts[b] += 1
+        counts[c] += 1
+    return counts
+
+
+def clustering_coefficient(graph: Graph, node: NodeId) -> float:
+    """Return the local clustering coefficient of ``node``.
+
+    Used by the example applications to characterise the synthetic social
+    networks; not needed by the paper's algorithms.
+    """
+    degree = graph.degree(node)
+    if degree < 2:
+        return 0.0
+    possible = degree * (degree - 1) / 2
+    closed = len(triangles_through_node(graph, node))
+    return closed / possible
+
+
+def rivin_edge_lower_bound(num_triangles: int) -> float:
+    """Return Rivin's lower bound on the number of edges covering ``t`` triangles.
+
+    Lemma 4 of the paper (due to Rivin): a graph containing ``t`` triangles
+    has at least ``(sqrt(2)/3) * t^(2/3)`` edges.  The lower-bound experiments
+    check measured outputs against this bound.
+    """
+    if num_triangles < 0:
+        raise ValueError(f"num_triangles must be non-negative, got {num_triangles}")
+    if num_triangles == 0:
+        return 0.0
+    return (math.sqrt(2.0) / 3.0) * float(num_triangles) ** (2.0 / 3.0)

@@ -1,0 +1,17 @@
+"""Hashing substrate: k-wise independent families (Wegman–Carter).
+
+Algorithm A2 (Figure 1 of the paper) requires every node to sample a 3-wise
+independent hash function whose description fits in ``O(log n)`` bits.  This
+package provides that construction from scratch.
+"""
+
+from .field import eval_polynomial_mod, is_prime, next_prime
+from .kwise import HashFunction, KWiseIndependentFamily
+
+__all__ = [
+    "eval_polynomial_mod",
+    "is_prime",
+    "next_prime",
+    "HashFunction",
+    "KWiseIndependentFamily",
+]

@@ -1,0 +1,100 @@
+"""Prime-field arithmetic helpers for the hash-family construction.
+
+The Wegman–Carter construction of a k-wise independent hash family evaluates
+a random degree-(k-1) polynomial over a prime field GF(p) with ``p >= |X|``
+(the domain size).  This module provides the two primitives that
+construction needs:
+
+* deterministic primality testing (Miller–Rabin with a base set that is
+  exact for 64-bit integers, plus a fallback for larger inputs),
+* :func:`next_prime`, the smallest prime greater than or equal to a bound,
+* :func:`eval_polynomial_mod`, Horner evaluation of a polynomial mod p.
+
+Everything is implemented from scratch — the construction is part of the
+paper's machinery (Section 2, "Hash functions"), so we do not outsource it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+# Deterministic Miller-Rabin witnesses for n < 3,317,044,064,679,887,385,961,981.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_LIMIT = 3_317_044_064_679_887_385_961_981
+
+
+def is_prime(candidate: int) -> bool:
+    """Return ``True`` when ``candidate`` is prime.
+
+    Uses trial division for tiny inputs and deterministic Miller–Rabin for
+    everything up to ``~3.3e24`` (which covers every domain size this library
+    can realistically use).  Larger inputs fall back to Miller–Rabin with the
+    same witness set, which is still correct with overwhelming probability
+    but no longer formally deterministic.
+    """
+    if candidate < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if candidate == small:
+            return True
+        if candidate % small == 0:
+            return False
+    # Write candidate - 1 = d * 2^r with d odd.
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _DETERMINISTIC_WITNESSES:
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(lower_bound: int) -> int:
+    """Return the smallest prime ``p`` with ``p >= lower_bound``.
+
+    Raises
+    ------
+    ValueError
+        If ``lower_bound`` is not a positive integer.
+    """
+    if lower_bound < 1:
+        raise ValueError(f"lower_bound must be positive, got {lower_bound}")
+    candidate = max(2, lower_bound)
+    if candidate > 2 and candidate % 2 == 0:
+        if candidate == lower_bound and is_prime(candidate):
+            return candidate
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate
+
+
+def eval_polynomial_mod(coefficients: Sequence[int], point: int, modulus: int) -> int:
+    """Evaluate ``sum_i coefficients[i] * point^i`` modulo ``modulus``.
+
+    Coefficients are given from the constant term upwards; evaluation uses
+    Horner's rule so the cost is one multiplication and one addition per
+    coefficient.
+
+    Raises
+    ------
+    ValueError
+        If ``modulus`` is not positive or ``coefficients`` is empty.
+    """
+    if modulus <= 0:
+        raise ValueError(f"modulus must be positive, got {modulus}")
+    if not coefficients:
+        raise ValueError("coefficients must be non-empty")
+    accumulator = 0
+    for coefficient in reversed(coefficients):
+        accumulator = (accumulator * point + coefficient) % modulus
+    return accumulator

@@ -1,0 +1,68 @@
+"""Fundamental value types shared across the library.
+
+The paper works with an n-node network whose vertices are identified with the
+integers ``0 .. n-1`` (Section 2).  We mirror that convention: a *node id* is
+a plain ``int``, an *edge* is an unordered pair of node ids, and a *triangle*
+is an unordered triple.  To make unordered pairs and triples hashable and
+directly comparable we canonicalise them into sorted tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+NodeId = int
+Edge = Tuple[int, int]
+Triangle = Tuple[int, int, int]
+
+
+def make_edge(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical (sorted) representation of the edge ``{u, v}``.
+
+    Raises
+    ------
+    ValueError
+        If ``u == v`` (the graphs in the paper are simple, without
+        self-loops).
+    """
+    if u == v:
+        raise ValueError(f"an edge must join two distinct vertices, got ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+def make_triangle(u: NodeId, v: NodeId, w: NodeId) -> Triangle:
+    """Return the canonical (sorted) representation of the triple ``{u, v, w}``.
+
+    Raises
+    ------
+    ValueError
+        If the three vertices are not pairwise distinct.
+    """
+    if u == v or v == w or u == w:
+        raise ValueError(
+            f"a triangle must contain three distinct vertices, got ({u}, {v}, {w})"
+        )
+    return tuple(sorted((u, v, w)))  # type: ignore[return-value]
+
+
+def triangle_edges(triangle: Triangle) -> Tuple[Edge, Edge, Edge]:
+    """Return the three edges of ``triangle`` in canonical form.
+
+    This is the membership relation ``e ∈ t`` from Section 2 of the paper,
+    materialised as a tuple.
+    """
+    a, b, c = triangle
+    return (make_edge(a, b), make_edge(a, c), make_edge(b, c))
+
+
+def edges_of_triangles(triangles: Iterable[Triangle]) -> set[Edge]:
+    """Return ``P(R)``: the set of edges covered by a set ``R`` of triples.
+
+    This is the operator ``P`` from Section 2 of the paper, used by the
+    lower-bound argument (Lemma 5): the set of edges ``e`` such that ``e ∈ t``
+    for some triple ``t`` in ``R``.
+    """
+    covered: set[Edge] = set()
+    for triangle in triangles:
+        covered.update(triangle_edges(triangle))
+    return covered

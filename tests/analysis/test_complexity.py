@@ -1,0 +1,105 @@
+"""Tests for the Table-1 closed-form complexity predictions."""
+
+import pytest
+
+from repro.analysis import (
+    component_bounds,
+    dolev_listing_clique,
+    local_listing_lower,
+    naive_two_hop_upper,
+    predicted_round_complexities,
+    table1_row,
+    table1_rows,
+    this_paper_finding_congest,
+    this_paper_listing_congest,
+    this_paper_listing_lower,
+)
+
+
+class TestRows:
+    def test_all_paper_rows_present(self):
+        keys = {row.key for row in table1_rows()}
+        assert {
+            "dolev-listing-clique",
+            "censor-hillel-finding-clique",
+            "theorem1-finding-congest",
+            "theorem2-listing-congest",
+            "drucker-finding-broadcast-lower",
+            "pandurangan-listing-clique-lower",
+            "theorem3-listing-lower",
+            "naive-two-hop",
+        } <= keys
+
+    def test_row_lookup(self):
+        row = table1_row("theorem1-finding-congest")
+        assert row.problem == "finding"
+        assert row.model == "CONGEST"
+        assert row.implemented
+
+    def test_unknown_row_raises(self):
+        with pytest.raises(KeyError):
+            table1_row("no-such-row")
+
+    def test_implemented_flags(self):
+        by_key = {row.key: row for row in table1_rows()}
+        assert not by_key["censor-hillel-finding-clique"].implemented
+        assert not by_key["drucker-finding-broadcast-lower"].implemented
+        assert by_key["theorem2-listing-congest"].implemented
+
+    def test_predicted_round_complexities_mapping(self):
+        predictions = predicted_round_complexities(256)
+        assert set(predictions) == {row.key for row in table1_rows()}
+        assert all(value > 0 for value in predictions.values())
+
+
+class TestFormulas:
+    def test_exact_values_at_powers_of_two(self):
+        # n = 4096: log2 n = 12.
+        assert dolev_listing_clique(4096) == pytest.approx(16 * 12 ** (2 / 3))
+        assert this_paper_finding_congest(4096) == pytest.approx(256 * 12 ** (2 / 3))
+        assert this_paper_listing_congest(4096) == pytest.approx(512 * 12)
+        assert this_paper_listing_lower(4096) == pytest.approx(16 / 12)
+        assert local_listing_lower(4096) == pytest.approx(4096 / 12)
+
+    def test_naive_uses_max_degree_when_given(self):
+        assert naive_two_hop_upper(100, max_degree=12) == 12.0
+        assert naive_two_hop_upper(100) == 100.0
+
+    def test_table1_orderings_hold_asymptotically(self):
+        # The qualitative story of Table 1 at a comfortably large n:
+        n = 10**6
+        values = predicted_round_complexities(n)
+        # The clique listing algorithm beats both CONGEST algorithms.
+        assert values["dolev-listing-clique"] < values["theorem1-finding-congest"]
+        assert values["dolev-listing-clique"] < values["theorem2-listing-congest"]
+        # Finding is cheaper than listing in CONGEST.
+        assert values["theorem1-finding-congest"] < values["theorem2-listing-congest"]
+        # Both new upper bounds are sublinear, the naive baseline is not.
+        assert values["theorem1-finding-congest"] < values["naive-two-hop"]
+        assert values["theorem2-listing-congest"] < values["naive-two-hop"]
+        # The Theorem-3 lower bound sits below the Dolev upper bound (tight
+        # up to polylog factors) and above the older Pandurangan et al. bound.
+        assert values["theorem3-listing-lower"] < values["dolev-listing-clique"]
+        assert values["theorem3-listing-lower"] > values["pandurangan-listing-clique-lower"]
+
+    def test_theorem3_improves_on_pandurangan_for_all_sizes(self):
+        for n in (10**3, 10**4, 10**6, 10**9):
+            assert this_paper_listing_lower(n) > table1_row(
+                "pandurangan-listing-clique-lower"
+            ).predicted(n)
+
+
+class TestComponentBounds:
+    def test_component_bounds_shape(self):
+        bounds = component_bounds(4096, 0.5)
+        assert bounds["A1"] == pytest.approx(4096 ** 0.5)
+        assert bounds["A2"] == pytest.approx(4096 ** 0.75)
+        assert bounds["A3"] == pytest.approx(4096 ** 0.5 + 4096 ** 0.75 * 12)
+
+    def test_epsilon_tradeoff_direction(self):
+        # Raising epsilon makes A1/A2 cheaper and the A3 heavy term costlier.
+        low = component_bounds(10**6, 0.2)
+        high = component_bounds(10**6, 0.8)
+        assert high["A1"] < low["A1"]
+        assert high["A2"] < low["A2"]
+        assert high["A3"] > low["A3"]

@@ -1,0 +1,103 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.analysis import (
+    all_sound,
+    describe_workload,
+    mean_recall,
+    mean_rounds_by_size,
+    run_repeated,
+    run_single,
+    run_size_sweep,
+)
+from repro.core import NaiveTwoHopListing, TriangleListing
+from repro.errors import AnalysisError
+from repro.graphs import complete_graph, gnp_random_graph
+
+
+class TestRunSingle:
+    def test_record_fields(self):
+        graph = gnp_random_graph(15, 0.4, seed=1)
+        record = run_single("unit", NaiveTwoHopListing(), graph, seed=1, extra={"p": 0.4})
+        assert record.experiment == "unit"
+        assert record.algorithm == "naive-two-hop"
+        assert record.num_nodes == 15
+        assert record.rounds == graph.max_degree()
+        assert record.sound
+        assert record.solves_listing
+        assert record.extra == {"p": 0.4}
+
+    def test_as_dict_flattens_extra(self):
+        graph = complete_graph(5)
+        record = run_single("unit", NaiveTwoHopListing(), graph, seed=0, extra={"tag": 1})
+        flattened = record.as_dict()
+        assert flattened["tag"] == 1
+        assert flattened["num_triangles"] == 10
+
+
+class TestRunRepeated:
+    def test_records_per_seed(self):
+        records = run_repeated(
+            "repeat",
+            lambda: NaiveTwoHopListing(),
+            lambda seed: gnp_random_graph(12, 0.4, seed=seed),
+            seeds=[1, 2, 3],
+        )
+        assert len(records) == 3
+        assert {record.seed for record in records} == {1, 2, 3}
+        assert all_sound(records)
+
+    def test_needs_seeds(self):
+        with pytest.raises(AnalysisError):
+            run_repeated("x", lambda: NaiveTwoHopListing(), lambda s: complete_graph(4), seeds=[])
+
+
+class TestRunSizeSweep:
+    def test_sweep_sizes(self):
+        records = run_size_sweep(
+            "sweep",
+            lambda: NaiveTwoHopListing(),
+            lambda n, seed: gnp_random_graph(n, 0.4, seed=seed),
+            sizes=[10, 14],
+            seeds_per_size=2,
+        )
+        assert len(records) == 4
+        assert {record.num_nodes for record in records} == {10, 14}
+        means = mean_rounds_by_size(records)
+        assert set(means) == {10, 14}
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            run_size_sweep("x", lambda: NaiveTwoHopListing(), lambda n, s: complete_graph(n), sizes=[])
+        with pytest.raises(AnalysisError):
+            run_size_sweep(
+                "x",
+                lambda: NaiveTwoHopListing(),
+                lambda n, s: complete_graph(n),
+                sizes=[4],
+                seeds_per_size=0,
+            )
+
+
+class TestAggregation:
+    def test_mean_recall(self):
+        records = run_repeated(
+            "agg",
+            lambda: TriangleListing(repetitions=1, epsilon=0.5),
+            lambda seed: gnp_random_graph(14, 0.4, seed=seed),
+            seeds=[1, 2],
+        )
+        assert 0.0 <= mean_recall(records) <= 1.0
+
+    def test_mean_recall_empty(self):
+        with pytest.raises(AnalysisError):
+            mean_recall([])
+
+    def test_describe_workload(self):
+        description = describe_workload(complete_graph(5))
+        assert description["num_nodes"] == 5
+        assert description["num_edges"] == 10
+        assert description["num_triangles"] == 10
+        assert description["max_degree"] == 4
+        assert description["density"] == pytest.approx(1.0)

@@ -1,0 +1,77 @@
+"""Tests for the table renderers."""
+
+from repro.analysis import (
+    fit_power_law,
+    render_records_table,
+    render_scaling_table,
+    render_table,
+    render_table1,
+    run_single,
+)
+from repro.core import NaiveTwoHopListing
+from repro.graphs import complete_graph
+
+
+class TestRenderTable:
+    def test_columns_aligned(self):
+        text = render_table(["a", "bbbb"], [["x", "y"], ["longer", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_header_first(self):
+        text = render_table(["col"], [["value"]])
+        assert text.splitlines()[0].startswith("col")
+
+
+class TestRenderTable1:
+    def test_contains_all_references(self):
+        text = render_table1(128)
+        assert "Dolev et al. [8]" in text
+        assert "This paper (Theorem 1)" in text
+        assert "This paper (Theorem 2)" in text
+        assert "This paper (Theorem 3)" in text
+        assert "Censor-Hillel et al. [6]" in text
+
+    def test_measured_values_inserted(self):
+        text = render_table1(
+            128,
+            measured={"theorem2-listing-congest": 321},
+            notes={"theorem2-listing-congest": "G(128, 0.5)"},
+        )
+        assert "321" in text
+        assert "G(128, 0.5)" in text
+
+    def test_unmeasured_rows_show_dash_and_note(self):
+        text = render_table1(64)
+        assert "—" in text
+        assert "not implemented" in text
+
+    def test_title_mentions_n(self):
+        assert "n = 99" in render_table1(99)
+
+
+class TestRenderScalingTable:
+    def test_basic_rendering(self):
+        sizes = [10, 20, 40]
+        measured = [5.0, 9.0, 16.0]
+        reference = [float(n) ** 0.75 for n in sizes]
+        fit = fit_power_law([float(s) for s in sizes], measured)
+        text = render_scaling_table(
+            "scaling", sizes, measured, reference, fit=fit, expected_exponent=0.75
+        )
+        assert "scaling" in text
+        assert "fitted exponent" in text
+        assert "expected 0.750" in text
+
+    def test_without_fit(self):
+        text = render_scaling_table("t", [10], [1.0], [2.0])
+        assert "fitted exponent" not in text
+
+
+class TestRenderRecordsTable:
+    def test_renders_algorithm_rows(self):
+        record = run_single("t", NaiveTwoHopListing(), complete_graph(5), seed=0)
+        text = render_records_table("results", [record])
+        assert "naive-two-hop" in text
+        assert "results" in text

@@ -1,0 +1,114 @@
+"""Tests for output verification helpers."""
+
+import pytest
+
+from repro.analysis import (
+    duplication_factor,
+    local_listing_complete,
+    nodes_reporting_foreign_triangles,
+    recall_by_heaviness,
+    require_sound,
+    verify_result,
+)
+from repro.congest import AlgorithmCost, ExecutionMetrics
+from repro.core import AlgorithmResult, NaiveTwoHopListing, TriangleOutput
+from repro.errors import VerificationError
+from repro.graphs import Graph, complete_graph, gnp_random_graph, union_of_cliques
+
+
+def fabricate_result(per_node, rounds=1):
+    return AlgorithmResult(
+        algorithm="fabricated",
+        model="CONGEST",
+        output=TriangleOutput({k: frozenset(v) for k, v in per_node.items()}),
+        cost=AlgorithmCost(rounds=rounds, messages=0, bits=0, max_bits_received=0),
+        metrics=ExecutionMetrics(),
+    )
+
+
+class TestVerifyResult:
+    def test_perfect_listing(self):
+        graph = complete_graph(4)
+        result = fabricate_result({0: {(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)}})
+        report = verify_result(result, graph)
+        assert report.sound and report.solves_listing and report.solves_finding
+        assert report.recall == 1.0
+        assert not report.missed and not report.spurious
+
+    def test_partial_listing(self):
+        graph = complete_graph(4)
+        result = fabricate_result({0: {(0, 1, 2)}})
+        report = verify_result(result, graph)
+        assert report.sound
+        assert report.solves_finding
+        assert not report.solves_listing
+        assert report.recall == pytest.approx(0.25)
+        assert len(report.missed) == 3
+
+    def test_spurious_triple_detected(self):
+        graph = Graph(4, [(0, 1), (1, 2)])
+        result = fabricate_result({0: {(0, 1, 2)}})
+        report = verify_result(result, graph)
+        assert not report.sound
+        assert report.spurious == {(0, 1, 2)}
+        with pytest.raises(VerificationError):
+            require_sound(result, graph)
+
+    def test_triangle_free_graph_with_empty_output(self):
+        graph = Graph(4, [(0, 1), (1, 2)])
+        report = verify_result(fabricate_result({0: set()}), graph)
+        assert report.sound and report.solves_finding and report.solves_listing
+        assert report.recall == 1.0
+
+    def test_summary_text(self):
+        graph = complete_graph(3)
+        report = verify_result(fabricate_result({0: {(0, 1, 2)}}), graph)
+        assert "recall=1.000" in report.summary()
+
+
+class TestHeavinessBreakdown:
+    def test_recall_split(self):
+        # Union of a 6-clique (heavy triangles at threshold 3) and a
+        # 3-clique (light triangle).  Report only the light one.
+        graph = union_of_cliques([6, 3])
+        import math
+
+        epsilon = math.log(3) / math.log(9)
+        result = fabricate_result({0: {(6, 7, 8)}})
+        split = recall_by_heaviness(result, graph, epsilon)
+        assert split["light"] == 1.0
+        assert split["heavy"] == 0.0
+
+    def test_recall_split_no_triangles(self):
+        graph = Graph(4, [(0, 1)])
+        split = recall_by_heaviness(fabricate_result({0: set()}), graph, 0.5)
+        assert split == {"heavy": 1.0, "light": 1.0}
+
+
+class TestLocalListingAndDuplication:
+    def test_local_listing_complete_for_naive(self):
+        graph = gnp_random_graph(18, 0.4, seed=1)
+        result = NaiveTwoHopListing().run(graph, seed=1)
+        assert local_listing_complete(result, graph)
+
+    def test_local_listing_incomplete_when_node_misses_own_triangle(self):
+        graph = complete_graph(3)
+        result = fabricate_result({0: {(0, 1, 2)}, 1: set(), 2: set()})
+        assert not local_listing_complete(result, graph)
+
+    def test_foreign_triangle_reporting_detected(self):
+        graph = complete_graph(4)
+        result = fabricate_result({3: {(0, 1, 2)}})
+        assert nodes_reporting_foreign_triangles(result, graph) == [3]
+
+    def test_no_foreign_reporting_for_naive(self):
+        graph = gnp_random_graph(15, 0.4, seed=2)
+        result = NaiveTwoHopListing().run(graph, seed=2)
+        assert nodes_reporting_foreign_triangles(result, graph) == []
+
+    def test_duplication_factor(self):
+        result = fabricate_result({0: {(0, 1, 2)}, 1: {(0, 1, 2)}, 2: {(1, 2, 3)}})
+        assert duplication_factor(result) == pytest.approx(1.5)
+
+    def test_duplication_factor_empty(self):
+        assert duplication_factor(fabricate_result({0: set()})) == 0.0

@@ -1,0 +1,120 @@
+"""Unit tests for BFS-tree construction and convergecast aggregation."""
+
+import pytest
+
+from repro.congest import (
+    CongestSimulator,
+    broadcast_from_root,
+    build_bfs_tree,
+    convergecast_sum,
+)
+from repro.errors import SimulationError
+from repro.graphs import Graph, complete_graph, cycle_graph, gnp_random_graph, lollipop_graph
+
+
+def path_graph(length: int) -> Graph:
+    return Graph(length, [(i, i + 1) for i in range(length - 1)])
+
+
+class TestBfsTree:
+    def test_tree_spans_connected_graph(self):
+        graph = gnp_random_graph(20, 0.3, seed=3)
+        from repro.graphs import is_connected
+
+        if not is_connected(graph):
+            pytest.skip("random instance not connected")
+        simulator = CongestSimulator(graph, seed=0)
+        tree = build_bfs_tree(simulator, root=0)
+        assert len(tree) == graph.num_nodes
+        assert tree[0] is None
+
+    def test_parents_are_neighbors(self):
+        graph = gnp_random_graph(15, 0.4, seed=4)
+        simulator = CongestSimulator(graph, seed=0)
+        tree = build_bfs_tree(simulator, root=0)
+        for node, parent in tree.items():
+            if parent is not None:
+                assert graph.has_edge(node, parent)
+
+    def test_depths_are_bfs_distances_on_path(self):
+        simulator = CongestSimulator(path_graph(6), seed=0)
+        build_bfs_tree(simulator, root=0)
+        for context in simulator.contexts:
+            assert context.state["bfs_depth"] == context.node_id
+
+    def test_disconnected_component_not_reached(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        simulator = CongestSimulator(graph, seed=0)
+        tree = build_bfs_tree(simulator, root=0)
+        assert set(tree) == {0, 1, 2}
+
+    def test_rounds_proportional_to_depth(self):
+        # A path of length L needs about 2L rounds (announce + ack per level),
+        # far less than n^2; a complete graph needs O(1) levels.
+        deep = CongestSimulator(path_graph(12), seed=0)
+        build_bfs_tree(deep, root=0)
+        shallow = CongestSimulator(complete_graph(12), seed=0)
+        build_bfs_tree(shallow, root=0)
+        assert shallow.total_rounds < deep.total_rounds
+
+    def test_invalid_root(self):
+        simulator = CongestSimulator(cycle_graph(4), seed=0)
+        with pytest.raises(SimulationError):
+            build_bfs_tree(simulator, root=9)
+
+    def test_children_match_parents(self):
+        graph = lollipop_graph(5, 4)
+        simulator = CongestSimulator(graph, seed=0)
+        tree = build_bfs_tree(simulator, root=0)
+        for node, parent in tree.items():
+            if parent is not None:
+                assert node in simulator.context(parent).state["bfs_children"]
+
+
+class TestConvergecast:
+    def test_sum_of_ones_counts_nodes(self):
+        graph = gnp_random_graph(18, 0.4, seed=5)
+        from repro.graphs import is_connected
+
+        if not is_connected(graph):
+            pytest.skip("random instance not connected")
+        simulator = CongestSimulator(graph, seed=0)
+        build_bfs_tree(simulator, root=0)
+        assert convergecast_sum(simulator, lambda ctx: 1, root=0) == graph.num_nodes
+
+    def test_sum_of_identifiers(self):
+        simulator = CongestSimulator(path_graph(7), seed=0)
+        build_bfs_tree(simulator, root=0)
+        assert convergecast_sum(simulator, lambda ctx: ctx.node_id, root=0) == sum(range(7))
+
+    def test_sum_of_degrees_is_twice_edges(self):
+        graph = complete_graph(9)
+        simulator = CongestSimulator(graph, seed=0)
+        build_bfs_tree(simulator, root=0)
+        total = convergecast_sum(simulator, lambda ctx: ctx.degree, root=0)
+        assert total == 2 * graph.num_edges
+
+    def test_requires_tree(self):
+        simulator = CongestSimulator(cycle_graph(4), seed=0)
+        with pytest.raises(SimulationError):
+            convergecast_sum(simulator, lambda ctx: 1)
+
+    def test_single_node_network(self):
+        simulator = CongestSimulator(Graph(1), seed=0)
+        build_bfs_tree(simulator, root=0)
+        assert convergecast_sum(simulator, lambda ctx: 5, root=0) == 5
+
+
+class TestTreeBroadcast:
+    def test_value_reaches_every_node(self):
+        graph = lollipop_graph(4, 6)
+        simulator = CongestSimulator(graph, seed=0)
+        build_bfs_tree(simulator, root=0)
+        broadcast_from_root(simulator, 42, root=0)
+        for context in simulator.contexts:
+            assert context.state.get("broadcast_value") == 42
+
+    def test_requires_tree(self):
+        simulator = CongestSimulator(cycle_graph(4), seed=0)
+        with pytest.raises(SimulationError):
+            broadcast_from_root(simulator, 1)

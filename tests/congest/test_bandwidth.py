@@ -1,0 +1,62 @@
+"""Unit tests for the bandwidth policy."""
+
+import pytest
+
+from repro.congest import DEFAULT_BANDWIDTH, BandwidthPolicy
+from repro.errors import SimulationError
+
+
+class TestBitsPerRound:
+    def test_default_policy_is_log_n(self):
+        policy = BandwidthPolicy(minimum_bits=1)
+        assert policy.bits_per_round(1024) == 10
+        assert policy.bits_per_round(1000) == 10  # ceil(log2 1000)
+
+    def test_minimum_bits_floor(self):
+        policy = BandwidthPolicy(minimum_bits=8)
+        assert policy.bits_per_round(4) == 8
+
+    def test_log_factor_scales(self):
+        base = BandwidthPolicy(log_factor=1.0, minimum_bits=1)
+        doubled = BandwidthPolicy(log_factor=2.0, minimum_bits=1)
+        assert doubled.bits_per_round(1024) == 2 * base.bits_per_round(1024)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            BandwidthPolicy(log_factor=0.0)
+        with pytest.raises(SimulationError):
+            BandwidthPolicy(minimum_bits=0)
+
+    def test_invalid_network_size(self):
+        with pytest.raises(SimulationError):
+            DEFAULT_BANDWIDTH.bits_per_round(0)
+
+
+class TestRoundsForBits:
+    def test_zero_bits_zero_rounds(self):
+        assert DEFAULT_BANDWIDTH.rounds_for_bits(0, 100) == 0
+
+    def test_exact_multiple(self):
+        policy = BandwidthPolicy(minimum_bits=1)
+        per_round = policy.bits_per_round(256)
+        assert policy.rounds_for_bits(3 * per_round, 256) == 3
+
+    def test_ceiling_behaviour(self):
+        policy = BandwidthPolicy(minimum_bits=1)
+        per_round = policy.bits_per_round(256)
+        assert policy.rounds_for_bits(per_round + 1, 256) == 2
+
+    def test_single_bit_costs_one_round(self):
+        assert DEFAULT_BANDWIDTH.rounds_for_bits(1, 50) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            DEFAULT_BANDWIDTH.rounds_for_bits(-1, 10)
+
+    def test_one_node_id_fits_in_one_round(self):
+        # The defining property of the CONGEST model: a constant number of
+        # identifiers per round, in particular one.
+        from repro.congest import id_bits
+
+        for n in (2, 10, 100, 1000, 10_000):
+            assert DEFAULT_BANDWIDTH.rounds_for_bits(id_bits(n), n) == 1

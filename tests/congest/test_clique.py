@@ -1,0 +1,71 @@
+"""Unit tests for the CONGEST clique simulator."""
+
+import pytest
+
+from repro.congest import CliqueSimulator, CongestSimulator
+from repro.errors import TopologyError
+from repro.graphs import Graph, cycle_graph
+
+
+class TestCliqueTopology:
+    def test_model_name(self):
+        assert CliqueSimulator(cycle_graph(4)).model_name == "CONGEST clique"
+
+    def test_can_send_to_non_graph_neighbor(self):
+        simulator = CliqueSimulator(cycle_graph(6), seed=0)
+        simulator.context(0).send(3, "direct", bits=4)
+        simulator.run_phase()
+        assert simulator.context(3).received() == [(0, "direct")]
+
+    def test_cannot_send_to_self(self):
+        simulator = CliqueSimulator(cycle_graph(4), seed=0)
+        with pytest.raises(TopologyError):
+            simulator.context(0).send(0, "x", bits=1)
+
+    def test_graph_neighbors_still_reflect_input_graph(self):
+        graph = cycle_graph(5)
+        simulator = CliqueSimulator(graph, seed=0)
+        for context in simulator.contexts:
+            assert context.neighbors == graph.neighbors(context.node_id)
+            assert context.communication_targets == frozenset(
+                v for v in range(5) if v != context.node_id
+            )
+
+    def test_broadcast_still_limited_to_graph_neighbors(self):
+        # A "broadcast" in the paper's sense goes over incident edges of G;
+        # the clique only widens point-to-point addressing.
+        graph = Graph(4, [(0, 1)])
+        simulator = CliqueSimulator(graph, seed=0)
+        simulator.context(0).broadcast("hi", bits=2)
+        simulator.run_phase()
+        assert simulator.context(1).received() == [(0, "hi")]
+        assert simulator.context(2).received() == []
+
+
+class TestCliqueAccounting:
+    def test_disjoint_pairs_run_in_parallel(self):
+        simulator = CliqueSimulator(Graph(6), seed=0)
+        simulator.context(0).send(1, 5)
+        simulator.context(2).send(3, 5)
+        simulator.context(4).send(5, 5)
+        report = simulator.run_phase()
+        assert report.rounds == 1
+        assert report.messages == 3
+
+    def test_same_link_still_serialises(self):
+        simulator = CliqueSimulator(Graph(40), seed=0)
+        for _ in range(20):
+            simulator.context(0).send(1, 7)
+        report = simulator.run_phase()
+        assert report.rounds > 1
+
+    def test_clique_never_slower_than_congest_on_same_protocol(self):
+        # The same sends over the same links cost the same in both models;
+        # the clique only adds links.
+        graph = cycle_graph(8)
+        congest = CongestSimulator(graph, seed=0)
+        clique = CliqueSimulator(graph, seed=0)
+        for simulator in (congest, clique):
+            simulator.context(0).send(1, (1, 2, 3, 4))
+            simulator.context(3).send(4, (5, 6))
+        assert clique.run_phase().rounds == congest.run_phase().rounds

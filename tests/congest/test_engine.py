@@ -1,0 +1,181 @@
+"""Unit tests for the strict round-by-round engine, including cross-validation
+against the phase-based simulator."""
+
+import pytest
+
+from repro.congest import (
+    BandwidthPolicy,
+    CongestSimulator,
+    RoundEngine,
+    id_bits,
+)
+from repro.errors import (
+    BandwidthExceededError,
+    ProtocolError,
+    SimulationError,
+    TopologyError,
+)
+from repro.graphs import Graph, cycle_graph, complete_graph
+
+
+class TestStrictEngineBasics:
+    def test_empty_network_rejected(self):
+        with pytest.raises(SimulationError):
+            RoundEngine(Graph(0))
+
+    def test_program_with_no_communication_costs_zero_rounds(self):
+        engine = RoundEngine(cycle_graph(4), seed=0)
+
+        def silent(ctx):
+            ctx.state["done"] = True
+            return
+            yield  # pragma: no cover
+
+        assert engine.run(silent) == 0
+
+    def test_single_round_exchange(self):
+        engine = RoundEngine(cycle_graph(4), seed=0)
+        seen = {}
+
+        def ping_right(ctx):
+            right = (ctx.node_id + 1) % ctx.num_nodes
+            if right in ctx.neighbors:
+                ctx.send(right, ctx.node_id)
+            yield
+            seen[ctx.node_id] = ctx.received()
+
+        rounds = engine.run(ping_right)
+        assert rounds == 1
+        assert seen[1] == [(0, 0)]
+
+    def test_oversized_message_rejected(self):
+        engine = RoundEngine(cycle_graph(4), seed=0)
+
+        def too_big(ctx):
+            ctx.send(next(iter(ctx.neighbors)), "huge", bits=10_000)
+            yield
+
+        with pytest.raises(BandwidthExceededError):
+            engine.run(too_big)
+
+    def test_double_send_same_link_rejected(self):
+        engine = RoundEngine(cycle_graph(4), seed=0)
+
+        def chatty(ctx):
+            neighbor = next(iter(ctx.neighbors))
+            ctx.send(neighbor, 1)
+            ctx.send(neighbor, 2)
+            yield
+
+        with pytest.raises(ProtocolError):
+            engine.run(chatty)
+
+    def test_send_to_non_neighbor_rejected(self):
+        engine = RoundEngine(cycle_graph(5), seed=0)
+
+        def wrong(ctx):
+            if ctx.node_id == 0:
+                ctx.send(2, 1)
+            yield
+
+        with pytest.raises(TopologyError):
+            engine.run(wrong)
+
+    def test_non_terminating_program_hits_safety_limit(self):
+        engine = RoundEngine(cycle_graph(3), seed=0, max_rounds=10)
+
+        def forever(ctx):
+            while True:
+                yield
+
+        with pytest.raises(SimulationError):
+            engine.run(forever)
+
+    def test_metrics_track_messages(self):
+        engine = RoundEngine(cycle_graph(4), seed=0)
+
+        def one_ping(ctx):
+            if ctx.node_id == 0:
+                ctx.send(1, 9)
+            yield
+
+        engine.run(one_ping)
+        assert engine.metrics.total_messages == 1
+        assert engine.metrics.bits_received_per_node[1] == id_bits(4)
+
+
+class TestMultiRoundPrograms:
+    def test_flood_takes_diameter_rounds(self):
+        # Token starts at node 0 of a path and is forwarded right one hop per
+        # round: reaching the end of a k-edge path takes k rounds.
+        path = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        engine = RoundEngine(path, seed=0)
+
+        def forward_token(ctx):
+            if ctx.node_id == 0:
+                ctx.send(1, ("token", True), bits=2)
+                return
+            while True:
+                yield
+                got_token = any(
+                    payload[0] == "token" for _, payload in ctx.received()
+                )
+                if got_token:
+                    if ctx.node_id < ctx.num_nodes - 1:
+                        ctx.send(ctx.node_id + 1, ("token", True), bits=2)
+                    return
+
+        rounds = engine.run(forward_token)
+        assert rounds == 4
+
+
+class TestCrossValidationAgainstPhaseSimulator:
+    """A phase-synchronous protocol must cost the same rounds on both engines."""
+
+    def test_neighborhood_exchange_costs_match(self):
+        graph = complete_graph(6)
+        policy = BandwidthPolicy(minimum_bits=1)
+
+        # Strict engine: every node sends its neighbour list, one identifier
+        # per round per link.
+        engine = RoundEngine(graph, bandwidth=policy, seed=0)
+
+        def exchange(ctx):
+            queues = {nbr: list(sorted(ctx.neighbors)) for nbr in ctx.neighbors}
+            while any(queues.values()):
+                for nbr, queue in queues.items():
+                    if queue:
+                        ctx.send(nbr, queue.pop(0))
+                yield
+
+        strict_rounds = engine.run(exchange)
+
+        # Phase simulator: the same data enqueued in one phase.
+        simulator = CongestSimulator(graph, bandwidth=policy, seed=0)
+
+        def enqueue(ctx):
+            neighbors = sorted(ctx.neighbors)
+            bits = len(neighbors) * id_bits(ctx.num_nodes)
+            ctx.broadcast(("N", tuple(neighbors)), bits=bits)
+
+        simulator.for_each_node(enqueue)
+        phase_rounds = simulator.run_phase().rounds
+
+        assert strict_rounds == phase_rounds
+
+    def test_single_message_costs_match(self):
+        graph = cycle_graph(9)
+        policy = BandwidthPolicy(minimum_bits=1)
+
+        engine = RoundEngine(graph, bandwidth=policy, seed=0)
+
+        def send_once(ctx):
+            if ctx.node_id == 0:
+                ctx.send(1, 5)
+            yield
+
+        strict_rounds = engine.run(send_once)
+
+        simulator = CongestSimulator(graph, bandwidth=policy, seed=0)
+        simulator.context(0).send(1, 5)
+        assert strict_rounds == simulator.run_phase().rounds == 1

@@ -1,0 +1,75 @@
+"""Unit tests for execution metrics."""
+
+from repro.congest import AlgorithmCost, ExecutionMetrics, PhaseReport
+
+
+class TestExecutionMetrics:
+    def test_record_phase_accumulates(self):
+        metrics = ExecutionMetrics()
+        metrics.record_phase(PhaseReport("a", rounds=3, messages=10, bits=70, max_link_bits=21))
+        metrics.record_phase(PhaseReport("b", rounds=2, messages=5, bits=35, max_link_bits=14))
+        assert metrics.total_rounds == 5
+        assert metrics.total_messages == 15
+        assert metrics.total_bits == 105
+        assert len(metrics.phases) == 2
+
+    def test_rounds_by_phase_name_groups(self):
+        metrics = ExecutionMetrics()
+        metrics.record_phase(PhaseReport("loop", 2, 0, 0, 0))
+        metrics.record_phase(PhaseReport("loop", 3, 0, 0, 0))
+        metrics.record_phase(PhaseReport("setup", 1, 0, 0, 0))
+        assert metrics.rounds_by_phase_name() == {"loop": 5, "setup": 1}
+
+    def test_record_delivery_and_max_bits(self):
+        metrics = ExecutionMetrics()
+        metrics.record_delivery(0, 10)
+        metrics.record_delivery(1, 25)
+        metrics.record_delivery(0, 5)
+        assert metrics.bits_received_per_node == {0: 15, 1: 25}
+        assert metrics.max_bits_received() == 25
+        assert metrics.messages_received_per_node[0] == 2
+
+    def test_max_bits_received_empty(self):
+        assert ExecutionMetrics().max_bits_received() == 0
+
+    def test_merge(self):
+        first = ExecutionMetrics()
+        first.record_phase(PhaseReport("a", 4, 2, 20, 10))
+        first.record_delivery(3, 20)
+        second = ExecutionMetrics()
+        second.record_phase(PhaseReport("b", 6, 1, 10, 10))
+        second.record_delivery(3, 10)
+        second.record_delivery(4, 5)
+        first.merge(second)
+        assert first.total_rounds == 10
+        assert first.bits_received_per_node == {3: 30, 4: 5}
+
+    def test_summary_mentions_totals(self):
+        metrics = ExecutionMetrics()
+        metrics.record_phase(PhaseReport("setup", 2, 1, 8, 8))
+        summary = metrics.summary()
+        assert "total rounds:   2" in summary
+        assert "setup" in summary
+
+
+class TestAlgorithmCost:
+    def test_from_metrics(self):
+        metrics = ExecutionMetrics()
+        metrics.record_phase(PhaseReport("x", 7, 3, 42, 14))
+        metrics.record_delivery(0, 42)
+        cost = AlgorithmCost.from_metrics(metrics)
+        assert cost.rounds == 7
+        assert cost.messages == 3
+        assert cost.bits == 42
+        assert cost.max_bits_received == 42
+
+    def test_str(self):
+        cost = AlgorithmCost(rounds=1, messages=2, bits=3, max_bits_received=4)
+        assert "rounds=1" in str(cost)
+
+
+class TestPhaseReport:
+    def test_str(self):
+        report = PhaseReport("phase-x", 2, 3, 4, 5)
+        text = str(report)
+        assert "phase-x" in text and "rounds=2" in text

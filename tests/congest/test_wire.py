@@ -1,0 +1,76 @@
+"""Unit tests for on-wire bit-size accounting."""
+
+import pytest
+
+from repro.congest import default_bit_size, edge_bits, id_bits, integer_bits, triangle_bits
+from repro.errors import SimulationError
+from repro.hashing import KWiseIndependentFamily
+
+
+class TestIdBits:
+    def test_powers_of_two(self):
+        assert id_bits(2) == 1
+        assert id_bits(4) == 2
+        assert id_bits(1024) == 10
+
+    def test_non_powers(self):
+        assert id_bits(3) == 2
+        assert id_bits(100) == 7
+
+    def test_single_node_network(self):
+        assert id_bits(1) == 1
+
+    def test_invalid(self):
+        with pytest.raises(SimulationError):
+            id_bits(0)
+
+    def test_edge_and_triangle_bits(self):
+        assert edge_bits(100) == 2 * id_bits(100)
+        assert triangle_bits(100) == 3 * id_bits(100)
+
+
+class TestIntegerBits:
+    def test_small_values(self):
+        assert integer_bits(0) == 1
+        assert integer_bits(1) == 1
+        assert integer_bits(2) == 2
+        assert integer_bits(255) == 8
+
+    def test_negative_values_cost_sign_bit(self):
+        assert integer_bits(-3) == integer_bits(3) + 1
+
+
+class TestDefaultBitSize:
+    def test_none_is_one_bit(self):
+        assert default_bit_size(None, 100) == 1
+
+    def test_bool_is_one_bit(self):
+        assert default_bit_size(True, 100) == 1
+        assert default_bit_size(False, 100) == 1
+
+    def test_int_is_node_id(self):
+        assert default_bit_size(42, 100) == id_bits(100)
+
+    def test_tuple_sums_elements(self):
+        assert default_bit_size((1, 2), 100) == 2 * id_bits(100)
+        assert default_bit_size((1, 2, 3), 100) == 3 * id_bits(100)
+
+    def test_string_tags_cost_eight_bits_per_character(self):
+        assert default_bit_size("S", 100) == 8
+        assert default_bit_size("", 100) == 1
+
+    def test_tagged_tuple(self):
+        assert default_bit_size(("S", 5), 100) == 8 + id_bits(100)
+
+    def test_list_and_set(self):
+        assert default_bit_size([1, 2, 3], 64) == 3 * id_bits(64)
+        assert default_bit_size({1, 2}, 64) == 2 * id_bits(64)
+
+    def test_hash_function_uses_encoded_bits(self):
+        family = KWiseIndependentFamily(domain_size=64, range_size=4)
+        function = family.sample()
+        assert default_bit_size(function, 64) == function.encoded_bits()
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SimulationError):
+            default_bit_size(object(), 10)

@@ -1,0 +1,119 @@
+"""Tests for the Dolev et al. CONGEST-clique listing baseline."""
+
+import math
+
+import pytest
+
+from repro.core import DolevCliqueListing, dolev_round_bound
+from repro.core.clique_dolev import (
+    group_triples,
+    partition_into_groups,
+    responsible_node,
+)
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    gnp_random_graph,
+    triangle_free_bipartite,
+)
+
+
+class TestPartitioning:
+    def test_partition_is_balanced_and_monotone(self):
+        groups = partition_into_groups(30, 3)
+        assert len(groups) == 30
+        assert set(groups) == {0, 1, 2}
+        assert groups == sorted(groups)
+        sizes = [groups.count(g) for g in range(3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_partition_single_group(self):
+        assert set(partition_into_groups(10, 1)) == {0}
+
+    def test_partition_invalid(self):
+        with pytest.raises(ValueError):
+            partition_into_groups(10, 0)
+
+    def test_group_triples_count(self):
+        k = 4
+        triples = group_triples(k)
+        assert len(triples) == math.comb(k + 2, 3)
+        assert all(a <= b <= c for a, b, c in triples)
+
+    def test_responsible_node_round_robin(self):
+        assert responsible_node(0, 10) == 0
+        assert responsible_node(13, 10) == 3
+
+
+class TestDolevCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_lists_every_triangle(self, seed):
+        graph = gnp_random_graph(26, 0.4, seed=seed)
+        result = DolevCliqueListing().run(graph, seed=seed)
+        result.check_soundness(graph)
+        assert result.solves_listing(graph)
+
+    def test_complete_graph(self):
+        graph = complete_graph(12)
+        result = DolevCliqueListing().run(graph, seed=0)
+        assert result.solves_listing(graph)
+
+    def test_triangle_free(self):
+        graph = triangle_free_bipartite(20, 0.6, seed=1)
+        result = DolevCliqueListing().run(graph, seed=1)
+        assert not result.found_any()
+
+    def test_empty_graph(self):
+        result = DolevCliqueListing().run(Graph(5), seed=0)
+        assert not result.found_any()
+        assert result.rounds == 0
+
+    def test_explicit_group_count(self):
+        graph = gnp_random_graph(20, 0.4, seed=2)
+        result = DolevCliqueListing(group_count=2).run(graph, seed=2)
+        assert result.solves_listing(graph)
+        assert result.parameters["group_count"] == 2
+
+    def test_single_group_degenerates_to_one_responsible_node(self):
+        graph = gnp_random_graph(15, 0.4, seed=3)
+        result = DolevCliqueListing(group_count=1).run(graph, seed=3)
+        assert result.solves_listing(graph)
+        # With one group there is one triple, so exactly one node reports.
+        reporting = [
+            node for node, out in result.output.per_node.items() if out
+        ]
+        assert len(reporting) <= 1
+
+    def test_deterministic(self):
+        graph = gnp_random_graph(20, 0.5, seed=5)
+        first = DolevCliqueListing().run(graph, seed=1)
+        second = DolevCliqueListing().run(graph, seed=77)
+        assert first.rounds == second.rounds
+        assert first.triangles_found() == second.triangles_found()
+
+
+class TestDolevCost:
+    def test_model_is_clique(self):
+        graph = gnp_random_graph(18, 0.4, seed=1)
+        result = DolevCliqueListing().run(graph, seed=1)
+        assert result.model == "CONGEST clique"
+
+    def test_cheaper_than_naive_on_dense_graphs(self):
+        # The headline comparison of Table 1: the clique algorithm is
+        # sublinear while the naive CONGEST exchange costs d_max rounds.
+        from repro.core import NaiveTwoHopListing
+
+        graph = gnp_random_graph(60, 0.5, seed=7)
+        clique = DolevCliqueListing().run(graph, seed=7)
+        naive = NaiveTwoHopListing().run(graph, seed=7)
+        assert clique.rounds < naive.rounds
+
+    def test_round_bound_helper_monotone(self):
+        assert dolev_round_bound(1000) > dolev_round_bound(100)
+
+    def test_invalid_routing_constant(self):
+        from repro.errors import SimulationError
+
+        graph = gnp_random_graph(10, 0.4, seed=0)
+        with pytest.raises(SimulationError):
+            DolevCliqueListing(routing_constant=0).run(graph, seed=0)

@@ -1,0 +1,87 @@
+"""Tests for the distributed triangle-counting extension."""
+
+import pytest
+
+from repro.core import TriangleCounting
+from repro.errors import SimulationError
+from repro.graphs import (
+    Graph,
+    barabasi_albert_graph,
+    complete_graph,
+    count_triangles,
+    cycle_graph,
+    gnp_random_graph,
+    is_connected,
+    local_triangle_count,
+    lollipop_graph,
+)
+
+
+def connected_gnp(num_nodes: int, probability: float, seed: int) -> Graph:
+    graph = gnp_random_graph(num_nodes, probability, seed=seed)
+    if not is_connected(graph):
+        pytest.skip("random instance not connected")
+    return graph
+
+
+class TestCountingCorrectness:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_ground_truth_on_random_graphs(self, seed):
+        graph = connected_gnp(22, 0.4, seed)
+        result = TriangleCounting().run(graph, seed=seed)
+        assert result.total_triangles == count_triangles(graph)
+
+    def test_complete_graph(self):
+        graph = complete_graph(10)
+        result = TriangleCounting().run(graph, seed=0)
+        assert result.total_triangles == 120
+
+    def test_triangle_free_cycle(self):
+        result = TriangleCounting().run(cycle_graph(9), seed=0)
+        assert result.total_triangles == 0
+
+    def test_per_node_counts_match_oracle(self):
+        graph = barabasi_albert_graph(25, 3, seed=6)
+        result = TriangleCounting().run(graph, seed=6)
+        assert result.per_node_counts == local_triangle_count(graph)
+
+    def test_lollipop(self):
+        graph = lollipop_graph(6, 8)
+        result = TriangleCounting().run(graph, seed=0)
+        assert result.total_triangles == 20
+
+    def test_disconnected_graph_rejected(self):
+        graph = Graph(6, [(0, 1), (2, 3), (2, 4)])
+        with pytest.raises(SimulationError):
+            TriangleCounting().run(graph, seed=0)
+
+    def test_root_choice_does_not_change_count(self):
+        graph = connected_gnp(18, 0.4, 9)
+        first = TriangleCounting(root=0).run(graph, seed=1)
+        second = TriangleCounting(root=7).run(graph, seed=1)
+        assert first.total_triangles == second.total_triangles
+
+
+class TestCountingCostAndDissemination:
+    def test_cost_at_least_naive_exchange(self):
+        graph = connected_gnp(20, 0.5, 11)
+        result = TriangleCounting().run(graph, seed=11)
+        assert result.rounds >= graph.max_degree()
+
+    def test_dissemination_reaches_every_node(self):
+        graph = lollipop_graph(5, 5)
+        counting = TriangleCounting(disseminate=True)
+        result = counting.run(graph, seed=0)
+        assert result.disseminated
+        # Dissemination costs extra tree-depth rounds compared to the
+        # non-disseminating run.
+        plain = TriangleCounting(disseminate=False).run(graph, seed=0)
+        assert result.rounds >= plain.rounds
+
+    def test_summary_and_parameters(self):
+        graph = complete_graph(6)
+        counting = TriangleCounting(root=2, disseminate=True)
+        result = counting.run(graph, seed=0)
+        assert "total=20" in result.summary()
+        assert counting.describe_parameters() == {"root": 2, "disseminate": True}
+        assert result.root == 2

@@ -1,0 +1,92 @@
+"""Tests for the Theorem-2 triangle-listing algorithm."""
+
+import pytest
+
+from repro.core import TriangleListing, listing_epsilon_asymptotic, theorem2_round_bound
+from repro.graphs import (
+    Graph,
+    complete_graph,
+    gnp_random_graph,
+    list_triangles,
+    triangle_free_bipartite,
+    union_of_cliques,
+)
+
+
+class TestListingCorrectness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_full_recall_on_random_graphs(self, seed):
+        graph = gnp_random_graph(24, 0.4, seed=seed)
+        result = TriangleListing().run(graph, seed=seed)
+        result.check_soundness(graph)
+        assert result.solves_listing(graph)
+
+    def test_full_recall_with_asymptotic_epsilon(self):
+        graph = gnp_random_graph(30, 0.4, seed=11)
+        result = TriangleListing(epsilon=listing_epsilon_asymptotic()).run(graph, seed=11)
+        assert result.listing_recall(graph) == 1.0
+
+    def test_triangle_free_graph(self):
+        graph = triangle_free_bipartite(22, 0.5, seed=2)
+        result = TriangleListing(repetitions=1).run(graph, seed=2)
+        assert not result.found_any()
+        assert result.solves_listing(graph)
+
+    def test_mixed_heavy_light_workload(self):
+        graph = union_of_cliques([7, 4, 3, 3])
+        result = TriangleListing().run(graph, seed=4)
+        assert result.solves_listing(graph)
+
+    def test_single_repetition_is_still_sound(self):
+        graph = gnp_random_graph(26, 0.35, seed=6)
+        result = TriangleListing(repetitions=1).run(graph, seed=6)
+        result.check_soundness(graph)
+
+    def test_empty_graph(self):
+        result = TriangleListing(repetitions=1).run(Graph(4), seed=0)
+        assert not result.found_any()
+
+    def test_more_repetitions_never_lower_recall(self):
+        graph = gnp_random_graph(26, 0.35, seed=8)
+        few = TriangleListing(repetitions=1, epsilon=0.5).run(graph, seed=8)
+        many = TriangleListing(repetitions=3, epsilon=0.5).run(graph, seed=8)
+        assert many.listing_recall(graph) >= few.listing_recall(graph)
+
+
+class TestListingParametersAndCost:
+    def test_repetitions_default_is_logarithmic(self):
+        graph = gnp_random_graph(32, 0.3, seed=1)
+        params = TriangleListing().parameters_for(graph)
+        assert params.repetitions == 5  # ceil(log2 32)
+
+    def test_parameters_recorded(self):
+        graph = complete_graph(6)
+        result = TriangleListing(repetitions=1, epsilon=0.5).run(graph, seed=0)
+        assert result.parameters["epsilon"] == 0.5
+        assert result.parameters["repetitions"] == 1
+        assert result.algorithm == "Theorem2-listing"
+
+    def test_cost_grows_with_repetitions(self):
+        graph = gnp_random_graph(22, 0.4, seed=3)
+        one = TriangleListing(repetitions=1, epsilon=0.5).run(graph, seed=3)
+        three = TriangleListing(repetitions=3, epsilon=0.5).run(graph, seed=3)
+        assert three.rounds > one.rounds
+
+    def test_metrics_include_both_components(self):
+        graph = gnp_random_graph(22, 0.4, seed=3)
+        result = TriangleListing(repetitions=1, epsilon=0.5).run(graph, seed=3)
+        names = {report.name for report in result.metrics.phases}
+        assert any(name.startswith("A2:") for name in names)
+        assert any(name.startswith("A(X,r):") for name in names)
+
+    def test_round_bound_reference_curve(self):
+        assert theorem2_round_bound(16) == pytest.approx(8.0 * 4.0)
+        assert theorem2_round_bound(1000) > theorem2_round_bound(100)
+
+    def test_listing_dominates_finding_in_guarantee_strength(self):
+        # Any run that solves listing also solves finding; verify on a
+        # non-trivial instance.
+        graph = gnp_random_graph(24, 0.4, seed=9)
+        result = TriangleListing().run(graph, seed=9)
+        assert result.solves_listing(graph)
+        assert result.solves_finding(graph)

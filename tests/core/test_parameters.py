@@ -1,0 +1,155 @@
+"""Unit tests for the paper's parameter-selection formulas."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    FindingParameters,
+    ListingParameters,
+    a1_sample_cap,
+    a1_sampling_probability,
+    a2_edge_set_cap,
+    a2_hash_range,
+    a3_goodness_threshold,
+    a3_landmark_probability,
+    a3_round_budget,
+    finding_epsilon,
+    finding_epsilon_asymptotic,
+    finding_repetitions,
+    heaviness_threshold_finding,
+    heaviness_threshold_listing,
+    listing_epsilon,
+    listing_epsilon_asymptotic,
+    listing_repetitions,
+)
+from repro.errors import AnalysisError
+
+
+class TestEpsilonSelection:
+    def test_thresholds_clamped_at_one_for_small_n(self):
+        # At simulator-scale n the polylog factors dominate, so the exact
+        # formulas clamp to 1 (epsilon 0).
+        assert heaviness_threshold_listing(100) == 1.0
+        assert listing_epsilon(100) == 0.0
+
+    def test_finding_threshold_grows_eventually(self):
+        assert heaviness_threshold_finding(10**6) > 10
+        assert finding_epsilon(10**6) > 0.1
+
+    def test_listing_threshold_grows_eventually(self):
+        assert heaviness_threshold_listing(10**9) > 10
+        assert listing_epsilon(10**9) > 0.1
+
+    def test_asymptotic_epsilons(self):
+        assert finding_epsilon_asymptotic() == pytest.approx(1.0 / 3.0)
+        assert listing_epsilon_asymptotic() == pytest.approx(0.5)
+
+    def test_epsilon_always_in_unit_interval(self):
+        for n in (2, 10, 100, 10**4, 10**8, 10**12):
+            assert 0.0 <= finding_epsilon(n) <= 1.0
+            assert 0.0 <= listing_epsilon(n) <= 1.0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(AnalysisError):
+            heaviness_threshold_finding(0)
+        with pytest.raises(AnalysisError):
+            heaviness_threshold_listing(0)
+
+
+class TestComponentParameters:
+    def test_a1_probability_formula(self):
+        assert a1_sampling_probability(100, 0.5) == pytest.approx(0.1)
+        assert a1_sampling_probability(100, 0.0) == 1.0
+
+    def test_a1_cap_formula(self):
+        assert a1_sample_cap(100, 0.5) == pytest.approx(40.0)
+
+    def test_a2_hash_range(self):
+        assert a2_hash_range(100, 0.5) == 3  # floor(100^0.25)
+        assert a2_hash_range(100, 0.0) == 1
+
+    def test_a2_edge_cap(self):
+        assert a2_edge_set_cap(100, 0.5) == pytest.approx(8 + 400 / 3)
+
+    def test_a3_landmark_probability(self):
+        assert a3_landmark_probability(100, 0.5) == pytest.approx(1 / 90)
+        assert a3_landmark_probability(1, 0.0) == pytest.approx(1 / 9)
+
+    def test_a3_goodness_threshold(self):
+        expected = math.sqrt(54 * 100**1.5 * math.log2(100))
+        assert a3_goodness_threshold(100, 0.5) == pytest.approx(expected)
+
+    def test_a3_round_budget_positive_and_monotone_in_constant(self):
+        small = a3_round_budget(100, 0.5, budget_constant=1.0)
+        large = a3_round_budget(100, 0.5, budget_constant=10.0)
+        assert 0 < small < large
+
+    def test_invalid_epsilon_rejected(self):
+        for function in (
+            lambda: a1_sampling_probability(10, 2.0),
+            lambda: a1_sample_cap(10, -0.1),
+            lambda: a2_hash_range(10, 1.5),
+            lambda: a3_landmark_probability(10, -1.0),
+            lambda: a3_goodness_threshold(10, 1.1),
+            lambda: a3_round_budget(10, 2.0),
+        ):
+            with pytest.raises(AnalysisError):
+                function()
+
+    def test_invalid_budget_constant(self):
+        with pytest.raises(AnalysisError):
+            a3_round_budget(10, 0.5, budget_constant=0.0)
+
+
+class TestRepetitions:
+    def test_listing_repetitions_logarithmic(self):
+        assert listing_repetitions(2) == 1
+        assert listing_repetitions(1024) == 10
+        assert listing_repetitions(1024, repetition_constant=2.0) == 20
+
+    def test_listing_repetitions_invalid_constant(self):
+        with pytest.raises(AnalysisError):
+            listing_repetitions(10, repetition_constant=0.0)
+
+    def test_finding_repetitions_amplification(self):
+        # With single-run success 0.25, nine repetitions reach 90%.
+        assert finding_repetitions(0.9, 0.25) == 9
+        assert finding_repetitions(0.99, 0.5) == 7
+
+    def test_finding_repetitions_invalid(self):
+        with pytest.raises(AnalysisError):
+            finding_repetitions(1.5, 0.5)
+        with pytest.raises(AnalysisError):
+            finding_repetitions(0.9, 0.0)
+
+
+class TestParameterBundles:
+    def test_finding_parameters_defaults(self):
+        params = FindingParameters.for_graph_size(200)
+        assert params.num_nodes == 200
+        assert params.epsilon == finding_epsilon(200)
+        assert params.repetitions >= 1
+        assert params.round_budget > 0
+
+    def test_finding_parameters_epsilon_override(self):
+        params = FindingParameters.for_graph_size(200, epsilon=1.0 / 3.0)
+        assert params.epsilon == pytest.approx(1.0 / 3.0)
+        assert params.heaviness_threshold == pytest.approx(200 ** (1.0 / 3.0))
+
+    def test_listing_parameters_defaults(self):
+        params = ListingParameters.for_graph_size(200)
+        assert params.hash_range >= 1
+        assert params.repetitions == listing_repetitions(200)
+
+    def test_listing_parameters_epsilon_override(self):
+        params = ListingParameters.for_graph_size(256, epsilon=0.5)
+        assert params.hash_range == 4  # floor(256^0.25)
+
+    def test_explicit_repetitions_respected(self):
+        assert FindingParameters.for_graph_size(100, repetitions=3).repetitions == 3
+        assert ListingParameters.for_graph_size(100, repetitions=2).repetitions == 2
+
+    def test_invalid_epsilon_override(self):
+        with pytest.raises(AnalysisError):
+            FindingParameters.for_graph_size(100, epsilon=1.5)

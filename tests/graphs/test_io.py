@@ -1,0 +1,74 @@
+"""Unit tests for edge-list serialisation."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import (
+    Graph,
+    from_edge_list_string,
+    gnp_random_graph,
+    read_edge_list,
+    to_edge_list_string,
+    write_edge_list,
+)
+
+
+class TestRoundTrip:
+    def test_string_round_trip(self):
+        graph = gnp_random_graph(15, 0.4, seed=1)
+        text = to_edge_list_string(graph)
+        assert from_edge_list_string(text) == graph
+
+    def test_file_round_trip(self, tmp_path):
+        graph = gnp_random_graph(12, 0.5, seed=2)
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path, comments=["generator: gnp", "seed: 2"])
+        assert read_edge_list(path) == graph
+
+    def test_stream_round_trip(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        buffer = io.StringIO()
+        write_edge_list(graph, buffer)
+        buffer.seek(0)
+        assert read_edge_list(buffer) == graph
+
+    def test_isolated_vertices_preserved(self):
+        graph = Graph(6, [(0, 1)])
+        assert from_edge_list_string(to_edge_list_string(graph)).num_nodes == 6
+
+    def test_empty_graph(self):
+        graph = Graph(3)
+        assert from_edge_list_string(to_edge_list_string(graph)) == graph
+
+
+class TestFormat:
+    def test_header_present(self):
+        text = to_edge_list_string(Graph(5, [(0, 1)]))
+        assert text.startswith("# nodes 5\n")
+
+    def test_comments_written(self):
+        text = to_edge_list_string(Graph(2, [(0, 1)]), comments=["hello"])
+        assert "# hello" in text
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list_string("0 1\n")
+
+    def test_bad_header_count_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list_string("# nodes abc\n0 1\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list_string("# nodes 3\n0 1 2\n")
+
+    def test_non_integer_endpoint_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list_string("# nodes 3\na b\n")
+
+    def test_comment_and_blank_lines_skipped(self):
+        text = "# nodes 3\n# a comment\n\n0 1\n"
+        graph = from_edge_list_string(text)
+        assert graph.num_edges == 1

@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    count_triangles,
+    edge_support,
+    from_edge_list_string,
+    gnp_random_graph,
+    heavy_triangles,
+    light_triangles,
+    list_triangles,
+    local_triangle_count,
+    rivin_edge_lower_bound,
+    to_edge_list_string,
+    triangles_through_node,
+)
+from repro.types import triangle_edges
+
+
+@st.composite
+def small_graphs(draw) -> Graph:
+    """Random simple graphs on up to 12 vertices."""
+    num_nodes = draw(st.integers(min_value=1, max_value=12))
+    possible_edges = [
+        (u, v) for u in range(num_nodes) for v in range(u + 1, num_nodes)
+    ]
+    edges = draw(
+        st.lists(st.sampled_from(possible_edges), max_size=len(possible_edges))
+        if possible_edges
+        else st.just([])
+    )
+    return Graph(num_nodes, edges)
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_every_listed_triangle_has_its_three_edges(graph: Graph):
+    for triangle in list_triangles(graph):
+        for u, v in triangle_edges(triangle):
+            assert graph.has_edge(u, v)
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_triangle_count_equals_trace_formula(graph: Graph):
+    # Each triangle has exactly three vertices, so summing per-node counts
+    # triple-counts the triangles.
+    per_node = local_triangle_count(graph)
+    assert sum(per_node.values()) == 3 * count_triangles(graph)
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_edge_support_sums_to_three_times_triangles(graph: Graph):
+    supports = edge_support(graph)
+    assert sum(supports.values()) == 3 * count_triangles(graph)
+
+
+@given(small_graphs(), st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=60, deadline=None)
+def test_heavy_light_partition(graph: Graph, epsilon: float):
+    heavy = set(heavy_triangles(graph, epsilon))
+    light = set(light_triangles(graph, epsilon))
+    assert heavy | light == set(list_triangles(graph))
+    assert not (heavy & light)
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_triangles_through_node_consistent_with_global_listing(graph: Graph):
+    triangles = set(list_triangles(graph))
+    for node in graph.nodes():
+        through = set(triangles_through_node(graph, node))
+        assert through == {t for t in triangles if node in t}
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_rivin_bound_never_violated(graph: Graph):
+    assert graph.num_edges >= rivin_edge_lower_bound(count_triangles(graph)) - 1e-9
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_edge_list_serialisation_round_trips(graph: Graph):
+    assert from_edge_list_string(to_edge_list_string(graph)) == graph
+
+
+@given(st.integers(min_value=2, max_value=30), st.floats(min_value=0.0, max_value=1.0), st.integers(min_value=0, max_value=100))
+@settings(max_examples=30, deadline=None)
+def test_gnp_is_simple_and_reproducible(num_nodes, probability, seed):
+    first = gnp_random_graph(num_nodes, probability, seed=seed)
+    second = gnp_random_graph(num_nodes, probability, seed=seed)
+    assert first == second
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    assert 0 <= first.num_edges <= max_edges
+    for u, v in first.edges():
+        assert u != v
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_neighbor_symmetry(graph: Graph):
+    for node in graph.nodes():
+        for neighbor in graph.neighbors(node):
+            assert node in graph.neighbors(neighbor)

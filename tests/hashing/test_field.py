@@ -1,0 +1,77 @@
+"""Unit tests for prime-field helpers."""
+
+import pytest
+
+from repro.hashing import eval_polynomial_mod, is_prime, next_prime
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 101, 997):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 6, 9, 15, 21, 25, 27, 33, 49, 1001):
+            assert not is_prime(c)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_large_prime(self):
+        assert is_prime(2**31 - 1)  # Mersenne prime
+        assert not is_prime(2**32 - 1)
+
+    def test_carmichael_numbers_rejected(self):
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(carmichael)
+
+
+class TestNextPrime:
+    def test_exact_prime_returned(self):
+        assert next_prime(7) == 7
+        assert next_prime(2) == 2
+
+    def test_next_after_composite(self):
+        assert next_prime(8) == 11
+        assert next_prime(90) == 97
+
+    def test_one_maps_to_two(self):
+        assert next_prime(1) == 2
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            next_prime(0)
+
+    def test_result_is_always_prime_and_at_least_bound(self):
+        for bound in (10, 100, 1000, 12345):
+            p = next_prime(bound)
+            assert p >= bound
+            assert is_prime(p)
+
+
+class TestPolynomialEvaluation:
+    def test_constant(self):
+        assert eval_polynomial_mod([5], 3, 7) == 5
+
+    def test_linear(self):
+        # 2 + 3x mod 7 at x = 4 -> 14 mod 7 = 0
+        assert eval_polynomial_mod([2, 3], 4, 7) == 0
+
+    def test_quadratic(self):
+        # 1 + 2x + 3x^2 mod 11 at x = 5 -> 1 + 10 + 75 = 86 mod 11 = 9
+        assert eval_polynomial_mod([1, 2, 3], 5, 11) == 9
+
+    def test_matches_naive_evaluation(self):
+        coefficients = [3, 1, 4, 1, 5]
+        modulus = 101
+        for point in range(0, 20):
+            expected = sum(c * point**i for i, c in enumerate(coefficients)) % modulus
+            assert eval_polynomial_mod(coefficients, point, modulus) == expected
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            eval_polynomial_mod([1], 2, 0)
+
+    def test_empty_coefficients(self):
+        with pytest.raises(ValueError):
+            eval_polynomial_mod([], 2, 7)

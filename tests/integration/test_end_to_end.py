@@ -1,0 +1,141 @@
+"""End-to-end integration tests: full algorithms on varied workloads.
+
+These tests exercise the whole stack — generators, simulator, algorithms,
+verification, lower-bound accounting — on single instances, checking the
+cross-cutting invariants the paper's story relies on.
+"""
+
+import pytest
+
+from repro.analysis import (
+    nodes_reporting_foreign_triangles,
+    predicted_round_complexities,
+    render_table1,
+    verify_result,
+)
+from repro.core import (
+    DolevCliqueListing,
+    NaiveTwoHopListing,
+    TriangleFinding,
+    TriangleListing,
+    account_information,
+    theorem3_round_lower_bound,
+)
+from repro.graphs import (
+    barabasi_albert_graph,
+    count_triangles,
+    gnp_random_graph,
+    lollipop_graph,
+    union_of_cliques,
+)
+
+ALL_LISTING_ALGORITHMS = [
+    ("theorem2", lambda: TriangleListing(repetitions=2, epsilon=0.5)),
+    ("naive", lambda: NaiveTwoHopListing()),
+    ("dolev", lambda: DolevCliqueListing()),
+]
+
+
+class TestAllListersAgreeWithGroundTruth:
+    @pytest.mark.parametrize("name,factory", ALL_LISTING_ALGORITHMS)
+    def test_on_random_graph(self, name, factory, medium_dense_graph):
+        result = factory().run(medium_dense_graph, seed=13)
+        report = verify_result(result, medium_dense_graph)
+        assert report.sound
+        if name != "theorem2":
+            # The deterministic algorithms must achieve full recall;
+            # Theorem 2 with two repetitions virtually always does too but
+            # its guarantee is probabilistic, so assert a high floor instead.
+            assert report.solves_listing
+        else:
+            assert report.recall >= 0.95
+
+    @pytest.mark.parametrize("name,factory", ALL_LISTING_ALGORITHMS)
+    def test_on_social_network_style_graph(self, name, factory):
+        graph = barabasi_albert_graph(40, 4, seed=21)
+        result = factory().run(graph, seed=21)
+        report = verify_result(result, graph)
+        assert report.sound
+        assert report.recall >= 0.9
+
+    @pytest.mark.parametrize("name,factory", ALL_LISTING_ALGORITHMS)
+    def test_on_clique_union(self, name, factory):
+        graph = union_of_cliques([8, 5, 3, 3])
+        result = factory().run(graph, seed=2)
+        report = verify_result(result, graph)
+        assert report.sound
+        assert report.recall >= 0.9
+
+
+class TestLocalityContrast:
+    def test_sublinear_listing_requires_foreign_reporting(self):
+        # The paper's discussion of Proposition 5: a listing algorithm that
+        # beats the local-listing floor must have some node output a
+        # triangle it does not belong to.  Verify our Theorem-2
+        # implementation indeed uses that mechanism, while the naive
+        # baseline never does.
+        graph = gnp_random_graph(36, 0.5, seed=17)
+        sublinear = TriangleListing(repetitions=2, epsilon=0.5).run(graph, seed=17)
+        naive = NaiveTwoHopListing().run(graph, seed=17)
+        assert nodes_reporting_foreign_triangles(sublinear, graph)
+        assert not nodes_reporting_foreign_triangles(naive, graph)
+
+    def test_diameter_does_not_drive_cost(self):
+        # A lollipop graph has large diameter but its triangles sit in the
+        # clique head; the triangle algorithms' cost is governed by
+        # congestion (degree), not by the diameter, unlike global problems.
+        graph = lollipop_graph(12, 20)
+        result = TriangleListing(repetitions=2, epsilon=0.5).run(graph, seed=3)
+        assert result.solves_listing(graph)
+
+
+class TestLowerBoundConsistency:
+    def test_every_listing_run_respects_its_information_floor(self):
+        graph = gnp_random_graph(32, 0.5, seed=23)
+        for factory in (
+            lambda: TriangleListing(repetitions=1, epsilon=0.5),
+            lambda: NaiveTwoHopListing(),
+            lambda: DolevCliqueListing(),
+        ):
+            result = factory().run(graph, seed=23)
+            accounting = account_information(result, graph)
+            assert accounting.rivin_holds
+            assert accounting.respects_floor
+
+    def test_closed_form_floor_below_measured_rounds(self):
+        graph = gnp_random_graph(32, 0.5, seed=29)
+        floor = theorem3_round_lower_bound(graph.num_nodes)
+        for factory in (lambda: DolevCliqueListing(), lambda: NaiveTwoHopListing()):
+            result = factory().run(graph, seed=29)
+            assert result.rounds >= floor
+
+
+class TestReportingPipeline:
+    def test_table1_report_builds_from_measured_runs(self):
+        graph = gnp_random_graph(30, 0.5, seed=31)
+        listing = TriangleListing(repetitions=1, epsilon=0.5).run(graph, seed=31)
+        naive = NaiveTwoHopListing().run(graph, seed=31)
+        dolev = DolevCliqueListing().run(graph, seed=31)
+        text = render_table1(
+            graph.num_nodes,
+            measured={
+                "theorem2-listing-congest": listing.rounds,
+                "naive-two-hop": naive.rounds,
+                "dolev-listing-clique": dolev.rounds,
+            },
+        )
+        assert str(listing.rounds) in text
+        assert str(dolev.rounds) in text
+
+    def test_predictions_available_for_every_row(self):
+        predictions = predicted_round_complexities(30)
+        assert len(predictions) >= 8
+
+    def test_finding_and_listing_consistent_on_same_instance(self):
+        graph = gnp_random_graph(28, 0.4, seed=37)
+        assert count_triangles(graph) > 0
+        finding = TriangleFinding(repetitions=2, epsilon=1 / 3).run(graph, seed=37)
+        listing = TriangleListing(repetitions=2, epsilon=0.5).run(graph, seed=37)
+        assert finding.found_any()
+        assert finding.triangles_found() <= set(listing.triangles_found()) | finding.triangles_found()
+        assert listing.rounds >= 0 and finding.rounds >= 0

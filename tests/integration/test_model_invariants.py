@@ -1,0 +1,98 @@
+"""Property-based integration tests: model-level invariants under random inputs.
+
+Hypothesis drives random workloads through the full algorithms and asserts
+the invariants that must hold for *every* execution (soundness, budget
+discipline, metric consistency), as opposed to the probabilistic guarantees
+covered by the statistical tests.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    DolevCliqueListing,
+    HeavyHashingLister,
+    HeavySamplingFinder,
+    LightTrianglesLister,
+    NaiveTwoHopListing,
+    TriangleListing,
+)
+from repro.graphs import Graph, gnp_random_graph, list_triangles
+
+
+graph_params = st.tuples(
+    st.integers(min_value=2, max_value=18),  # nodes
+    st.floats(min_value=0.0, max_value=0.8),  # density
+    st.integers(min_value=0, max_value=1000),  # seed
+)
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_graph(params) -> Graph:
+    num_nodes, probability, seed = params
+    return gnp_random_graph(num_nodes, probability, seed=seed)
+
+
+@given(graph_params, st.floats(min_value=0.0, max_value=1.0))
+@settings(**COMMON_SETTINGS)
+def test_a1_soundness_for_any_epsilon(params, epsilon):
+    graph = build_graph(params)
+    result = HeavySamplingFinder(epsilon=epsilon).run(graph, seed=params[2])
+    result.check_soundness(graph)
+
+
+@given(graph_params, st.floats(min_value=0.0, max_value=1.0))
+@settings(**COMMON_SETTINGS)
+def test_a2_soundness_for_any_epsilon(params, epsilon):
+    graph = build_graph(params)
+    result = HeavyHashingLister(epsilon=epsilon).run(graph, seed=params[2])
+    result.check_soundness(graph)
+
+
+@given(graph_params, st.floats(min_value=0.0, max_value=1.0))
+@settings(**COMMON_SETTINGS)
+def test_a3_soundness_and_budget(params, epsilon):
+    graph = build_graph(params)
+    algorithm = LightTrianglesLister(epsilon=epsilon, budget_constant=8.0)
+    result = algorithm.run(graph, seed=params[2])
+    result.check_soundness(graph)
+    from repro.core import a3_round_budget
+
+    assert result.truncated or result.rounds <= a3_round_budget(
+        graph.num_nodes, epsilon, 8.0
+    )
+
+
+@given(graph_params)
+@settings(**COMMON_SETTINGS)
+def test_naive_baseline_is_exact_on_everything(params):
+    graph = build_graph(params)
+    result = NaiveTwoHopListing().run(graph, seed=0)
+    assert result.triangles_found() == set(list_triangles(graph))
+    assert result.rounds == graph.max_degree()
+
+
+@given(graph_params)
+@settings(**COMMON_SETTINGS)
+def test_dolev_clique_is_exact_on_everything(params):
+    graph = build_graph(params)
+    result = DolevCliqueListing().run(graph, seed=0)
+    assert result.triangles_found() == set(list_triangles(graph))
+
+
+@given(graph_params)
+@settings(**COMMON_SETTINGS)
+def test_theorem2_listing_invariants(params):
+    graph = build_graph(params)
+    result = TriangleListing(repetitions=1, epsilon=0.5).run(graph, seed=params[2])
+    result.check_soundness(graph)
+    # Cost metrics are internally consistent.
+    assert result.cost.rounds == result.metrics.total_rounds
+    assert result.cost.messages == result.metrics.total_messages
+    assert result.cost.bits == result.metrics.total_bits
+    # Every reported triangle is attributed to at least one node.
+    assert result.output.total_reported() >= len(result.triangles_found())

@@ -1,0 +1,61 @@
+"""Tests for the fundamental value types."""
+
+import pytest
+
+from repro.types import (
+    edges_of_triangles,
+    make_edge,
+    make_triangle,
+    triangle_edges,
+)
+
+
+class TestMakeEdge:
+    def test_canonical_order(self):
+        assert make_edge(3, 1) == (1, 3)
+        assert make_edge(1, 3) == (1, 3)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            make_edge(2, 2)
+
+
+class TestMakeTriangle:
+    def test_canonical_order(self):
+        assert make_triangle(5, 1, 3) == (1, 3, 5)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            make_triangle(1, 1, 2)
+        with pytest.raises(ValueError):
+            make_triangle(1, 2, 2)
+        with pytest.raises(ValueError):
+            make_triangle(3, 2, 3)
+
+
+class TestTriangleEdges:
+    def test_three_edges(self):
+        assert triangle_edges((1, 3, 5)) == ((1, 3), (1, 5), (3, 5))
+
+    def test_edges_of_triangles_union(self):
+        cover = edges_of_triangles([(0, 1, 2), (1, 2, 3)])
+        assert cover == {(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)}
+
+    def test_edges_of_triangles_empty(self):
+        assert edges_of_triangles([]) == set()
+
+
+class TestPackageSurface:
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__
+        assert isinstance(repro.__version__, str)
+
+    def test_error_hierarchy(self):
+        import repro
+
+        assert issubclass(repro.GraphError, repro.ReproError)
+        assert issubclass(repro.BandwidthExceededError, repro.SimulationError)
+        assert issubclass(repro.RoundLimitExceededError, repro.SimulationError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
