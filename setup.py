@@ -1,0 +1,11 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables the legacy
+``setup.py develop`` editable-install path (``pip install -e . --no-use-pep517
+--no-build-isolation``) on toolchains too old to build PEP 660 editable
+wheels offline.
+"""
+
+from setuptools import setup
+
+setup()

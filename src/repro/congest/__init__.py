@@ -8,6 +8,12 @@ The simulator provides two complementary execution models:
   execution of generator node programs; used for cross-validation and
   pedagogy.
 
+Both engines are thin policy layers over one execution kernel,
+:class:`~repro.congest.runtime.CongestRuntime`, whose vectorized message
+plane (:class:`~repro.congest.runtime.MessagePlane`) batches sends into
+numpy arrays and performs delivery fan-out and traffic aggregation with
+``np.bincount``-style reductions instead of per-message Python loops.
+
 The clique variant (:class:`~repro.congest.clique.CliqueSimulator`) and the
 Lenzen routing primitive (:class:`~repro.congest.routing.LenzenRouter`)
 support the CONGEST-clique baselines and lower-bound experiments.
@@ -21,6 +27,7 @@ from .engine import NodeProgram, RoundContext, RoundEngine
 from .metrics import AlgorithmCost, ExecutionMetrics, PhaseReport
 from .node import NodeContext
 from .routing import LenzenRouter, RoutingRequest
+from .runtime import CongestRuntime, MessagePlane, PhaseTraffic
 from .simulator import CongestSimulator
 from .wire import default_bit_size, edge_bits, id_bits, integer_bits, triangle_bits
 
@@ -41,6 +48,9 @@ __all__ = [
     "NodeContext",
     "LenzenRouter",
     "RoutingRequest",
+    "CongestRuntime",
+    "MessagePlane",
+    "PhaseTraffic",
     "CongestSimulator",
     "default_bit_size",
     "edge_bits",

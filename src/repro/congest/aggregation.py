@@ -72,7 +72,9 @@ def build_bfs_tree(
 
         def announce(context: NodeContext) -> None:
             if context.state.get("bfs_frontier"):
-                context.broadcast(("bfs", context.node_id), bits=id_bits(context.num_nodes))
+                context.broadcast_bits(
+                    ("bfs", context.node_id), bits=id_bits(context.num_nodes)
+                )
 
         simulator.for_each_node(announce)
         simulator.run_phase(f"bfs:level-{depth}")
@@ -211,9 +213,13 @@ def broadcast_from_root(
             if "broadcast_value" not in context.state:
                 return
             payload_value = context.state["broadcast_value"]
-            for child in context.state.get("bfs_children", set()):
-                context.send(
-                    child, ("bc", payload_value), bits=max(1, integer_bits(payload_value))
+            children = sorted(context.state.get("bfs_children", set()))
+            if children:
+                payload = ("bc", payload_value)
+                context.bulk_send(
+                    children,
+                    [payload] * len(children),
+                    bits=max(1, integer_bits(payload_value)),
                 )
 
         simulator.for_each_node(push_down)

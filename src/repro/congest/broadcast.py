@@ -14,19 +14,22 @@ broadcast constraint taken literally: within one phase, the rounds charged
 to a node are determined by the *total* bits it broadcasts (every neighbour
 receives every message), and the phase cost is the maximum over nodes rather
 than over directed links.
+
+On the shared runtime kernel this is a pure policy override: delivery,
+metrics and round-limit enforcement come from
+:class:`~repro.congest.runtime.CongestRuntime`; only
+:meth:`BroadcastCongestSimulator._phase_cost` differs, validating the
+broadcast discipline and charging per source node.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
-from ..errors import RoundLimitExceededError, SimulationError, TopologyError
-from ..graphs.graph import Graph
+from ..errors import TopologyError
 from ..types import NodeId
-from .metrics import PhaseReport
-from .node import NodeContext
+from .runtime import PhaseTraffic
 from .simulator import CongestSimulator
-from .wire import default_bit_size
 
 
 class BroadcastCongestSimulator(CongestSimulator):
@@ -41,8 +44,8 @@ class BroadcastCongestSimulator(CongestSimulator):
     nodes.
     """
 
-    def run_phase(self, name: str = "phase", extra_rounds: int = 0) -> PhaseReport:
-        """Deliver queued broadcasts and charge broadcast-model rounds.
+    def _phase_cost(self, traffic: PhaseTraffic) -> Tuple[int, int]:
+        """Validate the broadcast discipline and charge per-node rounds.
 
         Raises
         ------
@@ -51,76 +54,47 @@ class BroadcastCongestSimulator(CongestSimulator):
             neighbours (i.e. used point-to-point addressing), which the
             broadcast model does not allow.
         """
-        per_node_bits: Dict[NodeId, int] = {}
-        deliveries: Dict[NodeId, List[Tuple[NodeId, Any]]] = {
-            context.node_id: [] for context in self._contexts
-        }
-        total_messages = 0
-        total_bits = 0
-        received_bits: Dict[NodeId, int] = {}
-        received_msgs: Dict[NodeId, int] = {}
+        node_bits = self._check_broadcast_discipline(traffic) if traffic.count else 0
+        rounds = self.bandwidth.rounds_for_bits(node_bits, self.num_nodes)
+        return rounds, node_bits
 
-        for context in self._contexts:
-            outgoing = context._drain_outgoing()
-            if not outgoing:
-                continue
-            per_destination: Dict[NodeId, List[Tuple[Any, Optional[int]]]] = {}
-            for destination, payload, bits in outgoing:
-                per_destination.setdefault(destination, []).append((payload, bits))
-            neighbors = context.neighbors
-            reference = per_destination.get(next(iter(neighbors)), []) if neighbors else []
+    def _check_broadcast_discipline(self, traffic: PhaseTraffic) -> int:
+        """Require every sender's per-neighbour message sequences to agree.
+
+        Returns the maximum per-node broadcast load in bits, counting each
+        broadcast message once (every neighbour hears the same transmission,
+        so copies are not cumulative the way per-link sends are).
+        """
+        per_source: Dict[NodeId, Dict[NodeId, List[Tuple[Any, int]]]] = {}
+        src_list = traffic.src.tolist()
+        dst_list = traffic.dst.tolist()
+        bits_list = traffic.bits.tolist()
+        payloads = traffic.payloads
+        for index, source in enumerate(src_list):
+            per_source.setdefault(source, {}).setdefault(dst_list[index], []).append(
+                (payloads[index], bits_list[index])
+            )
+        max_node_bits = 0
+        for source, per_destination in per_source.items():
+            neighbors = self._contexts[source].neighbors
+            reference = (
+                per_destination.get(next(iter(neighbors)), []) if neighbors else []
+            )
             for neighbor in neighbors:
                 if per_destination.get(neighbor, []) != reference:
                     raise TopologyError(
-                        f"node {context.node_id} sent per-link messages; the "
+                        f"node {source} sent per-link messages; the "
                         "broadcast CONGEST model only supports broadcast()"
                     )
             if set(per_destination) - set(neighbors):
                 raise TopologyError(
-                    f"node {context.node_id} addressed a non-neighbour in the "
+                    f"node {source} addressed a non-neighbour in the "
                     "broadcast CONGEST model"
                 )
-            node_bits = sum(
-                size if size is not None else default_bit_size(payload, self.num_nodes)
-                for payload, size in reference
+            max_node_bits = max(
+                max_node_bits, sum(size for _, size in reference)
             )
-            per_node_bits[context.node_id] = node_bits
-            for neighbor in neighbors:
-                for payload, size in reference:
-                    actual = (
-                        size
-                        if size is not None
-                        else default_bit_size(payload, self.num_nodes)
-                    )
-                    deliveries[neighbor].append((context.node_id, payload))
-                    total_messages += 1
-                    total_bits += actual
-                    received_bits[neighbor] = received_bits.get(neighbor, 0) + actual
-                    received_msgs[neighbor] = received_msgs.get(neighbor, 0) + 1
-
-        max_node_bits = max(per_node_bits.values()) if per_node_bits else 0
-        rounds = self._bandwidth.rounds_for_bits(max_node_bits, self.num_nodes)
-        rounds += extra_rounds
-
-        report = PhaseReport(
-            name=name,
-            rounds=rounds,
-            messages=total_messages,
-            bits=total_bits,
-            max_link_bits=max_node_bits,
-        )
-        self._metrics.record_phase(report)
-        for node, bits in received_bits.items():
-            self._metrics.record_delivery(node, bits, received_msgs.get(node, 0))
-        for context in self._contexts:
-            context._deliver(deliveries[context.node_id])
-
-        if self._round_limit is not None and self._metrics.total_rounds > self._round_limit:
-            raise RoundLimitExceededError(
-                f"round budget of {self._round_limit} exceeded "
-                f"(now at {self._metrics.total_rounds} rounds)"
-            )
-        return report
+        return max_node_bits
 
     @property
     def model_name(self) -> str:

@@ -17,11 +17,19 @@ The strict engine serves three purposes:
   same number of rounds,
 * it is a convenient substrate for tiny pedagogical protocols (the examples
   use it to show what a literal round looks like).
+
+Both engines share one execution kernel
+(:class:`~repro.congest.runtime.CongestRuntime`): context construction,
+RNG seeding, the message plane, delivery fan-out and metrics recording are
+the same code paths the phase simulator uses.  What makes this engine
+*strict* is purely a validation hook — :meth:`RoundContext.send` rejects a
+second message on the same link within a round and any message exceeding
+the per-round bandwidth before it reaches the plane.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -30,6 +38,7 @@ from ..graphs.graph import Graph
 from ..types import NodeId
 from .bandwidth import DEFAULT_BANDWIDTH, BandwidthPolicy
 from .metrics import ExecutionMetrics, PhaseReport
+from .runtime import CongestRuntime, EMPTY_INBOX, Inbox, MessagePlane, inbox_pairs
 from .wire import default_bit_size
 
 #: A node program: receives its RoundContext and yields once per round.
@@ -41,7 +50,9 @@ class RoundContext:
 
     Unlike the phase-based :class:`~repro.congest.node.NodeContext`, sends
     are limited to **one message per neighbour per round**, and each message
-    must individually fit into the per-round bandwidth.
+    must individually fit into the per-round bandwidth.  Those two checks
+    are this class's whole job; accepted messages land in the shared
+    message plane exactly like phase-simulator sends.
     """
 
     __slots__ = (
@@ -51,7 +62,8 @@ class RoundContext:
         "rng",
         "state",
         "_bandwidth_bits",
-        "_pending",
+        "_plane",
+        "_sent_to",
         "_inbox",
     )
 
@@ -62,6 +74,7 @@ class RoundContext:
         neighbors: frozenset[NodeId],
         rng: np.random.Generator,
         bandwidth_bits: int,
+        plane: MessagePlane,
     ) -> None:
         self.node_id = node_id
         self.num_nodes = num_nodes
@@ -69,8 +82,9 @@ class RoundContext:
         self.rng = rng
         self.state: Dict[str, Any] = {}
         self._bandwidth_bits = bandwidth_bits
-        self._pending: Dict[NodeId, Tuple[Any, int]] = {}
-        self._inbox: List[Tuple[NodeId, Any]] = []
+        self._plane = plane
+        self._sent_to: Set[NodeId] = set()
+        self._inbox: Inbox = EMPTY_INBOX
 
     def send(self, destination: NodeId, payload: Any, bits: Optional[int] = None) -> None:
         """Send one message to ``destination`` this round.
@@ -88,7 +102,7 @@ class RoundContext:
             raise TopologyError(
                 f"node {self.node_id} has no edge to {destination}"
             )
-        if destination in self._pending:
+        if destination in self._sent_to:
             raise ProtocolError(
                 f"node {self.node_id} already sent to {destination} this round"
             )
@@ -99,18 +113,17 @@ class RoundContext:
                 f"{self._bandwidth_bits} bits; use the phase-based simulator "
                 "for multi-round transfers"
             )
-        self._pending[destination] = (payload, size)
+        self._sent_to.add(destination)
+        self._plane.append(self.node_id, destination, payload, size)
 
     def received(self) -> List[Tuple[NodeId, Any]]:
         """Return the ``(sender, payload)`` pairs delivered at the start of this round."""
-        return list(self._inbox)
+        return list(inbox_pairs(self._inbox))
 
-    def _drain(self) -> Dict[NodeId, Tuple[Any, int]]:
-        pending = self._pending
-        self._pending = {}
-        return pending
+    def _start_round(self) -> None:
+        self._sent_to.clear()
 
-    def _deliver(self, messages: List[Tuple[NodeId, Any]]) -> None:
+    def _deliver(self, messages: Inbox) -> None:
         self._inbox = messages
 
 
@@ -137,37 +150,41 @@ class RoundEngine:
         seed: Optional[int | np.random.Generator] = None,
         max_rounds: int = 1_000_000,
     ) -> None:
-        if graph.num_nodes < 1:
-            raise SimulationError("cannot simulate an empty network")
-        self._graph = graph
-        self._bandwidth = bandwidth
+        self._runtime = CongestRuntime(graph, bandwidth)
         self._max_rounds = max_rounds
-        self._metrics = ExecutionMetrics()
-        root_rng = (
-            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-        )
-        child_seeds = root_rng.integers(0, 2**63 - 1, size=graph.num_nodes)
         bits = bandwidth.bits_per_round(graph.num_nodes)
-        self._contexts = [
-            RoundContext(
+        self._runtime.build_contexts(
+            seed,
+            lambda node, rng: RoundContext(
                 node_id=node,
                 num_nodes=graph.num_nodes,
                 neighbors=graph.neighbors(node),
-                rng=np.random.default_rng(int(child_seeds[node])),
+                rng=rng,
                 bandwidth_bits=bits,
-            )
-            for node in graph.nodes()
-        ]
+                plane=self._runtime.plane,
+            ),
+        )
+
+    @property
+    def runtime(self) -> CongestRuntime:
+        """The shared execution kernel this engine drives."""
+        return self._runtime
+
+    @property
+    def _contexts(self) -> List[RoundContext]:
+        # Single source of truth: the kernel owns the context list it
+        # delivers to.
+        return self._runtime.contexts
 
     @property
     def contexts(self) -> List[RoundContext]:
         """The per-node round contexts, indexed by node identifier."""
-        return self._contexts
+        return self._runtime.contexts
 
     @property
     def metrics(self) -> ExecutionMetrics:
         """Execution metrics accumulated so far."""
-        return self._metrics
+        return self._runtime.metrics
 
     def run(self, program: NodeProgram) -> int:
         """Run ``program`` on every node until all generators finish.
@@ -182,19 +199,25 @@ class RoundEngine:
         }
         active = dict(generators)
         rounds = 0
+        run_messages = 0
+        run_bits = 0
         # Prime every generator: execution up to the first yield is the
         # node's round-1 computation and sends.
         finished = [node for node, gen in active.items() if _advance(gen)]
         for node in finished:
             del active[node]
 
-        while active or any(ctx._pending for ctx in self._contexts):
+        while active or not self._runtime.plane.is_empty:
             if rounds >= self._max_rounds:
                 raise SimulationError(
                     f"protocol did not terminate within {self._max_rounds} rounds"
                 )
             rounds += 1
-            self._exchange(rounds)
+            traffic = self._runtime.exchange()
+            run_messages += traffic.count
+            run_bits += traffic.total_bits
+            for context in self._contexts:
+                context._start_round()
             finished = [node for node, gen in active.items() if _advance(gen)]
             for node in finished:
                 del active[node]
@@ -202,27 +225,16 @@ class RoundEngine:
         report = PhaseReport(
             name="strict-run",
             rounds=rounds,
-            messages=self._metrics.total_messages,
-            bits=self._metrics.total_bits,
-            max_link_bits=self._bandwidth.bits_per_round(self._graph.num_nodes),
+            messages=run_messages,
+            bits=run_bits,
+            max_link_bits=self._runtime.bandwidth.bits_per_round(
+                self._runtime.graph.num_nodes
+            ),
         )
-        # Messages/bits were recorded per round by _exchange; only add rounds.
-        self._metrics.phases.append(report)
-        self._metrics.total_rounds += rounds
+        # One phase report covers the whole run; record_phase keeps the
+        # ExecutionMetrics invariants (totals = sum of phases) in one place.
+        self._runtime.metrics.record_phase(report)
         return rounds
-
-    def _exchange(self, round_number: int) -> None:
-        deliveries: Dict[NodeId, List[Tuple[NodeId, Any]]] = {
-            context.node_id: [] for context in self._contexts
-        }
-        for context in self._contexts:
-            for destination, (payload, size) in context._drain().items():
-                deliveries[destination].append((context.node_id, payload))
-                self._metrics.total_messages += 1
-                self._metrics.total_bits += size
-                self._metrics.record_delivery(destination, size, 1)
-        for context in self._contexts:
-            context._deliver(deliveries[context.node_id])
 
 
 def _advance(generator: Generator[None, None, None]) -> bool:

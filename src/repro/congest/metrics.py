@@ -11,7 +11,7 @@ Algorithm A(X, r)") can be attributed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -57,6 +57,22 @@ class ExecutionMetrics:
         self.messages_received_per_node[node] = (
             self.messages_received_per_node.get(node, 0) + messages
         )
+
+    def record_deliveries_bulk(
+        self, nodes: "Sequence[int]", bits_per_node, messages_per_node
+    ) -> None:
+        """Account a whole phase's deliveries at once.
+
+        ``bits_per_node`` / ``messages_per_node`` are indexable by node
+        identifier (typically ``np.bincount`` outputs); only the listed
+        ``nodes`` are folded in, so nodes that received nothing never gain a
+        spurious zero entry.
+        """
+        bits_map = self.bits_received_per_node
+        msgs_map = self.messages_received_per_node
+        for node in nodes:
+            bits_map[node] = bits_map.get(node, 0) + int(bits_per_node[node])
+            msgs_map[node] = msgs_map.get(node, 0) + int(messages_per_node[node])
 
     def max_bits_received(self) -> int:
         """Return the maximum number of bits received by any single node.

@@ -7,16 +7,24 @@ only handle node programs receive; it exposes exactly that local knowledge,
 an outgoing ``send`` primitive restricted to the communication topology, and
 whatever messages were delivered in the previous phase.  Node programs never
 touch the global :class:`~repro.graphs.graph.Graph`.
+
+Sends are accumulated in the runtime kernel's shared
+:class:`~repro.congest.runtime.MessagePlane`.  Besides the scalar
+:meth:`NodeContext.send`, the context offers two batched fast paths —
+:meth:`NodeContext.bulk_send` and :meth:`NodeContext.broadcast_bits` — that
+enqueue thousands of messages with O(1) Python overhead; algorithms with
+heavy fan-out (A2's edge shipping, the clique router) use them.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from ..errors import TopologyError
+from ..errors import SimulationError, TopologyError
 from ..types import NodeId, Triangle, make_triangle
+from .runtime import EMPTY_INBOX, Inbox, MessagePlane, inbox_pairs, repeated_payload
 
 
 class NodeContext:
@@ -33,7 +41,10 @@ class NodeContext:
         "rng",
         "state",
         "_comm_targets",
-        "_outgoing",
+        "_clique_targets_cache",
+        "_targets_array",
+        "_neighbor_array",
+        "_plane",
         "_inbox",
         "_output",
     )
@@ -43,8 +54,9 @@ class NodeContext:
         node_id: NodeId,
         num_nodes: int,
         neighbors: Iterable[NodeId],
-        comm_targets: Iterable[NodeId],
+        comm_targets: Optional[Iterable[NodeId]],
         rng: np.random.Generator,
+        plane: MessagePlane,
     ) -> None:
         #: This node's identifier (``0 .. n-1``).
         self.node_id = node_id
@@ -58,10 +70,17 @@ class NodeContext:
         #: Free-form per-node algorithm state.
         self.state: Dict[str, Any] = {}
         # Nodes this node may send to: equal to ``neighbors`` in the CONGEST
-        # model, and to all other nodes in the CONGEST clique model.
-        self._comm_targets: frozenset[NodeId] = frozenset(comm_targets)
-        self._outgoing: List[Tuple[NodeId, Any, Optional[int]]] = []
-        self._inbox: List[Tuple[NodeId, Any]] = []
+        # model, and to all other nodes in the CONGEST clique model.  ``None``
+        # encodes the clique case without materialising n-1 identifiers per
+        # node; the frozenset is then built lazily on first access.
+        self._comm_targets: Optional[frozenset[NodeId]] = (
+            None if comm_targets is None else frozenset(comm_targets)
+        )
+        self._clique_targets_cache: Optional[frozenset[NodeId]] = None
+        self._targets_array: Optional[np.ndarray] = None
+        self._neighbor_array: Optional[np.ndarray] = None
+        self._plane = plane
+        self._inbox: Inbox = EMPTY_INBOX
         self._output: Set[Triangle] = set()
 
     # ------------------------------------------------------------------
@@ -78,12 +97,25 @@ class NodeContext:
 
     def can_send_to(self, destination: NodeId) -> bool:
         """Return ``True`` when the communication topology has a link to ``destination``."""
+        if self._comm_targets is None:
+            return 0 <= destination < self.num_nodes and destination != self.node_id
         return destination in self._comm_targets
 
     @property
     def communication_targets(self) -> frozenset[NodeId]:
-        """All nodes this node may address directly (model dependent)."""
-        return self._comm_targets
+        """All nodes this node may address directly (model dependent).
+
+        On the clique the set is built (and cached) on demand, in a field
+        separate from the ``None`` sentinel so reading it never disables
+        the O(1) clique range-check fast path in ``send``/``bulk_send``.
+        """
+        if self._comm_targets is not None:
+            return self._comm_targets
+        if self._clique_targets_cache is None:
+            self._clique_targets_cache = frozenset(
+                other for other in range(self.num_nodes) if other != self.node_id
+            )
+        return self._clique_targets_cache
 
     # ------------------------------------------------------------------
     # communication
@@ -110,11 +142,89 @@ class NodeContext:
         """
         if destination == self.node_id:
             raise TopologyError(f"node {self.node_id} cannot send to itself")
-        if destination not in self._comm_targets:
+        if not self.can_send_to(destination):
             raise TopologyError(
                 f"node {self.node_id} has no communication link to {destination}"
             )
-        self._outgoing.append((destination, payload, bits))
+        self._plane.append(self.node_id, destination, payload, bits)
+
+    def bulk_send(
+        self,
+        destinations: Sequence[NodeId] | np.ndarray,
+        payloads: Sequence[Any],
+        bits: int | Sequence[int] | np.ndarray,
+    ) -> None:
+        """Queue one message per destination with a single batched operation.
+
+        The fast path for fan-out-heavy steps: topology validation is
+        vectorized and the records land in the message plane as one numpy
+        chunk, so enqueueing k messages costs O(1) Python-level operations
+        instead of k ``send`` calls.
+
+        Parameters
+        ----------
+        destinations:
+            The receiving nodes (one message each; duplicates allowed, they
+            queue multiple messages on the same link).
+        payloads:
+            One payload per destination (must match ``destinations`` in
+            length).
+        bits:
+            Explicit on-wire sizes — a single int applied to every message,
+            or one size per message.  The bulk path requires explicit sizes;
+            per-payload default sizing would reintroduce the per-message
+            Python loop this method exists to avoid.
+
+        Raises
+        ------
+        TopologyError
+            If any destination is this node itself or unreachable.
+        SimulationError
+            If lengths disagree.
+        """
+        # Copy the caller's arrays (including an object-dtype payload
+        # array): the plane holds these until the phase runs, so later
+        # mutation must not alter (or un-validate) queued messages.
+        dst = np.array(destinations, dtype=np.int64)
+        if isinstance(payloads, np.ndarray):
+            payloads = payloads.copy()
+        if dst.ndim != 1:
+            raise SimulationError("bulk_send destinations must be one-dimensional")
+        count = int(dst.shape[0])
+        if count == 0:
+            return
+        if len(payloads) != count:
+            raise SimulationError(
+                f"bulk_send got {count} destinations but {len(payloads)} payloads"
+            )
+        if np.ndim(bits) == 0:
+            sizes = np.full(count, int(bits), dtype=np.int64)
+        else:
+            sizes = np.array(bits, dtype=np.int64)
+            if sizes.shape[0] != count:
+                raise SimulationError(
+                    f"bulk_send got {count} destinations but {sizes.shape[0]} sizes"
+                )
+        if (dst == self.node_id).any():
+            raise TopologyError(f"node {self.node_id} cannot send to itself")
+        if self._comm_targets is None:
+            # Clique: every node except self is reachable; a range check is
+            # all the validation needed.
+            if dst.min() < 0 or dst.max() >= self.num_nodes:
+                bad = next(
+                    int(d) for d in dst.tolist() if d < 0 or d >= self.num_nodes
+                )
+                raise TopologyError(
+                    f"node {self.node_id} has no communication link to {bad}"
+                )
+        else:
+            reachable = np.isin(dst, self._sorted_targets())
+            if not reachable.all():
+                bad = int(dst[np.flatnonzero(~reachable)[0]])
+                raise TopologyError(
+                    f"node {self.node_id} has no communication link to {bad}"
+                )
+        self._plane.extend(self.node_id, dst, payloads, sizes)
 
     def broadcast(self, payload: Any, bits: Optional[int] = None) -> None:
         """Queue ``payload`` for delivery to every neighbour in the input graph.
@@ -122,20 +232,58 @@ class NodeContext:
         In the CONGEST model a "broadcast" is simply the same message sent on
         each incident edge; it is charged per edge accordingly.
         """
+        if bits is not None:
+            self.broadcast_bits(payload, bits)
+            return
         for neighbor in self.neighbors:
             self.send(neighbor, payload, bits)
 
+    def broadcast_bits(self, payload: Any, bits: int) -> None:
+        """Fast-path broadcast: one payload of known size to every neighbour.
+
+        Equivalent to ``broadcast(payload, bits)`` but enqueues the whole
+        neighbourhood as one batched chunk.
+        """
+        if self._neighbor_array is None:
+            self._neighbor_array = np.fromiter(
+                sorted(self.neighbors), dtype=np.int64, count=len(self.neighbors)
+            )
+        neighbors = self._neighbor_array
+        count = int(neighbors.shape[0])
+        if count == 0:
+            return
+        self._plane.extend(
+            self.node_id,
+            neighbors,
+            repeated_payload(payload, count),
+            np.full(count, int(bits), dtype=np.int64),
+        )
+
+    def _sorted_targets(self) -> np.ndarray:
+        """Sorted array of explicit communication targets (cached, O(degree))."""
+        if self._targets_array is None:
+            self._targets_array = np.fromiter(
+                sorted(self._comm_targets),
+                dtype=np.int64,
+                count=len(self._comm_targets),
+            )
+        return self._targets_array
+
     def received(self) -> List[Tuple[NodeId, Any]]:
         """Return the ``(sender, payload)`` pairs delivered in the last phase."""
-        return list(self._inbox)
+        return list(inbox_pairs(self._inbox))
 
     def received_from(self, sender: NodeId) -> List[Any]:
         """Return the payloads delivered by ``sender`` in the last phase."""
-        return [payload for source, payload in self._inbox if source == sender]
+        return [
+            payload
+            for source, payload in inbox_pairs(self._inbox)
+            if source == sender
+        ]
 
     def received_senders(self) -> Set[NodeId]:
         """Return the set of nodes that delivered something in the last phase."""
-        return {source for source, _ in self._inbox}
+        return {source for source, _ in inbox_pairs(self._inbox)}
 
     # ------------------------------------------------------------------
     # output
@@ -152,12 +300,7 @@ class NodeContext:
     # ------------------------------------------------------------------
     # simulator-facing internals
     # ------------------------------------------------------------------
-    def _drain_outgoing(self) -> List[Tuple[NodeId, Any, Optional[int]]]:
-        outgoing = self._outgoing
-        self._outgoing = []
-        return outgoing
-
-    def _deliver(self, messages: List[Tuple[NodeId, Any]]) -> None:
+    def _deliver(self, messages: Inbox) -> None:
         self._inbox = messages
 
     def __repr__(self) -> str:

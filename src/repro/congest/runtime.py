@@ -1,0 +1,471 @@
+"""Shared runtime kernel for both CONGEST engines.
+
+The phase-based :class:`~repro.congest.simulator.CongestSimulator` and the
+strict :class:`~repro.congest.engine.RoundEngine` execute the same physical
+operations — build per-node contexts with independent child RNGs, accumulate
+outgoing messages, fan them out to destination inboxes, account the traffic
+in :class:`~repro.congest.metrics.ExecutionMetrics`, and enforce a round
+budget.  Historically each engine carried its own copy of that machinery as
+per-message Python loops over dicts of tuples, which capped the graph sizes
+the scaling benchmarks could explore.  This module is the single shared
+kernel both engines now sit on:
+
+* :class:`MessagePlane` — the batched send buffer.  Scalar ``send`` calls
+  stage into plain lists; the bulk paths (:meth:`NodeContext.bulk_send`,
+  :meth:`NodeContext.broadcast_bits`) append whole numpy chunks, so a node
+  enqueueing thousands of messages costs O(1) Python operations.
+* :class:`PhaseTraffic` — one phase's drained traffic as flat ``(src, dst,
+  bits)`` int64 arrays plus an aligned object array of payloads.
+* :class:`InboxSlice` — a delivered inbox as zero-copy views into the
+  phase's destination-sorted arrays; the ``(sender, payload)`` pair list is
+  materialized lazily on first read, so phases whose inboxes are only
+  partially consumed (BFS frontiers, sparse responders) never pay for the
+  rest.
+* :class:`CongestRuntime` — context construction, per-node RNG seeding,
+  vectorized traffic aggregation (``np.bincount`` over encoded link keys
+  instead of per-message dict updates), grouped delivery fan-out, metrics
+  recording and round-limit enforcement.
+
+The engines remain thin *policy* layers: the phase simulator decides how a
+phase's round cost is computed from the traffic, and the strict engine adds
+its one-message-per-edge / per-message-bandwidth checks as validation hooks
+at send time — neither re-implements delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import RoundLimitExceededError, SimulationError
+from ..graphs.graph import Graph
+from ..types import NodeId
+from .bandwidth import DEFAULT_BANDWIDTH, BandwidthPolicy
+from .metrics import ExecutionMetrics, PhaseReport
+from .wire import default_bit_size
+
+#: Shared empty-inbox value.  Immutable, so one instance can reset every
+#: context between phases without allocation.
+EMPTY_INBOX: Tuple[Tuple[int, Any], ...] = ()
+
+
+
+def _object_array(payloads: Sequence[Any]) -> np.ndarray:
+    """Build a 1-D object array without numpy's nested-sequence inference.
+
+    ``np.asarray`` would try to broadcast tuple payloads into a 2-D array;
+    ``np.fromiter`` with an object dtype treats every payload as opaque.
+    """
+    if isinstance(payloads, np.ndarray) and payloads.dtype == object:
+        return payloads
+    return np.fromiter(payloads, dtype=object, count=len(payloads))
+
+
+def repeated_payload(payload: Any, count: int) -> np.ndarray:
+    """Return an object array holding ``payload`` ``count`` times (C-speed)."""
+    chunk = np.empty(count, dtype=object)
+    chunk.fill(payload)
+    return chunk
+
+
+@dataclass(frozen=True)
+class PhaseTraffic:
+    """One phase's drained traffic in structure-of-arrays form.
+
+    ``payloads[i]`` is the payload of the message ``src[i] -> dst[i]`` of
+    on-wire size ``bits[i]``; records appear in global send order.
+    """
+
+    src: np.ndarray
+    dst: np.ndarray
+    bits: np.ndarray
+    payloads: np.ndarray
+
+    @property
+    def count(self) -> int:
+        """Number of messages in this phase."""
+        return int(self.src.shape[0])
+
+    @property
+    def total_bits(self) -> int:
+        """Total on-wire bits across all messages."""
+        return int(self.bits.sum()) if self.count else 0
+
+
+_EMPTY_INT = np.empty(0, dtype=np.int64)
+_EMPTY_OBJ = np.empty(0, dtype=object)
+
+
+def empty_traffic() -> PhaseTraffic:
+    """Return a traffic record with no messages."""
+    return PhaseTraffic(src=_EMPTY_INT, dst=_EMPTY_INT, bits=_EMPTY_INT, payloads=_EMPTY_OBJ)
+
+
+class InboxSlice:
+    """One node's delivered inbox, backed by views into the phase arrays.
+
+    Materializing the ``(sender, payload)`` pair list costs one C-level
+    ``zip`` per inbox and happens only when the node program actually reads
+    its messages.
+    """
+
+    __slots__ = ("_senders", "_payloads", "_pairs")
+
+    def __init__(self, senders: np.ndarray, payloads: np.ndarray) -> None:
+        self._senders = senders
+        self._payloads = payloads
+        self._pairs: Optional[List[Tuple[int, Any]]] = None
+
+    def pairs(self) -> List[Tuple[int, Any]]:
+        """Return (and cache) the ``(sender, payload)`` list."""
+        if self._pairs is None:
+            self._pairs = list(zip(self._senders.tolist(), self._payloads.tolist()))
+        return self._pairs
+
+    def __len__(self) -> int:
+        return int(self._senders.shape[0])
+
+    def __iter__(self):
+        return iter(self.pairs())
+
+
+#: What a context's ``_deliver`` may receive: the shared empty inbox, a lazy
+#: slice, or (from legacy/direct callers) an explicit pair list.
+Inbox = Union[Tuple[Tuple[int, Any], ...], List[Tuple[int, Any]], InboxSlice]
+
+
+def inbox_pairs(inbox: Inbox) -> Sequence[Tuple[int, Any]]:
+    """Normalise any inbox representation to a sequence of pairs."""
+    if isinstance(inbox, InboxSlice):
+        return inbox.pairs()
+    return inbox
+
+
+class MessagePlane:
+    """Batched accumulation buffer for one phase's outgoing messages.
+
+    Two append paths share one global record order:
+
+    * scalar sends stage ``(src, dst, bits, payload)`` into Python lists —
+      the same per-call cost as the old per-context tuple lists, and
+    * bulk sends append whole numpy chunks, bypassing per-message Python
+      work entirely.
+
+    ``flush`` concatenates everything into a :class:`PhaseTraffic`, resolves
+    default bit sizes, and resets the buffer.
+    """
+
+    __slots__ = (
+        "num_nodes",
+        "_size_of",
+        "_scalar_src",
+        "_scalar_dst",
+        "_scalar_bits",
+        "_scalar_payloads",
+        "_chunks",
+        "_count",
+        "_has_unset",
+    )
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self._size_of: Callable[[Any], int] = lambda payload: default_bit_size(
+            payload, num_nodes
+        )
+        self._scalar_src: List[int] = []
+        self._scalar_dst: List[int] = []
+        self._scalar_bits: List[Optional[int]] = []
+        self._scalar_payloads: List[Any] = []
+        # Each chunk is (src, dst, bits, payloads, unset) where ``unset`` is
+        # a boolean mask marking records whose default size must be resolved
+        # at flush time (or None when the whole chunk carries explicit
+        # sizes, as bulk appends always do).
+        self._chunks: List[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]
+        ] = []
+        self._count = 0
+        self._has_unset = False
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        """``True`` when no messages are queued."""
+        return self._count == 0
+
+    def append(self, src: NodeId, dst: NodeId, payload: Any, bits: Optional[int]) -> None:
+        """Queue one message (the scalar ``send`` path)."""
+        self._scalar_src.append(src)
+        self._scalar_dst.append(dst)
+        self._scalar_bits.append(bits)
+        self._scalar_payloads.append(payload)
+        self._count += 1
+
+    def extend(
+        self,
+        src: NodeId,
+        destinations: np.ndarray,
+        payloads: Sequence[Any] | np.ndarray,
+        bits: np.ndarray,
+    ) -> None:
+        """Queue a whole batch of messages from one source (the bulk path).
+
+        ``destinations`` and ``bits`` must be int64 arrays of equal length
+        and ``payloads`` a sequence (or object array) of the same length;
+        callers (:meth:`~repro.congest.node.NodeContext.bulk_send`) validate
+        before appending.
+        """
+        count = int(destinations.shape[0])
+        if count == 0:
+            return
+        self._seal_scalars()
+        self._chunks.append(
+            (
+                np.full(count, src, dtype=np.int64),
+                destinations,
+                bits,
+                _object_array(payloads),
+                None,
+            )
+        )
+        self._count += count
+
+    def _seal_scalars(self) -> None:
+        """Convert staged scalar sends into one chunk, preserving order."""
+        if not self._scalar_src:
+            return
+        scalar_bits = self._scalar_bits
+        bits = np.fromiter(
+            (size if size is not None else 0 for size in scalar_bits),
+            dtype=np.int64,
+            count=len(scalar_bits),
+        )
+        unset = np.fromiter(
+            (size is None for size in scalar_bits),
+            dtype=bool,
+            count=len(scalar_bits),
+        )
+        if unset.any():
+            self._has_unset = True
+        else:
+            unset = None
+        self._chunks.append(
+            (
+                np.array(self._scalar_src, dtype=np.int64),
+                np.array(self._scalar_dst, dtype=np.int64),
+                bits,
+                _object_array(self._scalar_payloads),
+                unset,
+            )
+        )
+        self._scalar_src = []
+        self._scalar_dst = []
+        self._scalar_bits = []
+        self._scalar_payloads = []
+
+    def flush(self) -> PhaseTraffic:
+        """Drain the buffer into a :class:`PhaseTraffic` and reset it.
+
+        Default bit sizes are resolved here (not at send time) so size
+        errors surface when the phase runs, matching the engines' historical
+        behaviour.
+
+        Raises
+        ------
+        SimulationError
+            If any message carries a negative size.
+        """
+        if self._count == 0:
+            return empty_traffic()
+        self._seal_scalars()
+        if len(self._chunks) == 1:
+            src, dst, bits, payloads, unset = self._chunks[0]
+        else:
+            src = np.concatenate([chunk[0] for chunk in self._chunks])
+            dst = np.concatenate([chunk[1] for chunk in self._chunks])
+            bits = np.concatenate([chunk[2] for chunk in self._chunks])
+            payloads = np.concatenate([chunk[3] for chunk in self._chunks])
+            if self._has_unset:
+                unset = np.concatenate(
+                    [
+                        chunk[4]
+                        if chunk[4] is not None
+                        else np.zeros(chunk[0].shape[0], dtype=bool)
+                        for chunk in self._chunks
+                    ]
+                )
+            else:
+                unset = None
+        self._chunks = []
+        self._count = 0
+        self._has_unset = False
+
+        if unset is not None:
+            size_of = self._size_of
+            for index in np.flatnonzero(unset).tolist():
+                bits[index] = size_of(payloads[index])
+        if bits.shape[0] and int(bits.min()) < 0:
+            raise SimulationError(
+                f"message size must be non-negative, got {int(bits.min())}"
+            )
+        return PhaseTraffic(src=src, dst=dst, bits=bits, payloads=payloads)
+
+
+def deliver_traffic(contexts: Sequence[Any], traffic: PhaseTraffic) -> None:
+    """Replace every context's inbox with this phase's deliveries.
+
+    One stable argsort groups the flat record arrays by destination; each
+    receiving context gets an :class:`InboxSlice` over zero-copy views, and
+    everyone else the shared empty inbox (inboxes never carry over between
+    phases).  Works for any context type exposing ``_deliver``.
+    """
+    for context in contexts:
+        context._deliver(EMPTY_INBOX)
+    if traffic.count == 0:
+        return
+    order = np.argsort(traffic.dst, kind="stable")
+    dst_sorted = traffic.dst[order]
+    src_sorted = traffic.src[order]
+    payload_sorted = traffic.payloads[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], dst_sorted[1:] != dst_sorted[:-1]))
+    )
+    start_list = starts.tolist()
+    bounds = start_list[1:] + [int(dst_sorted.shape[0])]
+    receivers = dst_sorted[starts].tolist()
+    for which, start in enumerate(start_list):
+        end = bounds[which]
+        contexts[receivers[which]]._deliver(
+            InboxSlice(src_sorted[start:end], payload_sorted[start:end])
+        )
+
+
+def record_deliveries(metrics: ExecutionMetrics, traffic: PhaseTraffic) -> None:
+    """Fold per-node received bits/messages into ``metrics`` in bulk."""
+    if traffic.count == 0:
+        return
+    num_nodes = int(traffic.dst.max()) + 1
+    received_msgs = np.bincount(traffic.dst, minlength=num_nodes)
+    received_bits = np.bincount(traffic.dst, weights=traffic.bits, minlength=num_nodes)
+    metrics.record_deliveries_bulk(
+        np.flatnonzero(received_msgs).tolist(),
+        received_bits,
+        received_msgs,
+    )
+
+
+def max_link_bits(traffic: PhaseTraffic, num_nodes: int) -> int:
+    """Return the maximum total bits queued on any directed link.
+
+    Links are encoded as ``src * n + dst`` keys.  When the occupied key
+    range is small relative to the message count, one dense ``np.bincount``
+    does the whole reduction; otherwise (sparse traffic on a large network,
+    where the histogram would dwarf the records) it falls back to
+    sort-and-segment, still without any per-message Python work.
+    """
+    if traffic.count == 0:
+        return 0
+    keys = traffic.src * np.int64(num_nodes) + traffic.dst
+    key_span = int(keys.max()) + 1
+    if key_span <= 4 * max(traffic.count, 4096):
+        per_link = np.bincount(keys, weights=traffic.bits)
+        return int(per_link.max())
+    order = np.argsort(keys, kind="stable")
+    sorted_bits = traffic.bits[order]
+    sorted_keys = keys[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    )
+    per_link = np.add.reduceat(sorted_bits, starts)
+    return int(per_link.max())
+
+
+def spawn_node_rngs(
+    num_nodes: int, seed: Optional[int | np.random.Generator]
+) -> List[np.random.Generator]:
+    """Return one independent, reproducible child generator per node."""
+    root_rng = (
+        seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    )
+    child_seeds = root_rng.integers(0, 2**63 - 1, size=num_nodes)
+    return [np.random.default_rng(int(child_seeds[node])) for node in range(num_nodes)]
+
+
+class CongestRuntime:
+    """The execution kernel shared by the phase and strict engines.
+
+    Owns the graph, bandwidth policy, metrics, round budget, the message
+    plane, and the contexts (built through :meth:`build_contexts` so each
+    engine can supply its own context type).
+    """
+
+    __slots__ = ("graph", "bandwidth", "round_limit", "metrics", "plane", "contexts")
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth: BandwidthPolicy = DEFAULT_BANDWIDTH,
+        round_limit: Optional[int] = None,
+    ) -> None:
+        if graph.num_nodes < 1:
+            raise SimulationError("cannot simulate an empty network")
+        self.graph = graph
+        self.bandwidth = bandwidth
+        self.round_limit = round_limit
+        self.metrics = ExecutionMetrics()
+        self.plane = MessagePlane(graph.num_nodes)
+        self.contexts: List[Any] = []
+
+    def build_contexts(
+        self,
+        seed: Optional[int | np.random.Generator],
+        factory: Callable[[NodeId, np.random.Generator], Any],
+    ) -> List[Any]:
+        """Build one context per node with independent child RNGs."""
+        rngs = spawn_node_rngs(self.graph.num_nodes, seed)
+        self.contexts = [factory(node, rngs[node]) for node in self.graph.nodes()]
+        return self.contexts
+
+    def collect_traffic(self) -> PhaseTraffic:
+        """Drain the message plane for this phase."""
+        return self.plane.flush()
+
+    def complete_phase(
+        self, name: str, rounds: int, traffic: PhaseTraffic, link_bits: int
+    ) -> PhaseReport:
+        """Record one phase's cost, deliver its traffic, enforce the budget."""
+        report = PhaseReport(
+            name=name,
+            rounds=rounds,
+            messages=traffic.count,
+            bits=traffic.total_bits,
+            max_link_bits=link_bits,
+        )
+        self.metrics.record_phase(report)
+        record_deliveries(self.metrics, traffic)
+        deliver_traffic(self.contexts, traffic)
+        self.enforce_round_limit()
+        return report
+
+    def exchange(self) -> PhaseTraffic:
+        """Deliver the queued traffic without phase/round accounting.
+
+        The strict engine calls this once per round; it accounts the rounds
+        itself (one per exchange) and records a single phase report at the
+        end of the run.
+        """
+        traffic = self.collect_traffic()
+        record_deliveries(self.metrics, traffic)
+        deliver_traffic(self.contexts, traffic)
+        return traffic
+
+    def enforce_round_limit(self) -> None:
+        """Raise when the cumulative round count exceeds the budget."""
+        if self.round_limit is not None and self.metrics.total_rounds > self.round_limit:
+            raise RoundLimitExceededError(
+                f"round budget of {self.round_limit} exceeded "
+                f"(now at {self.metrics.total_rounds} rounds)"
+            )

@@ -18,6 +18,15 @@ execution of the same phase-synchronous protocol — a property covered by the
 test suite, which cross-checks against the literal low-level engine in
 :mod:`repro.congest.engine`.
 
+Execution mechanics — context construction, per-node RNG seeding, the
+batched message plane, vectorized delivery fan-out, metrics recording and
+round-limit enforcement — live in the shared
+:class:`~repro.congest.runtime.CongestRuntime` kernel; this class is the
+*policy* layer that decides how a phase's round cost is computed from the
+drained traffic (subclasses override :meth:`_phase_cost` and
+:meth:`_communication_targets` to obtain the clique and broadcast model
+variants).
+
 The simulator also enforces the model's knowledge discipline: node programs
 receive only :class:`~repro.congest.node.NodeContext` objects built from the
 input graph's local neighbourhoods.
@@ -29,13 +38,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import RoundLimitExceededError, SimulationError
+from ..errors import SimulationError
 from ..graphs.graph import Graph
 from ..types import NodeId
 from .bandwidth import DEFAULT_BANDWIDTH, BandwidthPolicy
 from .metrics import ExecutionMetrics, PhaseReport
 from .node import NodeContext
-from .wire import default_bit_size
+from .runtime import CongestRuntime, PhaseTraffic, max_link_bits
 
 
 class CongestSimulator:
@@ -66,35 +75,30 @@ class CongestSimulator:
         seed: Optional[int | np.random.Generator] = None,
         round_limit: Optional[int] = None,
     ) -> None:
-        if graph.num_nodes < 1:
-            raise SimulationError("cannot simulate an empty network")
-        self._graph = graph
-        self._bandwidth = bandwidth
-        self._round_limit = round_limit
-        self._metrics = ExecutionMetrics()
-        root_rng = (
-            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-        )
-        child_seeds = root_rng.integers(0, 2**63 - 1, size=graph.num_nodes)
-        self._contexts: List[NodeContext] = [
-            NodeContext(
+        self._runtime = CongestRuntime(graph, bandwidth, round_limit)
+        self._runtime.build_contexts(
+            seed,
+            lambda node, rng: NodeContext(
                 node_id=node,
                 num_nodes=graph.num_nodes,
                 neighbors=graph.neighbors(node),
                 comm_targets=self._communication_targets(graph, node),
-                rng=np.random.default_rng(int(child_seeds[node])),
-            )
-            for node in graph.nodes()
-        ]
+                rng=rng,
+                plane=self._runtime.plane,
+            ),
+        )
 
     # ------------------------------------------------------------------
     # topology hooks (overridden by the clique variant)
     # ------------------------------------------------------------------
-    def _communication_targets(self, graph: Graph, node: NodeId) -> Iterable[NodeId]:
+    def _communication_targets(
+        self, graph: Graph, node: NodeId
+    ) -> Optional[Iterable[NodeId]]:
         """Return the nodes ``node`` may address directly.
 
         In the standard CONGEST model the communication topology *is* the
-        input graph, so the targets are the graph neighbours.
+        input graph, so the targets are the graph neighbours.  The clique
+        variant returns ``None``, the "all other nodes" sentinel.
         """
         return graph.neighbors(node)
 
@@ -107,24 +111,35 @@ class CongestSimulator:
     # basic accessors
     # ------------------------------------------------------------------
     @property
+    def runtime(self) -> CongestRuntime:
+        """The shared execution kernel this simulator drives."""
+        return self._runtime
+
+    @property
     def graph(self) -> Graph:
         """The input graph / network topology."""
-        return self._graph
+        return self._runtime.graph
 
     @property
     def num_nodes(self) -> int:
         """Number of nodes ``n`` in the network."""
-        return self._graph.num_nodes
+        return self._runtime.graph.num_nodes
 
     @property
     def bandwidth(self) -> BandwidthPolicy:
         """The bandwidth policy in force."""
-        return self._bandwidth
+        return self._runtime.bandwidth
+
+    @property
+    def _contexts(self) -> List[NodeContext]:
+        # Single source of truth: the kernel owns the context list it
+        # delivers to.
+        return self._runtime.contexts
 
     @property
     def contexts(self) -> List[NodeContext]:
         """The per-node contexts, indexed by node identifier."""
-        return self._contexts
+        return self._runtime.contexts
 
     def context(self, node: NodeId) -> NodeContext:
         """Return the context of a single node."""
@@ -133,17 +148,17 @@ class CongestSimulator:
     @property
     def metrics(self) -> ExecutionMetrics:
         """The execution metrics accumulated so far."""
-        return self._metrics
+        return self._runtime.metrics
 
     @property
     def total_rounds(self) -> int:
         """Rounds elapsed so far."""
-        return self._metrics.total_rounds
+        return self._runtime.metrics.total_rounds
 
     @property
     def round_limit(self) -> Optional[int]:
         """The configured round budget, if any."""
-        return self._round_limit
+        return self._runtime.round_limit
 
     # ------------------------------------------------------------------
     # execution
@@ -157,6 +172,16 @@ class CongestSimulator:
         """
         for context in self._contexts:
             action(context)
+
+    def _phase_cost(self, traffic: PhaseTraffic) -> Tuple[int, int]:
+        """Return ``(rounds, reported max bits)`` for one phase's traffic.
+
+        The standard CONGEST rule: the phase lasts as long as the most
+        loaded directed link needs.
+        """
+        link_bits = max_link_bits(traffic, self.num_nodes)
+        rounds = self._runtime.bandwidth.rounds_for_bits(link_bits, self.num_nodes)
+        return rounds, link_bits
 
     def run_phase(self, name: str = "phase", extra_rounds: int = 0) -> PhaseReport:
         """Deliver everything queued by :meth:`NodeContext.send` and charge rounds.
@@ -180,62 +205,11 @@ class CongestSimulator:
         RoundLimitExceededError
             If the cumulative round count would exceed the configured budget.
         """
-        per_link_bits: Dict[Tuple[NodeId, NodeId], int] = {}
-        deliveries: Dict[NodeId, List[Tuple[NodeId, object]]] = {
-            context.node_id: [] for context in self._contexts
-        }
-        total_messages = 0
-        total_bits = 0
-        per_node_received_bits: Dict[NodeId, int] = {}
-        per_node_received_msgs: Dict[NodeId, int] = {}
-
-        for context in self._contexts:
-            for destination, payload, bits in context._drain_outgoing():
-                size = (
-                    bits
-                    if bits is not None
-                    else default_bit_size(payload, self._graph.num_nodes)
-                )
-                if size < 0:
-                    raise SimulationError(f"message size must be non-negative, got {size}")
-                link = (context.node_id, destination)
-                per_link_bits[link] = per_link_bits.get(link, 0) + size
-                deliveries[destination].append((context.node_id, payload))
-                total_messages += 1
-                total_bits += size
-                per_node_received_bits[destination] = (
-                    per_node_received_bits.get(destination, 0) + size
-                )
-                per_node_received_msgs[destination] = (
-                    per_node_received_msgs.get(destination, 0) + 1
-                )
-
-        max_link_bits = max(per_link_bits.values()) if per_link_bits else 0
-        rounds = self._bandwidth.rounds_for_bits(max_link_bits, self._graph.num_nodes)
-        rounds += extra_rounds
-
-        report = PhaseReport(
-            name=name,
-            rounds=rounds,
-            messages=total_messages,
-            bits=total_bits,
-            max_link_bits=max_link_bits,
+        traffic = self._runtime.collect_traffic()
+        rounds, link_bits = self._phase_cost(traffic)
+        return self._runtime.complete_phase(
+            name, rounds + extra_rounds, traffic, link_bits
         )
-        self._metrics.record_phase(report)
-        for node, bits in per_node_received_bits.items():
-            self._metrics.record_delivery(
-                node, bits, per_node_received_msgs.get(node, 0)
-            )
-
-        for context in self._contexts:
-            context._deliver(deliveries[context.node_id])
-
-        if self._round_limit is not None and self._metrics.total_rounds > self._round_limit:
-            raise RoundLimitExceededError(
-                f"round budget of {self._round_limit} exceeded "
-                f"(now at {self._metrics.total_rounds} rounds)"
-            )
-        return report
 
     def charge_rounds(self, rounds: int, name: str = "charged") -> PhaseReport:
         """Charge a fixed number of rounds without moving any data.
@@ -249,12 +223,8 @@ class CongestSimulator:
         report = PhaseReport(
             name=name, rounds=rounds, messages=0, bits=0, max_link_bits=0
         )
-        self._metrics.record_phase(report)
-        if self._round_limit is not None and self._metrics.total_rounds > self._round_limit:
-            raise RoundLimitExceededError(
-                f"round budget of {self._round_limit} exceeded "
-                f"(now at {self._metrics.total_rounds} rounds)"
-            )
+        self._runtime.metrics.record_phase(report)
+        self._runtime.enforce_round_limit()
         return report
 
     # ------------------------------------------------------------------
@@ -266,6 +236,6 @@ class CongestSimulator:
 
     def __repr__(self) -> str:
         return (
-            f"{type(self).__name__}(n={self._graph.num_nodes}, "
-            f"m={self._graph.num_edges}, rounds={self._metrics.total_rounds})"
+            f"{type(self).__name__}(n={self.num_nodes}, "
+            f"m={self.graph.num_edges}, rounds={self.total_rounds})"
         )

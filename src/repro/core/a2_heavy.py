@@ -83,7 +83,7 @@ class HeavyHashingLister(TriangleAlgorithm):
         def sample_hash(context: NodeContext) -> None:
             own_hash = family.sample(context.rng)
             context.state["hash"] = own_hash
-            context.broadcast(
+            context.broadcast_bits(
                 ("hash", own_hash.encode()), bits=family.description_bits()
             )
 
@@ -100,6 +100,12 @@ class HeavyHashingLister(TriangleAlgorithm):
             context.state["neighbor_hashes"] = neighbor_hashes
             own = context.node_id
             neighbors = context.sorted_neighbors()
+            # Heavy-node fan-out: one filtered edge set per neighbour, shipped
+            # through the batched plane in a single bulk_send.
+            targets: List[int] = []
+            payloads: List[Any] = []
+            sizes: List[int] = []
+            per_edge_bits = edge_bits(num_nodes)
             for target, target_hash in neighbor_hashes.items():
                 filtered: List[Edge] = [
                     make_edge(own, other)
@@ -110,8 +116,11 @@ class HeavyHashingLister(TriangleAlgorithm):
                     continue
                 if not filtered:
                     continue
-                payload_bits = len(filtered) * edge_bits(num_nodes)
-                context.send(target, ("edges", tuple(filtered)), bits=payload_bits)
+                targets.append(target)
+                payloads.append(("edges", tuple(filtered)))
+                sizes.append(len(filtered) * per_edge_bits)
+            if targets:
+                context.bulk_send(targets, payloads, bits=sizes)
 
         simulator.for_each_node(send_filtered_edges)
         simulator.run_phase("A2:send-filtered-edges")

@@ -6,6 +6,13 @@ contexts, collect the per-node outputs, and wrap everything in an
 :class:`~repro.core.output.AlgorithmResult`.  The small base class below
 captures that shape so the individual algorithm modules contain only the
 protocol logic from the paper.
+
+The simulators handed to :meth:`TriangleAlgorithm._execute` are policy
+layers over the shared :class:`~repro.congest.runtime.CongestRuntime`
+kernel, so algorithm steps with heavy fan-out should prefer the batched
+:meth:`~repro.congest.node.NodeContext.bulk_send` /
+:meth:`~repro.congest.node.NodeContext.broadcast_bits` context methods over
+per-message ``send`` loops.
 """
 
 from __future__ import annotations
