@@ -4,6 +4,11 @@ Sweeps the network size on dense ``G(n, 0.5)`` workloads, measures the round
 complexity of one (A1, A3) finding pass, and compares the measured curve
 against the Theorem-1 reference bound ``n^{2/3} (log n)^{2/3}``.
 
+The sweep grid runs on :class:`repro.analysis.SweepRunner`: each
+(algorithm × size) cell is an independent verified record, fanned out over a
+process pool — the records (and therefore every assertion below) are
+identical to the serial loop, only wall-clock changes.
+
 Shape criteria (what "reproducing the result" means at simulator scale):
 
 * every run is sound and solves the finding problem,
@@ -16,9 +21,11 @@ Shape criteria (what "reproducing the result" means at simulator scale):
 
 from __future__ import annotations
 
-import pytest
+import functools
+import os
+from typing import List
 
-from repro.analysis import fit_power_law, render_scaling_table
+from repro.analysis import SweepCell, SweepRunner, fit_power_law, render_scaling_table
 from repro.core import (
     NaiveTwoHopListing,
     TriangleFinding,
@@ -34,30 +41,50 @@ EDGE_PROBABILITY = 0.5
 #: Calibrated once on the smallest size and then held fixed: the measured
 #: cost divided by the reference bound must not grow with n.
 SHAPE_CONSTANT = 6.0
+#: Worker processes for the sweep grid.
+SWEEP_WORKERS = min(4, os.cpu_count() or 1)
 
 
-def _workload(num_nodes: int):
+def _workload(num_nodes: int, _seed: int):
+    """The fixed-per-size dense workload (the cell seed drives the algorithm)."""
     return gnp_random_graph(num_nodes, EDGE_PROBABILITY, seed=1000 + num_nodes)
+
+
+def _finding_algorithm():
+    return TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic())
+
+
+def _naive_algorithm():
+    return NaiveTwoHopListing()
+
+
+def _sweep_cells(experiment: str, algorithm_factory) -> List[SweepCell]:
+    return [
+        SweepCell(
+            experiment=experiment,
+            algorithm_factory=algorithm_factory,
+            graph_factory=functools.partial(_workload, num_nodes),
+            seed=num_nodes,
+        )
+        for num_nodes in SIZES
+    ]
 
 
 def test_finding_scaling_against_theorem1_bound(benchmark):
     """S-THM1: measured finding rounds vs the Theorem-1 reference curve."""
 
     def sweep():
-        measured = []
-        baseline = []
-        for num_nodes in SIZES:
-            graph = _workload(num_nodes)
-            result = TriangleFinding(
-                repetitions=1, epsilon=finding_epsilon_asymptotic()
-            ).run(graph, seed=num_nodes)
-            result.check_soundness(graph)
-            assert result.solves_finding(graph)
-            measured.append(result.rounds)
-            baseline.append(NaiveTwoHopListing().run(graph, seed=num_nodes).rounds)
-        return measured, baseline
+        runner = SweepRunner(max_workers=SWEEP_WORKERS)
+        finding_records = runner.run_cells(_sweep_cells("S-THM1", _finding_algorithm))
+        naive_records = runner.run_cells(_sweep_cells("S-THM1-naive", _naive_algorithm))
+        return finding_records, naive_records
 
-    measured, baseline = run_once(benchmark, sweep)
+    finding_records, naive_records = run_once(benchmark, sweep)
+    for record in finding_records:
+        assert record.sound
+        assert record.solves_finding
+    measured = [record.rounds for record in finding_records]
+    baseline = [record.rounds for record in naive_records]
     reference = [theorem1_round_bound(n) for n in SIZES]
 
     fit = fit_power_law([float(n) for n in SIZES], [float(r) for r in measured])
@@ -88,10 +115,10 @@ def test_finding_cost_grows_with_size(benchmark):
 
     def endpoints():
         small = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic()).run(
-            _workload(SIZES[0]), seed=7
+            _workload(SIZES[0], 0), seed=7
         )
         large = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic()).run(
-            _workload(SIZES[-1]), seed=7
+            _workload(SIZES[-1], 0), seed=7
         )
         return small.rounds, large.rounds
 

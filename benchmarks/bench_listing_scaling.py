@@ -4,6 +4,9 @@ Sweeps the network size on dense ``G(n, 0.5)`` workloads, measures the round
 complexity of one (A2, A3) listing pass, and compares the measured curve
 against the Theorem-2 reference bound ``n^{3/4} log n``.
 
+The sweep grid runs on :class:`repro.analysis.SweepRunner` (process-pool
+fan-out, identical records to the serial loop — see S-THM1).
+
 A single pass is measured (rather than the full ``⌈c log n⌉`` repetitions)
 so that the per-pass shape is visible; the repetition factor is a known
 multiplicative ``log n`` recorded separately in the table-1 benchmark.
@@ -20,7 +23,11 @@ Shape criteria:
 
 from __future__ import annotations
 
-from repro.analysis import fit_power_law, render_scaling_table
+import functools
+import os
+from typing import List
+
+from repro.analysis import SweepCell, SweepRunner, fit_power_law, render_scaling_table
 from repro.core import (
     TriangleFinding,
     TriangleListing,
@@ -35,29 +42,42 @@ from _bench_utils import record_table, run_once
 SIZES = [40, 60, 80, 100, 120]
 EDGE_PROBABILITY = 0.5
 SHAPE_CONSTANT = 6.0
+#: Worker processes for the sweep grid.
+SWEEP_WORKERS = min(4, os.cpu_count() or 1)
 
 
-def _workload(num_nodes: int):
+def _workload(num_nodes: int, _seed: int):
+    """The fixed-per-size dense workload (the cell seed drives the algorithm)."""
     return gnp_random_graph(num_nodes, EDGE_PROBABILITY, seed=2000 + num_nodes)
+
+
+def _listing_algorithm():
+    return TriangleListing(repetitions=1, epsilon=listing_epsilon_asymptotic())
+
+
+def _sweep_cells() -> List[SweepCell]:
+    return [
+        SweepCell(
+            experiment="S-THM2",
+            algorithm_factory=_listing_algorithm,
+            graph_factory=functools.partial(_workload, num_nodes),
+            seed=num_nodes,
+        )
+        for num_nodes in SIZES
+    ]
 
 
 def test_listing_scaling_against_theorem2_bound(benchmark):
     """S-THM2: measured listing rounds vs the Theorem-2 reference curve."""
 
     def sweep():
-        rows = []
-        for num_nodes in SIZES:
-            graph = _workload(num_nodes)
-            result = TriangleListing(
-                repetitions=1, epsilon=listing_epsilon_asymptotic()
-            ).run(graph, seed=num_nodes)
-            result.check_soundness(graph)
-            rows.append((result.rounds, result.listing_recall(graph)))
-        return rows
+        return SweepRunner(max_workers=SWEEP_WORKERS).run_cells(_sweep_cells())
 
-    rows = run_once(benchmark, sweep)
-    measured = [float(rounds) for rounds, _ in rows]
-    recalls = [recall for _, recall in rows]
+    records = run_once(benchmark, sweep)
+    for record in records:
+        assert record.sound
+    measured = [float(record.rounds) for record in records]
+    recalls = [record.recall for record in records]
     reference = [theorem2_round_bound(n) for n in SIZES]
 
     fit = fit_power_law([float(n) for n in SIZES], measured)
@@ -84,7 +104,7 @@ def test_listing_costs_at_least_finding(benchmark):
     def compare():
         pairs = []
         for num_nodes in (SIZES[0], SIZES[-1]):
-            graph = _workload(num_nodes)
+            graph = _workload(num_nodes, 0)
             listing = TriangleListing(
                 repetitions=1, epsilon=listing_epsilon_asymptotic()
             ).run(graph, seed=3)
@@ -103,7 +123,7 @@ def test_full_listing_recall_with_amplification(benchmark):
     """With the paper's ⌈log n⌉ repetitions the listing recall reaches 1.0."""
 
     def amplified():
-        graph = _workload(80)
+        graph = _workload(80, 0)
         result = TriangleListing(epsilon=listing_epsilon_asymptotic()).run(graph, seed=9)
         return result.listing_recall(graph), result.rounds
 

@@ -6,10 +6,19 @@ ground truth, and record the measured round counts next to the predicted
 bounds.  This module provides that loop once, with explicit seeds so every
 record is reproducible, and simple aggregation helpers for the table
 renderers.
+
+Sweeps are expressed as grids of :class:`SweepCell`s and executed by
+:class:`SweepRunner`, which fans independent (algorithm × workload × seed)
+cells out over a :mod:`concurrent.futures` process pool.  Each cell carries
+its own explicit seed (derive per-cell seeds reproducibly with
+:meth:`SweepRunner.spawn_seeds`, built on ``np.random.SeedSequence.spawn``),
+so a parallel run produces records identical to the serial loop, in the
+same order — parallelism changes wall-clock, never results.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence
 
@@ -155,6 +164,163 @@ def run_size_sweep(
                 run_single(experiment, algorithm_factory(), graph, seed)
             )
     return records
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent (algorithm × workload × seed) unit of a sweep.
+
+    Cells are executed in worker processes, so the two factories must be
+    picklable: module-level callables or :func:`functools.partial` objects
+    over module-level callables (lambdas and closures are not).
+    """
+
+    experiment: str
+    algorithm_factory: Callable[[], RunnableAlgorithm]
+    graph_factory: Callable[[int], Graph]
+    seed: int
+    extra: Optional[Dict[str, Any]] = None
+
+
+def _execute_cell(cell: SweepCell) -> ExperimentRecord:
+    """Run one cell (the worker entry point; top-level for picklability)."""
+    graph = cell.graph_factory(cell.seed)
+    return run_single(
+        cell.experiment,
+        cell.algorithm_factory(),
+        graph,
+        cell.seed,
+        extra=cell.extra,
+    )
+
+
+class SweepRunner:
+    """Schedule experiment sweeps, serially or over a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Size of the worker pool.  ``None`` or any value below 2 runs the
+        sweep serially in-process (no pool is created); values above 1 fan
+        the cells out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+    chunk_size:
+        Cells per pool task (``chunksize`` of :meth:`Executor.map`).  Raise
+        it for sweeps of many cheap cells to amortise pickling overhead.
+
+    Because every cell carries its own explicit seed and cells share no
+    state, the parallel path reproduces the serial path exactly: same
+    records, same order.  The acceptance test pickles both record lists and
+    compares the bytes.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, chunk_size: int = 1) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise AnalysisError(f"max_workers must be positive, got {max_workers}")
+        if chunk_size < 1:
+            raise AnalysisError(f"chunk_size must be positive, got {chunk_size}")
+        self._max_workers = max_workers
+        self._chunk_size = chunk_size
+
+    @property
+    def parallel(self) -> bool:
+        """``True`` when sweeps run on a process pool."""
+        return self._max_workers is not None and self._max_workers > 1
+
+    @staticmethod
+    def spawn_seeds(base_seed: int, count: int) -> List[int]:
+        """Derive ``count`` independent, reproducible per-cell seeds.
+
+        Built on ``np.random.SeedSequence(base_seed).spawn``: children are
+        statistically independent streams, and the derivation is a pure
+        function of ``(base_seed, count)`` — the same base always yields the
+        same cell seeds, regardless of worker scheduling.
+        """
+        if count < 0:
+            raise AnalysisError(f"count must be non-negative, got {count}")
+        children = np.random.SeedSequence(base_seed).spawn(count)
+        return [int(child.generate_state(1, dtype=np.uint64)[0] >> 1) for child in children]
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> List[ExperimentRecord]:
+        """Execute ``cells`` and return their records in cell order."""
+        cells = list(cells)
+        if not self.parallel or len(cells) < 2:
+            return [_execute_cell(cell) for cell in cells]
+        with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+            return list(pool.map(_execute_cell, cells, chunksize=self._chunk_size))
+
+    def run_repeated(
+        self,
+        experiment: str,
+        algorithm_factory: Callable[[], RunnableAlgorithm],
+        graph_factory: Callable[[int], Graph],
+        seeds: Sequence[int],
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> List[ExperimentRecord]:
+        """Parallel counterpart of :func:`run_repeated` (same record grid)."""
+        if not seeds:
+            raise AnalysisError("run_repeated needs at least one seed")
+        cells = [
+            SweepCell(
+                experiment=experiment,
+                algorithm_factory=algorithm_factory,
+                graph_factory=graph_factory,
+                seed=seed,
+                extra=dict(extra) if extra else None,
+            )
+            for seed in seeds
+        ]
+        return self.run_cells(cells)
+
+    def run_size_sweep(
+        self,
+        experiment: str,
+        algorithm_factory: Callable[[], RunnableAlgorithm],
+        graph_factory: Callable[[int, int], Graph],
+        sizes: Sequence[int],
+        seeds_per_size: int = 1,
+        base_seed: int = 0,
+    ) -> List[ExperimentRecord]:
+        """Size sweep over the same (size × repeat) grid as :func:`run_size_sweep`.
+
+        Per-cell seeds are derived with :meth:`spawn_seeds` (one child per
+        (size, repeat) cell, in grid order), so the sweep is reproducible
+        from ``base_seed`` alone and identical under any worker count.
+        Note this is a deliberately *different* seeding scheme from the
+        module-level helper's ``base_seed + 1000 * size_index + repeat``
+        arithmetic — for the same ``base_seed`` the two produce different
+        (equally valid) records.  Migrating an existing experiment to the
+        runner restarts its seed lineage; within the runner, serial and
+        parallel executions are byte-identical.
+        """
+        if not sizes:
+            raise AnalysisError("run_size_sweep needs at least one size")
+        if seeds_per_size < 1:
+            raise AnalysisError("seeds_per_size must be at least 1")
+        seeds = self.spawn_seeds(base_seed, len(sizes) * seeds_per_size)
+        cells = []
+        for size_index, size in enumerate(sizes):
+            for repeat in range(seeds_per_size):
+                seed = seeds[size_index * seeds_per_size + repeat]
+                cells.append(
+                    SweepCell(
+                        experiment=experiment,
+                        algorithm_factory=algorithm_factory,
+                        graph_factory=_SizedGraphFactory(graph_factory, size),
+                        seed=seed,
+                    )
+                )
+        return self.run_cells(cells)
+
+
+@dataclass(frozen=True)
+class _SizedGraphFactory:
+    """Picklable adapter binding a ``(size, seed)`` factory to one size."""
+
+    factory: Callable[[int, int], Graph]
+    num_nodes: int
+
+    def __call__(self, seed: int) -> Graph:
+        return self.factory(self.num_nodes, seed)
 
 
 def mean_rounds_by_size(records: Iterable[ExperimentRecord]) -> Dict[int, float]:

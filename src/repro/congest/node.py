@@ -57,6 +57,7 @@ class NodeContext:
         comm_targets: Optional[Iterable[NodeId]],
         rng: np.random.Generator,
         plane: MessagePlane,
+        neighbor_array: Optional[np.ndarray] = None,
     ) -> None:
         #: This node's identifier (``0 .. n-1``).
         self.node_id = node_id
@@ -64,7 +65,9 @@ class NodeContext:
         self.num_nodes = num_nodes
         #: The node's neighbours in the *input graph* ``G`` — its initial
         #: knowledge of the topology.
-        self.neighbors: frozenset[NodeId] = frozenset(neighbors)
+        self.neighbors: frozenset[NodeId] = (
+            neighbors if isinstance(neighbors, frozenset) else frozenset(neighbors)
+        )
         #: Private randomness for this node.
         self.rng = rng
         #: Free-form per-node algorithm state.
@@ -72,13 +75,21 @@ class NodeContext:
         # Nodes this node may send to: equal to ``neighbors`` in the CONGEST
         # model, and to all other nodes in the CONGEST clique model.  ``None``
         # encodes the clique case without materialising n-1 identifiers per
-        # node; the frozenset is then built lazily on first access.
-        self._comm_targets: Optional[frozenset[NodeId]] = (
-            None if comm_targets is None else frozenset(comm_targets)
-        )
+        # node; the frozenset is then built lazily on first access.  When the
+        # caller passes the same object for both (the standard-model
+        # simulator does), the frozenset is shared rather than copied.
+        if comm_targets is None:
+            self._comm_targets: Optional[frozenset[NodeId]] = None
+        elif comm_targets is neighbors:
+            self._comm_targets = self.neighbors
+        else:
+            self._comm_targets = frozenset(comm_targets)
         self._clique_targets_cache: Optional[frozenset[NodeId]] = None
         self._targets_array: Optional[np.ndarray] = None
-        self._neighbor_array: Optional[np.ndarray] = None
+        # Sorted int64 neighbour identifiers; simulators built on the CSR
+        # substrate hand in the graph view's (immutable) row slice so the
+        # broadcast fast path never re-sorts or re-materialises it.
+        self._neighbor_array: Optional[np.ndarray] = neighbor_array
         self._plane = plane
         self._inbox: Inbox = EMPTY_INBOX
         self._output: Set[Triangle] = set()
@@ -262,11 +273,14 @@ class NodeContext:
     def _sorted_targets(self) -> np.ndarray:
         """Sorted array of explicit communication targets (cached, O(degree))."""
         if self._targets_array is None:
-            self._targets_array = np.fromiter(
-                sorted(self._comm_targets),
-                dtype=np.int64,
-                count=len(self._comm_targets),
-            )
+            if self._neighbor_array is not None and self._comm_targets is self.neighbors:
+                self._targets_array = self._neighbor_array
+            else:
+                self._targets_array = np.fromiter(
+                    sorted(self._comm_targets),
+                    dtype=np.int64,
+                    count=len(self._comm_targets),
+                )
         return self._targets_array
 
     def received(self) -> List[Tuple[NodeId, Any]]:

@@ -46,6 +46,12 @@ from .metrics import ExecutionMetrics, PhaseReport
 from .node import NodeContext
 from .runtime import CongestRuntime, PhaseTraffic, max_link_bits
 
+#: Sentinel returned by :meth:`CongestSimulator._communication_targets` when
+#: the communication topology is the input graph itself.  The constructor
+#: then reuses the CSR-derived neighbour frozenset instead of building a
+#: second copy per node.
+GRAPH_NEIGHBORS = object()
+
 
 class CongestSimulator:
     """Simulate a phase-synchronous protocol in the standard CONGEST model.
@@ -76,17 +82,29 @@ class CongestSimulator:
         round_limit: Optional[int] = None,
     ) -> None:
         self._runtime = CongestRuntime(graph, bandwidth, round_limit)
-        self._runtime.build_contexts(
-            seed,
-            lambda node, rng: NodeContext(
+        # Contexts are built straight from the immutable CSR view: each node
+        # receives the view's sorted neighbour row (zero-copy) plus one
+        # frozenset, shared with the communication-target set in the
+        # standard model instead of materialised twice.
+        csr = graph.csr()
+
+        def build_context(node: NodeId, rng: np.random.Generator) -> NodeContext:
+            neighbor_row = csr.neighbor_slice(node)
+            neighbors = frozenset(neighbor_row.tolist())
+            targets = self._communication_targets(graph, node)
+            if targets is GRAPH_NEIGHBORS:
+                targets = neighbors
+            return NodeContext(
                 node_id=node,
                 num_nodes=graph.num_nodes,
-                neighbors=graph.neighbors(node),
-                comm_targets=self._communication_targets(graph, node),
+                neighbors=neighbors,
+                comm_targets=targets,
                 rng=rng,
                 plane=self._runtime.plane,
-            ),
-        )
+                neighbor_array=neighbor_row,
+            )
+
+        self._runtime.build_contexts(seed, build_context)
 
     # ------------------------------------------------------------------
     # topology hooks (overridden by the clique variant)
@@ -97,10 +115,13 @@ class CongestSimulator:
         """Return the nodes ``node`` may address directly.
 
         In the standard CONGEST model the communication topology *is* the
-        input graph, so the targets are the graph neighbours.  The clique
-        variant returns ``None``, the "all other nodes" sentinel.
+        input graph, so the targets are the graph neighbours — signalled by
+        the :data:`GRAPH_NEIGHBORS` sentinel, which lets the constructor
+        reuse one frozenset for both roles.  The clique variant returns
+        ``None``, the "all other nodes" sentinel.  Subclasses may also
+        return any explicit iterable of node identifiers.
         """
-        return graph.neighbors(node)
+        return GRAPH_NEIGHBORS
 
     @property
     def model_name(self) -> str:

@@ -63,9 +63,13 @@ class TriangleFinding:
         self._epsilon = epsilon
 
     def parameters_for(self, graph: Graph) -> FindingParameters:
-        """Return the concrete Theorem-1 parameters used on ``graph``."""
-        return FindingParameters.for_graph_size(
-            graph.num_nodes,
+        """Return the concrete Theorem-1 parameters used on ``graph``.
+
+        Selection reads ``n`` and the degree array from the graph's CSR
+        view (see :meth:`FindingParameters.for_graph`).
+        """
+        return FindingParameters.for_graph(
+            graph,
             repetitions=self._repetitions,
             budget_constant=self._budget_constant,
             epsilon=self._epsilon,
@@ -107,6 +111,7 @@ class TriangleFinding:
         return {
             "epsilon": parameters.epsilon,
             "heaviness_threshold": parameters.heaviness_threshold,
+            "sample_cap": parameters.sample_cap,
             "repetitions": parameters.repetitions,
             "round_budget_per_pass": parameters.round_budget,
             "stop_on_success": self._stop_on_success,

@@ -57,9 +57,13 @@ class TriangleListing:
         self._epsilon = epsilon
 
     def parameters_for(self, graph: Graph) -> ListingParameters:
-        """Return the concrete Theorem-2 parameters used on ``graph``."""
-        return ListingParameters.for_graph_size(
-            graph.num_nodes,
+        """Return the concrete Theorem-2 parameters used on ``graph``.
+
+        Selection reads ``n`` and the degree array from the graph's CSR
+        view (see :meth:`ListingParameters.for_graph`).
+        """
+        return ListingParameters.for_graph(
+            graph,
             repetitions=self._repetitions,
             repetition_constant=self._repetition_constant,
             budget_constant=self._budget_constant,
@@ -97,6 +101,7 @@ class TriangleListing:
             "epsilon": parameters.epsilon,
             "heaviness_threshold": parameters.heaviness_threshold,
             "hash_range": parameters.hash_range,
+            "edge_set_cap": parameters.edge_set_cap,
             "repetitions": parameters.repetitions,
             "round_budget_per_pass": parameters.round_budget,
         }

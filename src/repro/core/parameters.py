@@ -26,9 +26,13 @@ from here so the choices live in exactly one place.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclasses_replace
+from typing import TYPE_CHECKING
 
 from ..errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graphs.graph import Graph
 
 
 def _log(n: int) -> float:
@@ -241,6 +245,37 @@ class FindingParameters:
             repetitions=repetitions if repetitions is not None else finding_repetitions(),
         )
 
+    @classmethod
+    def for_graph(
+        cls,
+        graph: "Graph",
+        repetitions: int | None = None,
+        budget_constant: float = 8.0,
+        epsilon: float | None = None,
+    ) -> "FindingParameters":
+        """Instantiate the Theorem-1 parameters for a concrete workload.
+
+        Reads ``n`` and the degree array from the graph's immutable CSR
+        view and tightens the *recorded* sample cap with the observed
+        maximum degree: a node can never sample more neighbours than it
+        has, so ``min(4 n^{1-ε}, d_max)`` bounds the same executions while
+        keeping the cap reported in experiment records meaningful on
+        sparse workloads.  (A1 itself recomputes its cap from ε and ``n``;
+        the clamp only ever lowers the cap into the region where it
+        provably cannot bind, so execution is unchanged by construction.)
+        """
+        csr = graph.csr()
+        parameters = cls.for_graph_size(
+            csr.num_nodes,
+            repetitions=repetitions,
+            budget_constant=budget_constant,
+            epsilon=epsilon,
+        )
+        d_max = csr.max_degree()
+        if d_max and d_max < parameters.sample_cap:
+            parameters = dataclasses_replace(parameters, sample_cap=float(d_max))
+        return parameters
+
 
 @dataclass(frozen=True)
 class ListingParameters:
@@ -289,6 +324,40 @@ class ListingParameters:
                 else listing_repetitions(num_nodes, repetition_constant)
             ),
         )
+
+    @classmethod
+    def for_graph(
+        cls,
+        graph: "Graph",
+        repetitions: int | None = None,
+        repetition_constant: float = 1.0,
+        budget_constant: float = 8.0,
+        epsilon: float | None = None,
+    ) -> "ListingParameters":
+        """Instantiate the Theorem-2 parameters for a concrete workload.
+
+        Reads ``n`` and the degree array from the graph's immutable CSR
+        view and tightens the *recorded* per-link edge-set cap with the
+        observed maximum degree: a node's filtered edge set is a subset of
+        its incident edges, so ``min(8 + 4n/⌊n^{ε/2}⌋, d_max)`` bounds the
+        same executions while keeping the cap reported in experiment
+        records meaningful on sparse workloads.  (A2 itself recomputes its
+        cap from ε and ``n``; the clamp only ever lowers the cap into the
+        region where it provably cannot bind, so execution is unchanged by
+        construction.)
+        """
+        csr = graph.csr()
+        parameters = cls.for_graph_size(
+            csr.num_nodes,
+            repetitions=repetitions,
+            repetition_constant=repetition_constant,
+            budget_constant=budget_constant,
+            epsilon=epsilon,
+        )
+        d_max = csr.max_degree()
+        if d_max and d_max < parameters.edge_set_cap:
+            parameters = dataclasses_replace(parameters, edge_set_cap=float(d_max))
+        return parameters
 
 
 def _validate_epsilon(epsilon: float) -> None:

@@ -7,6 +7,7 @@ CONGEST simulator never see these objects — they only receive their local
 view through :class:`repro.congest.node.NodeContext`.
 """
 
+from .csr import CSRGraph
 from .graph import Graph, InducedSubgraph, degree_histogram, is_connected
 from .generators import (
     barabasi_albert_graph,
@@ -32,6 +33,7 @@ from .triangles import (
     is_heavy_triangle,
     is_triangle_free,
     iter_triangles,
+    iter_triangles_reference,
     light_triangles,
     list_triangles,
     local_triangle_count,
@@ -47,6 +49,7 @@ from .io import (
 )
 
 __all__ = [
+    "CSRGraph",
     "Graph",
     "InducedSubgraph",
     "degree_histogram",
@@ -72,6 +75,7 @@ __all__ = [
     "is_heavy_triangle",
     "is_triangle_free",
     "iter_triangles",
+    "iter_triangles_reference",
     "light_triangles",
     "list_triangles",
     "local_triangle_count",

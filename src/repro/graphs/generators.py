@@ -22,17 +22,29 @@ the regimes the analysis distinguishes:
 
 Every generator takes an explicit ``seed`` (or ``rng``) so that experiments
 are reproducible.
+
+All hot generators build their edge sets as numpy arrays and construct the
+graph in one :meth:`~repro.graphs.graph.Graph.from_edge_arrays` bulk pass
+(which also pre-populates the CSR view), so generation cost is dominated by
+sampling, not per-edge Python calls.  ``G(n, p)`` picks between direct
+upper-triangle masking (small instances, bit-for-bit the sampling order of
+the original implementation) and geometric gap skipping (large sparse
+instances, expected ``O(m)`` draws instead of ``O(n²)``).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import GraphError
-from ..types import NodeId
 from .graph import Graph
+
+#: Largest number of candidate pairs for which ``G(n, p)`` samples the whole
+#: upper triangle directly (one uniform per pair); beyond this, geometric
+#: gap skipping keeps memory and draws proportional to the edge count.
+_GNP_DIRECT_MAX_PAIRS = 1 << 24
 
 
 def _resolve_rng(seed: Optional[int | np.random.Generator]) -> np.random.Generator:
@@ -40,6 +52,12 @@ def _resolve_rng(seed: Optional[int | np.random.Generator]) -> np.random.Generat
     if isinstance(seed, np.random.Generator):
         return seed
     return np.random.default_rng(seed)
+
+
+def _complete_block_edges(start: int, size: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Return the edge arrays of a clique on vertices ``start .. start+size-1``."""
+    upper_u, upper_v = np.triu_indices(size, k=1)
+    return upper_u + start, upper_v + start
 
 
 def empty_graph(num_nodes: int) -> Graph:
@@ -53,11 +71,44 @@ def complete_graph(num_nodes: int) -> Graph:
     ``K_n`` maximises both the triangle count (every triple is a triangle)
     and ``d_max``; it is the worst case for the naive 2-hop baseline.
     """
-    graph = Graph(num_nodes)
-    for u in range(num_nodes):
-        for v in range(u + 1, num_nodes):
-            graph.add_edge(u, v)
-    return graph
+    if num_nodes < 2:
+        return Graph(num_nodes)
+    u, v = _complete_block_edges(0, num_nodes)
+    return Graph.from_edge_arrays(num_nodes, u, v, deduplicate=False)
+
+
+def _linear_index_to_pair(
+    positions: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode row-major upper-triangle linear indices into ``(u, v)`` pairs."""
+    row_lengths = np.arange(num_nodes - 1, 0, -1, dtype=np.int64)
+    row_starts = np.zeros(num_nodes, dtype=np.int64)
+    np.cumsum(row_lengths, out=row_starts[1:])
+    u = np.searchsorted(row_starts, positions, side="right") - 1
+    v = u + 1 + (positions - row_starts[u])
+    return u, v
+
+
+def _gnp_positions_by_skipping(
+    total: int, edge_probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample the included upper-triangle positions by geometric gaps.
+
+    Standard sparse-G(n, p) trick: the gap to the next included pair is
+    geometric with parameter ``p``, so only ``~ total * p`` draws are needed.
+    """
+    log_skip = np.log1p(-edge_probability)
+    pieces: List[np.ndarray] = []
+    current = -1
+    while current < total:
+        remaining = total - current
+        batch = max(1024, int(remaining * edge_probability * 1.2) + 16)
+        uniforms = np.maximum(rng.random(batch), 1e-300)
+        gaps = (np.log(uniforms) // log_skip).astype(np.int64) + 1
+        steps = np.cumsum(gaps) + current
+        pieces.append(steps[steps < total])
+        current = int(steps[-1])
+    return np.concatenate(pieces)
 
 
 def gnp_random_graph(
@@ -76,16 +127,19 @@ def gnp_random_graph(
             f"edge_probability must lie in [0, 1], got {edge_probability}"
         )
     rng = _resolve_rng(seed)
-    graph = Graph(num_nodes)
     if num_nodes < 2 or edge_probability == 0.0:
-        return graph
-    # Vectorised sampling of the upper triangle keeps generation fast for the
-    # graph sizes the simulator targets (a few hundred nodes).
-    upper_u, upper_v = np.triu_indices(num_nodes, k=1)
-    mask = rng.random(upper_u.shape[0]) < edge_probability
-    for u, v in zip(upper_u[mask].tolist(), upper_v[mask].tolist()):
-        graph.add_edge(int(u), int(v))
-    return graph
+        return Graph(num_nodes)
+    if edge_probability == 1.0:
+        return complete_graph(num_nodes)
+    total = num_nodes * (num_nodes - 1) // 2
+    if total <= _GNP_DIRECT_MAX_PAIRS:
+        positions = np.flatnonzero(rng.random(total) < edge_probability)
+    else:
+        positions = _gnp_positions_by_skipping(total, edge_probability, rng)
+    if positions.shape[0] == 0:
+        return Graph(num_nodes)
+    u, v = _linear_index_to_pair(positions, num_nodes)
+    return Graph.from_edge_arrays(num_nodes, u, v, deduplicate=False)
 
 
 def triangle_free_bipartite(
@@ -105,25 +159,26 @@ def triangle_free_bipartite(
             f"edge_probability must lie in [0, 1], got {edge_probability}"
         )
     rng = _resolve_rng(seed)
-    graph = Graph(num_nodes)
     split = (num_nodes + 1) // 2
-    for u in range(split):
-        for v in range(split, num_nodes):
-            if rng.random() < edge_probability:
-                graph.add_edge(u, v)
-    return graph
+    other = num_nodes - split
+    if split == 0 or other == 0 or edge_probability == 0.0:
+        return Graph(num_nodes)
+    mask = rng.random((split, other)) < edge_probability
+    u, col = np.nonzero(mask)
+    if u.shape[0] == 0:
+        return Graph(num_nodes)
+    return Graph.from_edge_arrays(num_nodes, u, col + split, deduplicate=False)
 
 
 def cycle_graph(num_nodes: int) -> Graph:
     """Return the cycle ``C_n`` (triangle-free for ``n != 3``)."""
-    graph = Graph(num_nodes)
     if num_nodes < 3:
+        graph = Graph(num_nodes)
         if num_nodes == 2:
             graph.add_edge(0, 1)
         return graph
-    for u in range(num_nodes):
-        graph.add_edge(u, (u + 1) % num_nodes)
-    return graph
+    u = np.arange(num_nodes, dtype=np.int64)
+    return Graph.from_edge_arrays(num_nodes, u, (u + 1) % num_nodes, deduplicate=False)
 
 
 def planted_triangle_graph(
@@ -195,16 +250,21 @@ def heavy_edge_gadget(
             f"support must lie in [0, {num_nodes - 2}], got {support}"
         )
     rng = _resolve_rng(seed)
-    graph = Graph(num_nodes)
-    graph.add_edge(0, 1)
-    for apex in range(2, 2 + support):
-        graph.add_edge(0, apex)
-        graph.add_edge(1, apex)
-    if background_probability > 0.0:
-        for u in range(2, num_nodes):
-            for v in range(u + 1, num_nodes):
-                if rng.random() < background_probability:
-                    graph.add_edge(u, v)
+    apexes = np.arange(2, 2 + support, dtype=np.int64)
+    u_parts = [np.array([0], dtype=np.int64), np.zeros(support, dtype=np.int64),
+               np.ones(support, dtype=np.int64)]
+    v_parts = [np.array([1], dtype=np.int64), apexes, apexes]
+    if background_probability > 0.0 and num_nodes > 3:
+        rest = num_nodes - 2
+        mask = rng.random(rest * (rest - 1) // 2) < background_probability
+        positions = np.flatnonzero(mask)
+        if positions.shape[0]:
+            bu, bv = _linear_index_to_pair(positions, rest)
+            u_parts.append(bu + 2)
+            v_parts.append(bv + 2)
+    graph = Graph.from_edge_arrays(
+        num_nodes, np.concatenate(u_parts), np.concatenate(v_parts)
+    )
     return graph, (0, 1)
 
 
@@ -220,6 +280,11 @@ def barabasi_albert_graph(
     probability proportional to their degree.  The resulting skewed degree
     distribution and naturally occurring triangles make this the "synthetic
     social network" workload for the motif-census example.
+
+    The repeated-endpoint list implementing preferential attachment lives in
+    one pre-sized numpy buffer; each arriving vertex draws candidate batches
+    from the filled prefix until it holds ``attachment`` distinct targets
+    (first-drawn order, as in the sequential formulation).
     """
     if attachment < 1:
         raise GraphError(f"attachment must be at least 1, got {attachment}")
@@ -229,25 +294,44 @@ def barabasi_albert_graph(
             f"got {num_nodes}"
         )
     rng = _resolve_rng(seed)
-    graph = Graph(num_nodes)
-    # Seed clique.
-    for u in range(attachment + 1):
-        for v in range(u + 1, attachment + 1):
-            graph.add_edge(u, v)
-    # Repeated-endpoint list implements preferential attachment.
-    endpoints: List[int] = []
-    for u in range(attachment + 1):
-        endpoints.extend([u] * graph.degree(u))
-    for new_vertex in range(attachment + 1, num_nodes):
-        targets: set[int] = set()
-        while len(targets) < attachment:
-            choice = int(endpoints[int(rng.integers(0, len(endpoints)))])
-            targets.add(choice)
-        for target in targets:
-            graph.add_edge(new_vertex, target)
-            endpoints.append(target)
-            endpoints.append(new_vertex)
-    return graph
+    clique_size = attachment + 1
+    clique_u, clique_v = _complete_block_edges(0, clique_size)
+    num_new = num_nodes - clique_size
+    total_edges = clique_u.shape[0] + num_new * attachment
+    endpoints = np.empty(2 * total_edges, dtype=np.int64)
+    filled = 2 * clique_u.shape[0]
+    endpoints[0 : filled : 2] = clique_u
+    endpoints[1 : filled : 2] = clique_v
+    new_sources = np.repeat(
+        np.arange(clique_size, num_nodes, dtype=np.int64), attachment
+    )
+    new_targets = np.empty(num_new * attachment, dtype=np.int64)
+    write = 0
+    for new_vertex in range(clique_size, num_nodes):
+        chosen: List[int] = []
+        while len(chosen) < attachment:
+            draws = endpoints[
+                rng.integers(0, filled, size=max(2 * attachment, 8))
+            ]
+            # np.unique sorts, so recover first-drawn order via the index of
+            # each value's first occurrence.
+            _, first_positions = np.unique(draws, return_index=True)
+            fresh = draws[np.sort(first_positions)]
+            if chosen:
+                fresh = fresh[~np.isin(fresh, np.array(chosen, dtype=np.int64))]
+            chosen.extend(fresh.tolist()[: attachment - len(chosen)])
+        targets = np.array(chosen, dtype=np.int64)
+        new_targets[write : write + attachment] = targets
+        endpoints[filled : filled + 2 * attachment : 2] = targets
+        endpoints[filled + 1 : filled + 2 * attachment : 2] = new_vertex
+        filled += 2 * attachment
+        write += attachment
+    return Graph.from_edge_arrays(
+        num_nodes,
+        np.concatenate((clique_u, new_sources)),
+        np.concatenate((clique_v, new_targets)),
+        deduplicate=False,
+    )
 
 
 def random_regular_graph(
@@ -260,7 +344,8 @@ def random_regular_graph(
 
     The pairing (configuration) model is retried until it produces a simple
     graph; for the moderate degrees used in experiments this succeeds within
-    a few attempts.
+    a few attempts.  Validity of a pairing (no self-loops, no parallel
+    edges) is checked with array reductions on the whole stub permutation.
 
     Raises
     ------
@@ -281,16 +366,14 @@ def random_regular_graph(
     stubs = np.repeat(np.arange(num_nodes), degree)
     for _ in range(max_attempts):
         permuted = rng.permutation(stubs)
-        graph = Graph(num_nodes)
-        simple = True
-        for index in range(0, len(permuted), 2):
-            u, v = int(permuted[index]), int(permuted[index + 1])
-            if u == v or graph.has_edge(u, v):
-                simple = False
-                break
-            graph.add_edge(u, v)
-        if simple:
-            return graph
+        u = permuted[0::2]
+        v = permuted[1::2]
+        if (u == v).any():
+            continue
+        keys = np.minimum(u, v) * np.int64(num_nodes) + np.maximum(u, v)
+        if np.unique(keys).shape[0] != keys.shape[0]:
+            continue
+        return Graph.from_edge_arrays(num_nodes, u, v, deduplicate=False)
     raise GraphError(
         f"failed to generate a simple {degree}-regular graph on "
         f"{num_nodes} vertices in {max_attempts} attempts"
@@ -311,16 +394,17 @@ def lollipop_graph(clique_size: int, path_length: int) -> Graph:
             f"clique_size={clique_size}, path_length={path_length}"
         )
     num_nodes = clique_size + path_length
-    graph = Graph(num_nodes)
-    for u in range(clique_size):
-        for v in range(u + 1, clique_size):
-            graph.add_edge(u, v)
-    previous = clique_size - 1
-    for offset in range(path_length):
-        current = clique_size + offset
-        graph.add_edge(previous, current)
-        previous = current
-    return graph
+    clique_u, clique_v = _complete_block_edges(0, clique_size)
+    path_u = np.arange(clique_size - 1, num_nodes - 1, dtype=np.int64)
+    path_v = path_u + 1
+    if path_u.shape[0] and clique_size >= 1:
+        u = np.concatenate((clique_u, path_u))
+        v = np.concatenate((clique_v, path_v))
+    else:
+        u, v = clique_u, clique_v
+    if u.shape[0] == 0:
+        return Graph(num_nodes)
+    return Graph.from_edge_arrays(num_nodes, u, v, deduplicate=False)
 
 
 def union_of_cliques(
@@ -336,11 +420,20 @@ def union_of_cliques(
     if any(size < 1 for size in clique_sizes):
         raise GraphError("all clique sizes must be positive")
     num_nodes = sum(clique_sizes)
-    graph = Graph(num_nodes)
+    u_parts: List[np.ndarray] = []
+    v_parts: List[np.ndarray] = []
     offset = 0
     for size in clique_sizes:
-        for u in range(offset, offset + size):
-            for v in range(u + 1, offset + size):
-                graph.add_edge(u, v)
+        if size >= 2:
+            block_u, block_v = _complete_block_edges(offset, size)
+            u_parts.append(block_u)
+            v_parts.append(block_v)
         offset += size
-    return graph
+    if not u_parts:
+        return Graph(num_nodes)
+    return Graph.from_edge_arrays(
+        num_nodes,
+        np.concatenate(u_parts),
+        np.concatenate(v_parts),
+        deduplicate=False,
+    )

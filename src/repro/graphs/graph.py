@@ -21,10 +21,13 @@ verification.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..errors import GraphError
 from ..types import Edge, NodeId, make_edge
+from .csr import CSRGraph
 
 
 class Graph:
@@ -40,7 +43,7 @@ class Graph:
         duplicates are ignored; self-loops raise :class:`GraphError`.
     """
 
-    __slots__ = ("_num_nodes", "_adjacency", "_num_edges")
+    __slots__ = ("_num_nodes", "_adjacency", "_num_edges", "_csr_cache")
 
     def __init__(self, num_nodes: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
         if num_nodes < 0:
@@ -48,6 +51,7 @@ class Graph:
         self._num_nodes = num_nodes
         self._adjacency: List[Set[NodeId]] = [set() for _ in range(num_nodes)]
         self._num_edges = 0
+        self._csr_cache: Optional[CSRGraph] = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -120,6 +124,20 @@ class Graph:
         possible = self._num_nodes * (self._num_nodes - 1) / 2.0
         return self._num_edges / possible
 
+    def csr(self) -> CSRGraph:
+        """Return an immutable CSR view of the current adjacency structure.
+
+        The view is built lazily on first access and cached; any mutation
+        (:meth:`add_edge`, :meth:`remove_edge`) invalidates the cache, so a
+        returned :class:`~repro.graphs.csr.CSRGraph` is always a consistent
+        snapshot and never aliases a graph that has since changed.  All
+        read-heavy consumers (the triangle oracle, simulator context
+        construction, parameter selection) run on this view.
+        """
+        if self._csr_cache is None:
+            self._csr_cache = CSRGraph.from_graph(self)
+        return self._csr_cache
+
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges in canonical ``(min, max)`` order.
 
@@ -161,6 +179,7 @@ class Graph:
         self._adjacency[u].add(v)
         self._adjacency[v].add(u)
         self._num_edges += 1
+        self._csr_cache = None
         return True
 
     def remove_edge(self, u: NodeId, v: NodeId) -> bool:
@@ -178,6 +197,7 @@ class Graph:
         self._adjacency[u].discard(v)
         self._adjacency[v].discard(u)
         self._num_edges -= 1
+        self._csr_cache = None
         return True
 
     # ------------------------------------------------------------------
@@ -188,6 +208,9 @@ class Graph:
         clone = Graph(self._num_nodes)
         clone._adjacency = [set(adj) for adj in self._adjacency]
         clone._num_edges = self._num_edges
+        # The CSR view is immutable, so sharing the snapshot is safe: the
+        # clone drops it on its first mutation like any other cache.
+        clone._csr_cache = self._csr_cache
         return clone
 
     def induced_subgraph(self, nodes: Iterable[NodeId]) -> "InducedSubgraph":
@@ -244,6 +267,74 @@ class Graph:
     def from_edge_list(cls, num_nodes: int, edges: Sequence[Tuple[int, int]]) -> "Graph":
         """Build a graph from an explicit edge list."""
         return cls(num_nodes, edges)
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        num_nodes: int,
+        u: np.ndarray | Sequence[int],
+        v: np.ndarray | Sequence[int],
+        *,
+        deduplicate: bool = True,
+    ) -> "Graph":
+        """Bulk-build a graph from parallel endpoint arrays (the fast path).
+
+        The vectorized generators funnel through here: endpoints are
+        canonicalised, optionally deduplicated, and both the adjacency sets
+        and the CSR view are constructed in one pass — O(n + m) Python
+        operations instead of one :meth:`add_edge` call per edge.
+
+        Parameters
+        ----------
+        num_nodes:
+            Number of vertices.
+        u, v:
+            Parallel endpoint arrays.  Pairs may be in any order.
+        deduplicate:
+            Set to ``False`` only when the caller guarantees the canonical
+            pairs are distinct (saves the unique pass).
+
+        Raises
+        ------
+        GraphError
+            On self-loops or endpoints outside ``0 .. num_nodes - 1``.
+        """
+        if num_nodes < 0:
+            raise GraphError(f"num_nodes must be non-negative, got {num_nodes}")
+        src = np.asarray(u, dtype=np.int64).ravel()
+        dst = np.asarray(v, dtype=np.int64).ravel()
+        if src.shape[0] != dst.shape[0]:
+            raise GraphError(
+                f"endpoint arrays disagree in length: {src.shape[0]} vs {dst.shape[0]}"
+            )
+        graph = cls(num_nodes)
+        if src.shape[0] == 0:
+            return graph
+        if src.min() < 0 or dst.min() < 0 or max(int(src.max()), int(dst.max())) >= num_nodes:
+            raise GraphError(
+                f"endpoints must lie in 0..{num_nodes - 1}"
+            )
+        if (src == dst).any():
+            loop = int(src[np.flatnonzero(src == dst)[0]])
+            raise GraphError(f"self-loops are not allowed (vertex {loop})")
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        keys = lo * np.int64(num_nodes) + hi
+        if deduplicate:
+            keys = np.unique(keys)
+        else:
+            keys = np.sort(keys)
+        edge_u = keys // num_nodes
+        edge_v = keys % num_nodes
+        csr = CSRGraph.from_edge_arrays(num_nodes, edge_u, edge_v)
+        indptr, indices = csr.indptr, csr.indices
+        graph._adjacency = [
+            set(indices[indptr[node] : indptr[node + 1]].tolist())
+            for node in range(num_nodes)
+        ]
+        graph._num_edges = int(edge_u.shape[0])
+        graph._csr_cache = csr
+        return graph
 
     @classmethod
     def from_adjacency(cls, adjacency: Dict[int, Iterable[int]], num_nodes: int | None = None) -> "Graph":

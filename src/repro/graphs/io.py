@@ -9,11 +9,14 @@ text edge list:
 * one ``u v`` pair per line in canonical (sorted) order.
 
 The format is deliberately trivial — it round-trips exactly and diffs
-cleanly in version control.
+cleanly in version control.  Paths ending in ``.gz`` are transparently
+gzip-compressed on write and decompressed on read, so large workload files
+never need to live uncompressed on disk.
 """
 
 from __future__ import annotations
 
+import gzip
 import io
 from pathlib import Path
 from typing import Iterable, TextIO, Union
@@ -24,6 +27,13 @@ from .graph import Graph
 PathLike = Union[str, Path]
 
 
+def _open_text(path: PathLike, mode: str) -> TextIO:
+    """Open a path as text, transparently gzipping when it ends in ``.gz``."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def write_edge_list(graph: Graph, destination: Union[PathLike, TextIO], comments: Iterable[str] = ()) -> None:
     """Write ``graph`` as an edge list to a path or text stream.
 
@@ -32,13 +42,14 @@ def write_edge_list(graph: Graph, destination: Union[PathLike, TextIO], comments
     graph:
         The graph to serialise.
     destination:
-        A filesystem path or an open text stream.
+        A filesystem path (gzip-compressed when it ends in ``.gz``) or an
+        open text stream.
     comments:
         Optional comment lines (without the leading ``#``) written after the
         header, e.g. generator parameters and seeds.
     """
     if isinstance(destination, (str, Path)):
-        with open(destination, "w", encoding="utf-8") as handle:
+        with _open_text(destination, "w") as handle:
             _write(graph, handle, comments)
     else:
         _write(graph, destination, comments)
@@ -55,13 +66,15 @@ def _write(graph: Graph, handle: TextIO, comments: Iterable[str]) -> None:
 def read_edge_list(source: Union[PathLike, TextIO]) -> Graph:
     """Read a graph previously written by :func:`write_edge_list`.
 
+    Paths ending in ``.gz`` are decompressed transparently.
+
     Raises
     ------
     GraphError
         If the header is missing or a line cannot be parsed.
     """
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as handle:
+        with _open_text(source, "r") as handle:
             return _read(handle)
     return _read(source)
 

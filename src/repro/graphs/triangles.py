@@ -14,6 +14,14 @@ oracle.  This module provides that oracle:
 
 All functions run on the global :class:`~repro.graphs.graph.Graph`; they are
 never used by node programs, only by generators, verification and analysis.
+
+Since the CSR-substrate refactor the heavy lifting happens on the graph's
+immutable :meth:`~repro.graphs.graph.Graph.csr` view
+(:mod:`repro.graphs.csr`): triangle enumeration, per-edge supports, the
+heavy/light partition and the ``∆(X)`` filter are all array reductions.  The
+original pure-Python set-intersection loop survives as
+:func:`iter_triangles_reference`, the independent implementation the
+vectorized oracle is differentially tested against.
 """
 
 from __future__ import annotations
@@ -25,40 +33,59 @@ from ..types import Edge, NodeId, Triangle, make_edge
 from .graph import Graph
 
 
-def iter_triangles(graph: Graph) -> Iterator[Triangle]:
-    """Iterate over all triangles of ``graph`` in canonical sorted order.
+def iter_triangles_reference(graph: Graph) -> Iterator[Triangle]:
+    """Pure-Python reference enumeration (the oracle's differential witness).
 
-    The enumeration uses the standard "forward" strategy: each triangle
-    ``{u, v, w}`` with ``u < v < w`` is reported exactly once, by scanning the
-    neighbours of ``u`` greater than ``u`` and intersecting adjacency sets.
-    The running time is ``O(sum_e min(deg))`` which is adequate for the
-    graph sizes the simulator targets.
+    The standard "forward" strategy: each triangle ``{u, v, w}`` with
+    ``u < v < w`` is reported exactly once, by scanning the neighbours of
+    ``u`` greater than ``u`` and intersecting adjacency sets.  ``w`` is
+    drawn from the higher-neighbour list itself, so (unlike an earlier
+    revision of this loop) no redundant membership test against that list
+    is needed — only adjacency of ``v`` and ``w`` has to be checked.
+
+    Kept deliberately independent of :mod:`repro.graphs.csr`: the test
+    suite asserts the vectorized oracle agrees with this loop on every
+    workload family.
     """
     for u in graph.nodes():
         higher = [v for v in graph.sorted_neighbors(u) if v > u]
-        higher_set = set(higher)
         for index, v in enumerate(higher):
             v_neighbors = graph.neighbors(v)
             for w in higher[index + 1:]:
-                if w in v_neighbors and w in higher_set:
+                if w in v_neighbors:
                     yield (u, v, w)
+
+
+def iter_triangles(graph: Graph) -> Iterator[Triangle]:
+    """Iterate over all triangles of ``graph`` in canonical sorted order.
+
+    Enumeration runs on the CSR view's vectorized forward strategy,
+    streamed chunk by chunk, so early-exit consumers never pay for the full
+    enumeration; the order (``u < v < w``, lexicographically ascending)
+    matches :func:`iter_triangles_reference` exactly.
+    """
+    for chunk in graph.csr().iter_triangle_chunks():
+        for row in chunk.tolist():
+            yield tuple(row)  # type: ignore[misc]
 
 
 def list_triangles(graph: Graph) -> List[Triangle]:
     """Return all triangles of ``graph`` (the set ``T(G)``) as a sorted list."""
-    return list(iter_triangles(graph))
+    return [tuple(row) for row in graph.csr().triangles().tolist()]  # type: ignore[misc]
 
 
 def count_triangles(graph: Graph) -> int:
-    """Return ``|T(G)|``, the number of triangles of ``graph``."""
-    return sum(1 for _ in iter_triangles(graph))
+    """Return ``|T(G)|``, the number of triangles of ``graph``.
+
+    Counting runs on per-edge supports (one array reduction), never by
+    materialising the triangle list.
+    """
+    return graph.csr().count_triangles()
 
 
 def is_triangle_free(graph: Graph) -> bool:
-    """Return ``True`` when ``graph`` contains no triangle."""
-    for _ in iter_triangles(graph):
-        return False
-    return True
+    """Return ``True`` when ``graph`` contains no triangle (early-exit)."""
+    return not graph.csr().has_triangle()
 
 
 def triangles_through_node(graph: Graph, node: NodeId) -> List[Triangle]:
@@ -67,14 +94,10 @@ def triangles_through_node(graph: Graph, node: NodeId) -> List[Triangle]:
     This is the per-node output required from a *local* listing algorithm
     (Proposition 5 setting).
     """
-    result: List[Triangle] = []
-    neighbors = graph.sorted_neighbors(node)
-    for i, u in enumerate(neighbors):
-        u_neighbors = graph.neighbors(u)
-        for v in neighbors[i + 1:]:
-            if v in u_neighbors:
-                result.append(tuple(sorted((node, u, v))))  # type: ignore[arg-type]
-    return sorted(result)
+    return [
+        tuple(row)  # type: ignore[misc]
+        for row in graph.csr().triangles_through(node).tolist()
+    ]
 
 
 def edge_support(graph: Graph, edge: Edge | None = None) -> Dict[Edge, int] | int:
@@ -90,15 +113,19 @@ def edge_support(graph: Graph, edge: Edge | None = None) -> Dict[Edge, int] | in
     edge:
         When given, return the support of that single edge as an ``int``.
         When omitted, return a dict mapping every edge of the graph to its
-        support.
+        support (computed as one vectorized reduction on the CSR view).
     """
     if edge is not None:
         u, v = make_edge(*edge)
         return len(graph.common_neighbors(u, v))
-    supports: Dict[Edge, int] = {}
-    for u, v in graph.edges():
-        supports[(u, v)] = len(graph.common_neighbors(u, v))
-    return supports
+    csr = graph.csr()
+    supports = csr.edge_support()
+    return {
+        (u, v): s
+        for u, v, s in zip(
+            csr.edge_u.tolist(), csr.edge_v.tolist(), supports.tolist()
+        )
+    }
 
 
 def heaviness_threshold(num_nodes: int, epsilon: float) -> float:
@@ -126,21 +153,26 @@ def is_heavy_triangle(graph: Graph, triangle: Triangle, epsilon: float) -> bool:
 
 def heavy_triangles(graph: Graph, epsilon: float) -> List[Triangle]:
     """Return ``T_ε(G)``: all ε-heavy triangles of ``graph``."""
-    return [t for t in iter_triangles(graph) if is_heavy_triangle(graph, t, epsilon)]
+    threshold = heaviness_threshold(graph.num_nodes, epsilon)
+    triangles, mask = graph.csr().heavy_triangle_mask(threshold)
+    return [tuple(row) for row in triangles[mask].tolist()]  # type: ignore[misc]
 
 
 def light_triangles(graph: Graph, epsilon: float) -> List[Triangle]:
     """Return ``T(G) \\ T_ε(G)``: all triangles of ``graph`` that are not ε-heavy."""
-    return [t for t in iter_triangles(graph) if not is_heavy_triangle(graph, t, epsilon)]
+    threshold = heaviness_threshold(graph.num_nodes, epsilon)
+    triangles, mask = graph.csr().heavy_triangle_mask(threshold)
+    return [tuple(row) for row in triangles[~mask].tolist()]  # type: ignore[misc]
 
 
 def heavy_edges(graph: Graph, epsilon: float) -> List[Edge]:
     """Return all edges ``e`` with ``#(e) >= n^ε``."""
     threshold = heaviness_threshold(graph.num_nodes, epsilon)
+    csr = graph.csr()
+    mask = csr.heavy_edge_mask(threshold)
     return [
         (u, v)
-        for u, v in graph.edges()
-        if len(graph.common_neighbors(u, v)) >= threshold
+        for u, v in zip(csr.edge_u[mask].tolist(), csr.edge_v[mask].tolist())
     ]
 
 
@@ -153,12 +185,12 @@ def delta_set_membership(graph: Graph, landmarks: Iterable[NodeId]) -> Set[Edge]
     enumeration to ``E`` which keeps it quadratic-free.  Use
     :func:`pair_in_delta` for arbitrary pairs.
     """
-    landmark_set = set(landmarks)
-    members: Set[Edge] = set()
-    for u, v in graph.edges():
-        if not (graph.common_neighbors(u, v) & landmark_set):
-            members.add((u, v))
-    return members
+    csr = graph.csr()
+    mask = csr.delta_edge_mask(landmarks)
+    return {
+        (u, v)
+        for u, v in zip(csr.edge_u[mask].tolist(), csr.edge_v[mask].tolist())
+    }
 
 
 def pair_in_delta(graph: Graph, u: NodeId, v: NodeId, landmarks: Iterable[NodeId]) -> bool:
@@ -172,13 +204,13 @@ def pair_in_delta(graph: Graph, u: NodeId, v: NodeId, landmarks: Iterable[NodeId
 
 
 def local_triangle_count(graph: Graph) -> Dict[NodeId, int]:
-    """Return, for every node, the number of triangles containing it."""
-    counts: Dict[NodeId, int] = {node: 0 for node in graph.nodes()}
-    for a, b, c in iter_triangles(graph):
-        counts[a] += 1
-        counts[b] += 1
-        counts[c] += 1
-    return counts
+    """Return, for every node, the number of triangles containing it.
+
+    Computed from per-edge supports (every triangle through a node
+    contributes to exactly two of its incident edges), without listing.
+    """
+    counts = graph.csr().local_triangle_counts()
+    return {node: count for node, count in enumerate(counts.tolist())}
 
 
 def clustering_coefficient(graph: Graph, node: NodeId) -> float:

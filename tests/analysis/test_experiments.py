@@ -1,8 +1,13 @@
 """Tests for the experiment harness."""
 
+import functools
+import pickle
+
 import pytest
 
 from repro.analysis import (
+    SweepCell,
+    SweepRunner,
     all_sound,
     describe_workload,
     mean_recall,
@@ -14,6 +19,20 @@ from repro.analysis import (
 from repro.core import NaiveTwoHopListing, TriangleListing
 from repro.errors import AnalysisError
 from repro.graphs import complete_graph, gnp_random_graph
+
+
+# Sweep factories must live at module level: SweepRunner ships cells to
+# worker processes, so they have to pickle.
+def _naive_algorithm():
+    return NaiveTwoHopListing()
+
+
+def _listing_algorithm():
+    return TriangleListing(repetitions=1, epsilon=0.5)
+
+
+def _gnp_workload(num_nodes, seed):
+    return gnp_random_graph(num_nodes, 0.4, seed=seed)
 
 
 class TestRunSingle:
@@ -78,6 +97,95 @@ class TestRunSizeSweep:
                 sizes=[4],
                 seeds_per_size=0,
             )
+
+
+class TestSweepRunner:
+    def test_parallel_records_byte_identical_to_serial(self):
+        kwargs = dict(
+            experiment="sweep",
+            algorithm_factory=_listing_algorithm,
+            graph_factory=_gnp_workload,
+            sizes=[12, 16, 20],
+            seeds_per_size=2,
+            base_seed=7,
+        )
+        serial = SweepRunner().run_size_sweep(**kwargs)
+        parallel = SweepRunner(max_workers=2).run_size_sweep(**kwargs)
+        assert serial == parallel
+        for left, right in zip(serial, parallel):
+            assert pickle.dumps(left) == pickle.dumps(right)
+
+    def test_record_order_follows_cell_order(self):
+        cells = [
+            SweepCell(
+                experiment="order",
+                algorithm_factory=_naive_algorithm,
+                graph_factory=functools.partial(_gnp_workload, num_nodes),
+                seed=seed,
+            )
+            for num_nodes, seed in [(18, 3), (10, 1), (14, 2)]
+        ]
+        records = SweepRunner(max_workers=2).run_cells(cells)
+        assert [record.num_nodes for record in records] == [18, 10, 14]
+        assert [record.seed for record in records] == [3, 1, 2]
+
+    def test_run_repeated_matches_module_helper(self):
+        seeds = [1, 2, 3]
+        expected = run_repeated(
+            "rep",
+            _naive_algorithm,
+            functools.partial(_gnp_workload, 12),
+            seeds=seeds,
+        )
+        parallel = SweepRunner(max_workers=2).run_repeated(
+            "rep",
+            _naive_algorithm,
+            functools.partial(_gnp_workload, 12),
+            seeds=seeds,
+        )
+        assert parallel == expected
+
+    def test_spawn_seeds_deterministic_and_independent(self):
+        first = SweepRunner.spawn_seeds(42, 6)
+        second = SweepRunner.spawn_seeds(42, 6)
+        assert first == second
+        assert len(set(first)) == 6
+        assert SweepRunner.spawn_seeds(43, 6) != first
+        assert SweepRunner.spawn_seeds(42, 0) == []
+        assert all(seed >= 0 for seed in first)
+
+    def test_aggregation_api_unchanged_on_sweep_records(self):
+        records = SweepRunner(max_workers=2).run_size_sweep(
+            "agg",
+            _naive_algorithm,
+            _gnp_workload,
+            sizes=[10, 14],
+            seeds_per_size=2,
+        )
+        assert len(records) == 4
+        assert set(mean_rounds_by_size(records)) == {10, 14}
+        assert all_sound(records)
+        assert 0.0 <= mean_recall(records) <= 1.0
+
+    def test_serial_when_single_worker(self):
+        runner = SweepRunner(max_workers=1)
+        assert not runner.parallel
+        records = runner.run_repeated(
+            "serial", _naive_algorithm, functools.partial(_gnp_workload, 10), seeds=[5]
+        )
+        assert len(records) == 1 and records[0].seed == 5
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            SweepRunner(max_workers=0)
+        with pytest.raises(AnalysisError):
+            SweepRunner(chunk_size=0)
+        with pytest.raises(AnalysisError):
+            SweepRunner().run_repeated("x", _naive_algorithm, _gnp_workload, seeds=[])
+        with pytest.raises(AnalysisError):
+            SweepRunner().run_size_sweep("x", _naive_algorithm, _gnp_workload, sizes=[])
+        with pytest.raises(AnalysisError):
+            SweepRunner.spawn_seeds(1, -1)
 
 
 class TestAggregation:

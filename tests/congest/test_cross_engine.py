@@ -23,7 +23,7 @@ from repro.congest import (
     RoundEngine,
     id_bits,
 )
-from repro.graphs import complete_graph, cycle_graph
+from repro.graphs import barabasi_albert_graph, complete_graph, cycle_graph
 
 
 class TestCliqueCrossEngine:
@@ -110,6 +110,58 @@ class TestCliqueCrossEngine:
             engine.metrics.messages_received_per_node
             == simulator.metrics.messages_received_per_node
         )
+
+
+class TestBarabasiAlbertCrossEngine:
+    """Cross-engine equivalence on a skewed-degree CSR-built workload.
+
+    Both engines now snapshot their topology from the graph's CSR view; a
+    Barabási–Albert workload (bulk-built, skewed degrees, hub nodes) is the
+    natural stress case for that shared substrate: the same
+    neighbourhood-announcement protocol must report identical rounds, bits,
+    and per-node deliveries on the phase simulator and the strict engine.
+    """
+
+    def test_neighborhood_announcement_costs_match(self):
+        graph = barabasi_albert_graph(24, 3, seed=5)
+        policy = BandwidthPolicy(minimum_bits=1)
+
+        engine = RoundEngine(graph, bandwidth=policy, seed=0)
+
+        def announce(ctx):
+            for neighbor in sorted(ctx.neighbors):
+                ctx.send(neighbor, ctx.node_id)
+            yield
+
+        strict_rounds = engine.run(announce)
+
+        simulator = CongestSimulator(graph, bandwidth=policy, seed=0)
+
+        def enqueue(ctx):
+            ctx.broadcast_bits(ctx.node_id, bits=id_bits(ctx.num_nodes))
+
+        simulator.for_each_node(enqueue)
+        phase_rounds = simulator.run_phase("announce").rounds
+
+        assert strict_rounds == phase_rounds
+        assert engine.metrics.total_bits == simulator.metrics.total_bits
+        assert (
+            engine.metrics.bits_received_per_node
+            == simulator.metrics.bits_received_per_node
+        )
+        assert (
+            engine.metrics.messages_received_per_node
+            == simulator.metrics.messages_received_per_node
+        )
+
+    def test_contexts_expose_graph_neighborhoods(self):
+        graph = barabasi_albert_graph(30, 2, seed=9)
+        simulator = CongestSimulator(graph, seed=1)
+        engine = RoundEngine(graph, seed=1)
+        for node in graph.nodes():
+            expected = graph.neighbors(node)
+            assert simulator.context(node).neighbors == expected
+            assert engine.contexts[node].neighbors == expected
 
 
 class TestBulkPathCrossEngine:

@@ -1,0 +1,317 @@
+"""CSR substrate: invariants and differential tests against the reference.
+
+The vectorized oracle (:mod:`repro.graphs.csr`) must be *observationally
+identical* to the pure-Python set-intersection reference
+(:func:`repro.graphs.triangles.iter_triangles_reference` and friends) on
+every workload family the generators produce.  These tests enumerate that
+equivalence — triangles, counts, per-edge supports, the heavy/light
+partition, and ``∆(X)`` membership — on random G(n, p) (dense and sparse),
+Barabási–Albert, random-regular and lollipop graphs, on both oracle
+strategies (dense bitset and sorted-merge).
+"""
+
+import numpy as np
+import pytest
+
+import repro.graphs.csr as csr_module
+from repro.graphs import (
+    CSRGraph,
+    Graph,
+    barabasi_albert_graph,
+    count_triangles,
+    delta_set_membership,
+    edge_support,
+    gnp_random_graph,
+    heaviness_threshold,
+    heavy_triangles,
+    is_triangle_free,
+    iter_triangles_reference,
+    light_triangles,
+    list_triangles,
+    local_triangle_count,
+    lollipop_graph,
+    random_regular_graph,
+    triangle_free_bipartite,
+    triangles_through_node,
+    union_of_cliques,
+)
+
+
+def workload_graphs():
+    """The differential-test corpus: one graph per workload family."""
+    return [
+        ("gnp-dense", gnp_random_graph(40, 0.5, seed=11)),
+        ("gnp-sparse", gnp_random_graph(80, 0.05, seed=12)),
+        ("barabasi-albert", barabasi_albert_graph(60, 3, seed=13)),
+        ("random-regular", random_regular_graph(40, 4, seed=14)),
+        ("lollipop", lollipop_graph(10, 12)),
+        ("union-of-cliques", union_of_cliques([5, 4, 3, 2])),
+        ("bipartite", triangle_free_bipartite(30, 0.4, seed=15)),
+        ("empty", Graph(7)),
+    ]
+
+
+WORKLOADS = workload_graphs()
+WORKLOAD_IDS = [name for name, _ in WORKLOADS]
+
+
+@pytest.fixture(params=[False, True], ids=["dense-path", "merge-path"])
+def strategy_toggle(request, monkeypatch):
+    """Run each differential test on both oracle strategies."""
+    if request.param:
+        monkeypatch.setattr(csr_module, "DENSE_ADJACENCY_MAX_BYTES", 0)
+    return request.param
+
+
+def fresh_view(graph: Graph) -> CSRGraph:
+    """A snapshot built under the current strategy toggle (bypass the cache,
+    which may hold a view built under the other strategy)."""
+    return CSRGraph.from_graph(graph)
+
+
+class TestDifferentialOracle:
+    @pytest.mark.parametrize("name,graph", WORKLOADS, ids=WORKLOAD_IDS)
+    def test_triangles_match_reference(self, name, graph, strategy_toggle):
+        expected = list(iter_triangles_reference(graph))
+        view = fresh_view(graph)
+        assert [tuple(row) for row in view.triangles().tolist()] == expected
+        assert view.count_triangles() == len(expected)
+        assert view.has_triangle() == bool(expected)
+
+    @pytest.mark.parametrize("name,graph", WORKLOADS, ids=WORKLOAD_IDS)
+    def test_edge_support_matches_reference(self, name, graph, strategy_toggle):
+        view = fresh_view(graph)
+        supports = view.edge_support()
+        assert supports.shape[0] == graph.num_edges
+        for u, v, support in zip(
+            view.edge_u.tolist(), view.edge_v.tolist(), supports.tolist()
+        ):
+            assert support == len(graph.neighbors(u) & graph.neighbors(v))
+
+    @pytest.mark.parametrize("name,graph", WORKLOADS, ids=WORKLOAD_IDS)
+    def test_heavy_light_split_matches_reference(self, name, graph, strategy_toggle):
+        epsilon = 0.3
+        threshold = heaviness_threshold(graph.num_nodes, epsilon)
+        reference_heavy = []
+        reference_light = []
+        for a, b, c in iter_triangles_reference(graph):
+            supports = [
+                len(graph.neighbors(u) & graph.neighbors(v))
+                for u, v in ((a, b), (a, c), (b, c))
+            ]
+            if max(supports) >= threshold:
+                reference_heavy.append((a, b, c))
+            else:
+                reference_light.append((a, b, c))
+        view = fresh_view(graph)
+        triangles, mask = view.heavy_triangle_mask(threshold)
+        got_heavy = [tuple(row) for row in triangles[mask].tolist()]
+        got_light = [tuple(row) for row in triangles[~mask].tolist()]
+        assert got_heavy == reference_heavy
+        assert got_light == reference_light
+
+    @pytest.mark.parametrize("name,graph", WORKLOADS, ids=WORKLOAD_IDS)
+    def test_delta_membership_matches_reference(self, name, graph, strategy_toggle):
+        rng = np.random.default_rng(99)
+        landmarks = [
+            int(x)
+            for x in rng.choice(
+                max(graph.num_nodes, 1),
+                size=min(5, graph.num_nodes),
+                replace=False,
+            )
+        ] if graph.num_nodes else []
+        landmark_set = set(landmarks)
+        reference = {
+            (u, v)
+            for u, v in graph.edges()
+            if not (graph.common_neighbors(u, v) & landmark_set)
+        }
+        view = fresh_view(graph)
+        mask = view.delta_edge_mask(landmarks)
+        got = {
+            (u, v)
+            for u, v in zip(view.edge_u[mask].tolist(), view.edge_v[mask].tolist())
+        }
+        assert got == reference
+        # Out-of-range landmark ids are ignored (they can never be a common
+        # neighbour), matching pair_in_delta's behaviour.
+        lenient = view.delta_edge_mask(list(landmarks) + [graph.num_nodes + 5, -3])
+        assert lenient.tolist() == mask.tolist()
+
+    @pytest.mark.parametrize("name,graph", WORKLOADS, ids=WORKLOAD_IDS)
+    def test_local_counts_and_through_node(self, name, graph, strategy_toggle):
+        reference = {node: 0 for node in graph.nodes()}
+        for a, b, c in iter_triangles_reference(graph):
+            reference[a] += 1
+            reference[b] += 1
+            reference[c] += 1
+        view = fresh_view(graph)
+        assert dict(enumerate(view.local_triangle_counts().tolist())) == reference
+        probe = max(graph.nodes(), key=graph.degree, default=None)
+        if probe is not None:
+            through = [tuple(row) for row in view.triangles_through(probe).tolist()]
+            expected = sorted(
+                t for t in iter_triangles_reference(graph) if probe in t
+            )
+            assert through == expected
+
+
+class TestTriangleEnumerationCaching:
+    def test_triangles_cached_per_snapshot(self, strategy_toggle):
+        view = fresh_view(gnp_random_graph(30, 0.4, seed=21))
+        first = view.triangles()
+        assert view.triangles() is first
+        with pytest.raises(ValueError):
+            first[0, 0] = -1
+
+    def test_chunks_match_full_array(self, strategy_toggle):
+        view = fresh_view(barabasi_albert_graph(40, 3, seed=22))
+        chunks = list(view.iter_triangle_chunks())
+        stacked = (
+            np.concatenate(chunks, axis=0)
+            if chunks
+            else np.empty((0, 3), dtype=np.int64)
+        )
+        assert stacked.tolist() == view.triangles().tolist()
+
+    def test_iter_triangles_is_lazy(self):
+        from repro.graphs import iter_triangles
+
+        graph = gnp_random_graph(60, 0.5, seed=23)
+        first = next(iter(iter_triangles(graph)))
+        # Early exit must not have materialised the full triangle cache.
+        assert graph.csr()._triangles is None
+        assert first == next(iter(iter_triangles_reference(graph)))
+
+    def test_heavy_and_light_share_one_enumeration(self):
+        graph = union_of_cliques([6, 3, 3])
+        heavy = heavy_triangles(graph, 0.5)
+        light = light_triangles(graph, 0.5)
+        assert graph.csr()._triangles is not None
+        assert sorted(heavy + light) == list_triangles(graph)
+
+
+class TestPublicOracleAPI:
+    """The triangles-module functions ride on the graph's cached CSR view."""
+
+    def test_api_functions_agree_with_reference(self):
+        graph = barabasi_albert_graph(50, 4, seed=3)
+        expected = list(iter_triangles_reference(graph))
+        assert list_triangles(graph) == expected
+        assert count_triangles(graph) == len(expected)
+        assert not is_triangle_free(graph)
+        supports = edge_support(graph)
+        assert supports[next(iter(supports))] == len(
+            graph.neighbors(next(iter(supports))[0])
+            & graph.neighbors(next(iter(supports))[1])
+        )
+        assert set(heavy_triangles(graph, 0.2)) | set(light_triangles(graph, 0.2)) == set(
+            expected
+        )
+        counts = local_triangle_count(graph)
+        assert sum(counts.values()) == 3 * len(expected)
+        probe = max(graph.nodes(), key=graph.degree)
+        assert triangles_through_node(graph, probe) == sorted(
+            t for t in expected if probe in t
+        )
+        assert delta_set_membership(graph, []) == set(graph.edges())
+
+    def test_returns_python_ints(self):
+        graph = gnp_random_graph(20, 0.4, seed=5)
+        for triangle in list_triangles(graph):
+            assert all(type(x) is int for x in triangle)
+        for (u, v), support in edge_support(graph).items():
+            assert type(u) is int and type(v) is int and type(support) is int
+
+
+class TestCSRInvariants:
+    def test_lazily_built_and_cached(self):
+        graph = gnp_random_graph(25, 0.3, seed=1)
+        view = graph.csr()
+        assert graph.csr() is view
+
+    def test_mutation_invalidates_view(self):
+        graph = Graph(6, [(0, 1), (1, 2)])
+        before = graph.csr()
+        assert before.num_edges == 2
+        graph.add_edge(2, 3)
+        after = graph.csr()
+        assert after is not before
+        assert after.num_edges == 3
+        # The old snapshot still describes the pre-mutation graph.
+        assert before.num_edges == 2
+        graph.remove_edge(0, 1)
+        assert graph.csr().num_edges == 2
+
+    def test_arrays_are_immutable(self):
+        view = gnp_random_graph(15, 0.4, seed=2).csr()
+        for array in (view.indptr, view.indices, view.edge_u, view.edge_v):
+            with pytest.raises(ValueError):
+                array[0] = 0
+        with pytest.raises(ValueError):
+            view.edge_support()[0] = 99
+
+    def test_neighbor_rows_sorted_strictly_increasing(self):
+        view = barabasi_albert_graph(40, 3, seed=8).csr()
+        for node in range(view.num_nodes):
+            row = view.neighbor_slice(node)
+            assert (np.diff(row) > 0).all()
+
+    def test_canonical_edge_order(self):
+        view = gnp_random_graph(30, 0.3, seed=9).csr()
+        assert (view.edge_u < view.edge_v).all()
+        keys = view.edge_u * view.num_nodes + view.edge_v
+        assert (np.diff(keys) > 0).all()
+
+    def test_degrees_and_membership(self):
+        graph = random_regular_graph(20, 4, seed=10)
+        view = graph.csr()
+        assert (view.degrees == 4).all()
+        assert view.max_degree() == 4
+        for u, v in list(graph.edges())[:10]:
+            assert view.has_edge(u, v) and view.has_edge(v, u)
+        assert not view.has_edge(0, 0)
+
+    def test_copy_shares_snapshot_until_mutation(self):
+        graph = gnp_random_graph(18, 0.4, seed=6)
+        view = graph.csr()
+        clone = graph.copy()
+        assert clone.csr() is view
+        clone.add_edge(*next(
+            (u, v)
+            for u in range(18)
+            for v in range(u + 1, 18)
+            if not graph.has_edge(u, v)
+        ))
+        assert clone.csr() is not view
+        assert graph.csr() is view
+
+
+class TestBulkBuilder:
+    def test_from_edge_arrays_equals_incremental(self):
+        edges = [(0, 3), (3, 1), (1, 0), (2, 4)]
+        incremental = Graph(5, edges)
+        u = np.array([e[0] for e in edges])
+        v = np.array([e[1] for e in edges])
+        assert Graph.from_edge_arrays(5, u, v) == incremental
+
+    def test_deduplicates_and_canonicalises(self):
+        graph = Graph.from_edge_arrays(4, [1, 0, 1], [0, 1, 2])
+        assert graph.num_edges == 2
+        assert graph.edge_list() == [(0, 1), (1, 2)]
+
+    def test_rejects_self_loops_and_out_of_range(self):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            Graph.from_edge_arrays(4, [1], [1])
+        with pytest.raises(GraphError):
+            Graph.from_edge_arrays(4, [0], [4])
+        with pytest.raises(GraphError):
+            Graph.from_edge_arrays(4, [-1], [2])
+
+    def test_prebuilds_csr_cache(self):
+        graph = Graph.from_edge_arrays(6, [0, 2], [1, 3])
+        assert graph._csr_cache is not None
+        assert graph.csr().num_edges == 2

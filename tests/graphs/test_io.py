@@ -34,6 +34,28 @@ class TestRoundTrip:
         buffer.seek(0)
         assert read_edge_list(buffer) == graph
 
+    def test_gzip_round_trip(self, tmp_path):
+        graph = gnp_random_graph(30, 0.3, seed=4)
+        path = tmp_path / "graph.edges.gz"
+        write_edge_list(graph, path, comments=["generator: gnp", "seed: 4"])
+        assert read_edge_list(path) == graph
+
+    def test_gzip_file_is_actually_compressed(self, tmp_path):
+        graph = gnp_random_graph(30, 0.3, seed=4)
+        plain = tmp_path / "graph.edges"
+        packed = tmp_path / "graph.edges.gz"
+        write_edge_list(graph, plain)
+        write_edge_list(graph, packed)
+        # gzip magic bytes, and the payload is not stored as plain text.
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"
+        assert packed.read_bytes() != plain.read_bytes()
+
+    def test_gzip_string_path_accepted(self, tmp_path):
+        graph = Graph(5, [(0, 1), (3, 4)])
+        path = str(tmp_path / "tiny.gz")
+        write_edge_list(graph, path)
+        assert read_edge_list(path) == graph
+
     def test_isolated_vertices_preserved(self):
         graph = Graph(6, [(0, 1)])
         assert from_edge_list_string(to_edge_list_string(graph)).num_nodes == 6
