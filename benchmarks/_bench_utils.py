@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any, Dict, Optional
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -22,3 +24,39 @@ def record_table(name: str, text: str) -> None:
     """Persist a rendered result table under ``benchmarks/results/``."""
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def record_json(name: str, payload: Dict[str, Any]) -> None:
+    """Persist a machine-readable result as ``results/BENCH_<name>.json``.
+
+    Emitted next to the rendered ``results/<name>.txt`` tables so the perf
+    trajectory can be tracked across PRs by tooling instead of by reading
+    text tables.  Values must be JSON-serialisable (numpy scalars are
+    coerced via their ``item()``).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def coerce(value: Any) -> Any:
+        item = getattr(value, "item", None)
+        return item() if callable(item) else value
+
+    def walk(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {key: walk(entry) for key, entry in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [walk(entry) for entry in value]
+        return coerce(value)
+
+    (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(walk(payload), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def record_result(
+    name: str, text: str, payload: Optional[Dict[str, Any]] = None
+) -> None:
+    """Persist both the rendered table and the machine-readable record."""
+    record_table(name, text)
+    if payload is not None:
+        record_json(name, payload)

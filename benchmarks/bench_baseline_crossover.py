@@ -23,7 +23,7 @@ from repro.analysis import fit_power_law, render_table
 from repro.core import NaiveTwoHopListing, TriangleListing, listing_epsilon_asymptotic
 from repro.graphs import gnp_random_graph
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 SIZES = [40, 60, 80, 100, 120, 140]
 EDGE_PROBABILITY = 0.5
@@ -63,6 +63,18 @@ def test_baseline_crossover_shape(benchmark):
         ),
     )
 
+    record_json(
+        "baseline_crossover",
+        {
+            "benchmark": "baseline_crossover",
+            "sizes": [n for n, _, _ in rows],
+            "naive_rounds": [r for _, r, _ in rows],
+            "theorem2_rounds": [r for _, _, r in rows],
+            "naive_fit_exponent": naive_fit.exponent,
+            "theorem2_fit_exponent": sublinear_fit.exponent,
+        },
+    )
+
     # The naive baseline grows essentially linearly on dense G(n, p).
     assert 0.85 <= naive_fit.exponent <= 1.15
     # The sublinear algorithm's exponent must not exceed the baseline's by a
@@ -89,6 +101,15 @@ def test_density_sweep_naive_tracks_max_degree(benchmark):
             ["p", "d_max", "naive rounds"],
             [[f"{p:.1f}", str(dmax), str(rounds)] for p, dmax, rounds in rows],
         ),
+    )
+    record_json(
+        "density_sweep",
+        {
+            "benchmark": "density_sweep",
+            "probabilities": [p for p, _, _ in rows],
+            "max_degrees": [d for _, d, _ in rows],
+            "naive_rounds": [r for _, _, r in rows],
+        },
     )
     for _, dmax, rounds in rows:
         assert rounds == dmax

@@ -22,7 +22,7 @@ from repro.core import (
 )
 from repro.graphs import gnp_random_graph
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 SIZES = [48, 72, 96, 144, 192]
 EDGE_PROBABILITY = 0.5
@@ -56,6 +56,19 @@ def test_dolev_clique_scaling(benchmark):
             fit=fit,
             expected_exponent=1.0 / 3.0,
         ),
+    )
+
+    record_json(
+        "dolev_clique_scaling",
+        {
+            "benchmark": "dolev_clique_scaling",
+            "sizes": SIZES,
+            "dolev_rounds": [float(d) for _, d, _ in rows],
+            "naive_rounds": [float(nv) for _, _, nv in rows],
+            "reference_bound": reference,
+            "fit_exponent": fit.exponent,
+            "expected_exponent": 1.0 / 3.0,
+        },
     )
 
     for (num_nodes, dolev, naive), bound in zip(rows, reference):

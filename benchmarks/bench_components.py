@@ -32,7 +32,7 @@ from repro.core import (
 )
 from repro.graphs import gnp_random_graph, heavy_edge_gadget, heavy_triangles
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 SIZES = [40, 64, 96, 128, 160]
 EDGE_PROBABILITY = 0.5
@@ -66,6 +66,17 @@ def test_a1_rounds_scaling(benchmark):
             expected_exponent=1.0 - EPSILON,
         ),
     )
+    record_json(
+        "a1_scaling",
+        {
+            "benchmark": "a1_scaling",
+            "sizes": SIZES,
+            "epsilon": EPSILON,
+            "measured_rounds": [float(r) for r in measured],
+            "caps": caps,
+            "fit_exponent": fit.exponent,
+        },
+    )
     for rounds, cap in zip(measured, caps):
         assert rounds <= math.ceil(cap) + 1
     # The exponent check allows generous noise (random sampling, small n)
@@ -95,6 +106,17 @@ def test_a2_rounds_scaling(benchmark):
             fit=fit,
             expected_exponent=1.0 - EPSILON / 2.0,
         ),
+    )
+    record_json(
+        "a2_scaling",
+        {
+            "benchmark": "a2_scaling",
+            "sizes": SIZES,
+            "epsilon": EPSILON,
+            "measured_rounds": [float(r) for r in measured],
+            "caps": caps,
+            "fit_exponent": fit.exponent,
+        },
     )
     for rounds, cap in zip(measured, caps):
         # +6 covers the constant-round hash-distribution step.
@@ -126,6 +148,18 @@ def test_a3_rounds_within_budget(benchmark):
             fit=fit,
             expected_exponent=(1.0 + EPSILON) / 2.0,
         ),
+    )
+    record_json(
+        "a3_scaling",
+        {
+            "benchmark": "a3_scaling",
+            "sizes": SIZES,
+            "epsilon": EPSILON,
+            "measured_rounds": measured,
+            "budgets": budgets,
+            "truncated": [bool(t) for _, t in rows],
+            "fit_exponent": fit.exponent,
+        },
     )
     for (rounds, truncated), budget in zip(rows, budgets):
         assert truncated or rounds <= budget
@@ -160,6 +194,14 @@ def test_a1_a2_hit_rates_on_heavy_gadget(benchmark):
                 ["A2 (lists each heavy triangle)", "Omega(1) per triangle per run", f"{a2_rate:.2f}"],
             ],
         ),
+    )
+    record_json(
+        "component_hit_rates",
+        {
+            "benchmark": "component_hit_rates",
+            "a1_rate": a1_rate,
+            "a2_rate": a2_rate,
+        },
     )
     assert a1_rate >= 0.5
     assert a2_rate >= 0.2

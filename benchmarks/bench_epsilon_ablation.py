@@ -22,7 +22,7 @@ from repro.analysis import render_table
 from repro.core import HeavyHashingLister, LightTrianglesLister
 from repro.graphs import gnp_random_graph
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 EPSILONS = [0.125, 0.25, 0.375, 0.5, 0.625, 0.75]
 NUM_NODES = 96
@@ -52,6 +52,17 @@ def test_epsilon_tradeoff(benchmark):
         ),
     )
 
+    record_json(
+        "epsilon_ablation",
+        {
+            "benchmark": "epsilon_ablation",
+            "num_nodes": NUM_NODES,
+            "epsilons": EPSILONS,
+            "a2_rounds": [heavy for _, heavy, _ in rows],
+            "a3_rounds": [light for _, _, light in rows],
+        },
+    )
+
     a2_costs = [heavy for _, heavy, _ in rows]
     a3_costs = [light for _, _, light in rows]
     # A2 must get cheaper as epsilon grows (finer hashing -> smaller sets).
@@ -79,6 +90,16 @@ def test_hash_independence_ablation(benchmark):
     three_wise, pair_wise = run_once(benchmark, run_both)
     three_wise.check_soundness(graph)
     pair_wise.check_soundness(graph)
+    record_json(
+        "hash_independence_ablation",
+        {
+            "benchmark": "hash_independence_ablation",
+            "three_wise_rounds": three_wise.rounds,
+            "pair_wise_rounds": pair_wise.rounds,
+            "three_wise_triangles": len(three_wise.triangles_found()),
+            "pair_wise_triangles": len(pair_wise.triangles_found()),
+        },
+    )
     record_table(
         "hash_independence_ablation",
         render_table(

@@ -34,7 +34,7 @@ from repro.core import (
 )
 from repro.graphs import gnp_random_graph
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 SIZES = [40, 60, 80, 100, 120]
 EDGE_PROBABILITY = 0.5
@@ -97,6 +97,18 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
         expected_exponent=2.0 / 3.0,
     )
     record_table("finding_scaling", table)
+    record_json(
+        "finding_scaling",
+        {
+            "benchmark": "finding_scaling",
+            "sizes": SIZES,
+            "measured_rounds": [float(r) for r in measured],
+            "naive_baseline_rounds": [float(r) for r in baseline],
+            "reference_bound": reference,
+            "fit_exponent": fit.exponent,
+            "expected_exponent": 2.0 / 3.0,
+        },
+    )
 
     # Upper-bound shape: measured / reference stays below a fixed constant.
     for rounds, bound in zip(measured, reference):

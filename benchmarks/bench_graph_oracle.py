@@ -26,7 +26,7 @@ from repro.graphs import gnp_random_graph
 from repro.graphs.csr import CSRGraph
 from repro.graphs.triangles import iter_triangles_reference
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 QUICK = os.environ.get("GRAPH_ORACLE_QUICK", "") not in ("", "0")
 NUM_NODES = 500 if QUICK else 2000
@@ -80,6 +80,20 @@ def test_triangle_oracle_speedup(benchmark):
         ]
     )
     record_table("graph_oracle", table)
+    record_json(
+        "graph_oracle",
+        {
+            "benchmark": "graph_oracle",
+            "quick": QUICK,
+            "num_nodes": NUM_NODES,
+            "edge_probability": EDGE_PROBABILITY,
+            "triangles": count,
+            "seed_seconds": seed_seconds,
+            "csr_seconds": csr_seconds,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
     assert speedup >= REQUIRED_SPEEDUP, table
 
 

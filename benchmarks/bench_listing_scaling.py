@@ -37,7 +37,7 @@ from repro.core import (
 )
 from repro.graphs import gnp_random_graph
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 SIZES = [40, 60, 80, 100, 120]
 EDGE_PROBABILITY = 0.5
@@ -91,6 +91,19 @@ def test_listing_scaling_against_theorem2_bound(benchmark):
         expected_exponent=3.0 / 4.0,
     )
     record_table("listing_scaling", table)
+    record_json(
+        "listing_scaling",
+        {
+            "benchmark": "listing_scaling",
+            "sizes": SIZES,
+            "edge_probability": EDGE_PROBABILITY,
+            "measured_rounds": measured,
+            "reference_bound": reference,
+            "recalls": recalls,
+            "fit_exponent": fit.exponent,
+            "expected_exponent": 3.0 / 4.0,
+        },
+    )
 
     for rounds, bound in zip(measured, reference):
         assert rounds <= SHAPE_CONSTANT * bound

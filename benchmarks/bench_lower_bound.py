@@ -32,7 +32,7 @@ from repro.core import (
 )
 from repro.graphs import gnp_random_graph
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 NUM_NODES = 72
 SEEDS = (11, 12, 13)
@@ -73,6 +73,24 @@ def test_lower_bound_accounting_all_listers(benchmark):
         )
         assert accounting.rivin_holds
         assert accounting.respects_floor
+    record_json(
+        "lower_bound_accounting",
+        {
+            "benchmark": "lower_bound_accounting",
+            "num_nodes": NUM_NODES,
+            "runs": [
+                {
+                    "algorithm": name,
+                    "busiest_output_size": accounting.busiest_output_size,
+                    "covered_edges": accounting.covered_edges,
+                    "rivin_floor": accounting.rivin_floor,
+                    "round_floor": accounting.round_floor,
+                    "measured_rounds": accounting.measured_rounds,
+                }
+                for name, accounting in rows
+            ],
+        },
+    )
     record_table(
         "lower_bound_accounting",
         render_table(

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.congest import CongestSimulator, id_bits
 from repro.graphs import gnp_random_graph
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 QUICK = os.environ.get("MESSAGE_PLANE_QUICK", "") not in ("", "0")
 NUM_NODES = 400 if QUICK else 2000
@@ -132,4 +132,18 @@ def test_message_plane_speedup(benchmark):
         ]
     )
     record_table("message_plane", table)
+    record_json(
+        "message_plane",
+        {
+            "benchmark": "message_plane",
+            "quick": QUICK,
+            "num_nodes": NUM_NODES,
+            "edge_probability": EDGE_PROBABILITY,
+            "messages": report.messages,
+            "seed_seconds": seed_seconds,
+            "plane_seconds": plane_seconds,
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
     assert speedup >= REQUIRED_SPEEDUP, table

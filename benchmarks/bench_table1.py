@@ -30,7 +30,7 @@ from repro.core import (
 )
 from repro.graphs import gnp_random_graph
 
-from _bench_utils import record_table, run_once
+from _bench_utils import record_json, record_table, run_once
 
 #: Common workload for the Table-1 reproduction: a dense random graph, the
 #: regime in which the naive baseline's d_max = Θ(n) cost hurts the most and
@@ -129,6 +129,15 @@ def test_table1_render_and_shape(benchmark, workload):
 
     text = run_once(benchmark, render)
     record_table("table1", text)
+    record_json(
+        "table1",
+        {
+            "benchmark": "table1",
+            "num_nodes": workload.num_nodes,
+            "measured_rounds": dict(_measured_rounds),
+            "notes": dict(_notes),
+        },
+    )
     # Qualitative shape of Table 1 on the measured rows:
     assert (
         _measured_rounds["dolev-listing-clique"]

@@ -27,9 +27,30 @@ from .engine import NodeProgram, RoundContext, RoundEngine
 from .metrics import AlgorithmCost, ExecutionMetrics, PhaseReport
 from .node import NodeContext
 from .routing import LenzenRouter, RoutingRequest
-from .runtime import CongestRuntime, MessagePlane, PhaseTraffic
+from .runtime import (
+    CongestRuntime,
+    MessagePlane,
+    PhaseTraffic,
+    TypedChannel,
+    TypedInboxView,
+)
 from .simulator import CongestSimulator
-from .wire import default_bit_size, edge_bits, id_bits, integer_bits, triangle_bits
+from .wire import (
+    WIRE_SCHEMAS,
+    EdgeListSchema,
+    FlagSchema,
+    HashDescriptorSchema,
+    IdListSchema,
+    RoutedEdgeSchema,
+    WireSchema,
+    default_bit_size,
+    edge_bits,
+    id_bits,
+    integer_bits,
+    register_schema,
+    schema_for,
+    triangle_bits,
+)
 
 __all__ = [
     "broadcast_from_root",
@@ -51,7 +72,18 @@ __all__ = [
     "CongestRuntime",
     "MessagePlane",
     "PhaseTraffic",
+    "TypedChannel",
+    "TypedInboxView",
     "CongestSimulator",
+    "WIRE_SCHEMAS",
+    "WireSchema",
+    "IdListSchema",
+    "FlagSchema",
+    "EdgeListSchema",
+    "HashDescriptorSchema",
+    "RoutedEdgeSchema",
+    "register_schema",
+    "schema_for",
     "default_bit_size",
     "edge_bits",
     "id_bits",

@@ -66,14 +66,32 @@ class BroadcastCongestSimulator(CongestSimulator):
         so copies are not cumulative the way per-link sends are).
         """
         per_source: Dict[NodeId, Dict[NodeId, List[Tuple[Any, int]]]] = {}
-        src_list = traffic.src.tolist()
-        dst_list = traffic.dst.tolist()
-        bits_list = traffic.bits.tolist()
+        untyped = int(traffic.payloads.shape[0])
+        src_list = traffic.src[:untyped].tolist()
+        dst_list = traffic.dst[:untyped].tolist()
+        bits_list = traffic.bits[:untyped].tolist()
         payloads = traffic.payloads
         for index, source in enumerate(src_list):
             per_source.setdefault(source, {}).setdefault(dst_list[index], []).append(
                 (payloads[index], bits_list[index])
             )
+        # Columnar sends join the same discipline check through their schema
+        # codec (the broadcast model is a validation layer, not a hot path).
+        for channel in traffic.channels:
+            offsets = channel.offsets
+            channel_bits = channel.bits.tolist()
+            for index, (source, destination) in enumerate(
+                zip(channel.src.tolist(), channel.dst.tolist())
+            ):
+                payload = channel.schema.decode(
+                    {
+                        name: column[offsets[index] : offsets[index + 1]]
+                        for name, column in channel.data.items()
+                    }
+                )
+                per_source.setdefault(source, {}).setdefault(
+                    destination, []
+                ).append((payload, channel_bits[index]))
         max_node_bits = 0
         for source, per_destination in per_source.items():
             neighbors = self._contexts[source].neighbors

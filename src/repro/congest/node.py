@@ -24,7 +24,16 @@ import numpy as np
 
 from ..errors import SimulationError, TopologyError
 from ..types import NodeId, Triangle, make_triangle
-from .runtime import EMPTY_INBOX, Inbox, MessagePlane, inbox_pairs, repeated_payload
+from .runtime import (
+    EMPTY_INBOX,
+    Inbox,
+    MessagePlane,
+    TypedInboxView,
+    inbox_columns,
+    inbox_pairs,
+    repeated_payload,
+)
+from .wire import WireSchema
 
 
 class NodeContext:
@@ -47,6 +56,7 @@ class NodeContext:
         "_plane",
         "_inbox",
         "_output",
+        "_output_frozen",
     )
 
     def __init__(
@@ -93,6 +103,7 @@ class NodeContext:
         self._plane = plane
         self._inbox: Inbox = EMPTY_INBOX
         self._output: Set[Triangle] = set()
+        self._output_frozen: Optional[frozenset] = None
 
     # ------------------------------------------------------------------
     # topology queries
@@ -216,6 +227,17 @@ class NodeContext:
                 raise SimulationError(
                     f"bulk_send got {count} destinations but {sizes.shape[0]} sizes"
                 )
+        self._validate_destinations(dst)
+        self._plane.extend(self.node_id, dst, payloads, sizes)
+
+    def _validate_destinations(self, dst: np.ndarray) -> None:
+        """Vectorized topology validation shared by the batched send paths.
+
+        Raises
+        ------
+        TopologyError
+            If any destination is this node itself or unreachable.
+        """
         if (dst == self.node_id).any():
             raise TopologyError(f"node {self.node_id} cannot send to itself")
         if self._comm_targets is None:
@@ -235,7 +257,54 @@ class NodeContext:
                 raise TopologyError(
                     f"node {self.node_id} has no communication link to {bad}"
                 )
-        self._plane.extend(self.node_id, dst, payloads, sizes)
+
+    def send_columns(
+        self,
+        schema: WireSchema,
+        destinations: Sequence[NodeId] | np.ndarray,
+        data: Dict[str, np.ndarray],
+        lengths: Optional[Sequence[int] | np.ndarray] = None,
+        bits: Optional[int | Sequence[int] | np.ndarray] = None,
+    ) -> None:
+        """Queue a typed columnar batch of messages from this node.
+
+        The schema fast path: one call stages a whole ``(destinations,
+        columns)`` batch on the message plane, with per-message sizes
+        computed by ``schema.bit_size`` as a single vectorized reduction.
+        Topology validation matches :meth:`bulk_send`.
+
+        Parameters
+        ----------
+        schema:
+            The :class:`~repro.congest.wire.WireSchema` of every message.
+        destinations:
+            One receiving node per message.
+        data:
+            Flattened int64 element columns (one array per schema column);
+            message ``i`` owns the rows ``offsets[i]:offsets[i+1]`` implied
+            by ``lengths``.
+        lengths:
+            Per-message element counts; defaults to the schema's fixed
+            length when it has one.
+        bits:
+            Optional explicit sizes overriding the schema accounting.
+
+        Raises
+        ------
+        TopologyError
+            If any destination is this node itself or unreachable.
+        SimulationError
+            If column names or lengths disagree with the schema.
+        """
+        dst = np.array(destinations, dtype=np.int64)
+        if dst.ndim != 1:
+            raise SimulationError("send_columns destinations must be one-dimensional")
+        if dst.shape[0] == 0:
+            return
+        self._validate_destinations(dst)
+        self._plane.extend_columns(
+            schema, self.node_id, dst, data, lengths=lengths, bits=bits
+        )
 
     def broadcast(self, payload: Any, bits: Optional[int] = None) -> None:
         """Queue ``payload`` for delivery to every neighbour in the input graph.
@@ -299,17 +368,73 @@ class NodeContext:
         """Return the set of nodes that delivered something in the last phase."""
         return {source for source, _ in inbox_pairs(self._inbox)}
 
+    def received_columns(self, schema: WireSchema) -> TypedInboxView:
+        """Return the typed column view of last phase's ``schema`` messages.
+
+        The zero-copy fast path for batched kernels: instead of decoding
+        ``(sender, payload)`` objects, consumers read the delivered element
+        columns (and the per-message offsets) directly.  Empty when no
+        typed traffic of this kind arrived.
+        """
+        return inbox_columns(self._inbox, schema)
+
     # ------------------------------------------------------------------
     # output
     # ------------------------------------------------------------------
     def output_triangle(self, a: NodeId, b: NodeId, c: NodeId) -> None:
         """Add the triple ``{a, b, c}`` to this node's output set ``T_i``."""
         self._output.add(make_triangle(a, b, c))
+        self._output_frozen = None
+
+    def output_triangles(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray
+    ) -> None:
+        """Bulk variant of :meth:`output_triangle` over vertex arrays.
+
+        Canonicalises all triples with one vectorized sort; used by the
+        batched phase kernels to emit a whole detection batch per node.
+
+        Raises
+        ------
+        SimulationError
+            If any triple has fewer than three distinct vertices.
+        """
+        stacked = np.stack(
+            (
+                np.asarray(a, dtype=np.int64),
+                np.asarray(b, dtype=np.int64),
+                np.asarray(c, dtype=np.int64),
+            ),
+            axis=1,
+        )
+        if stacked.shape[0] == 0:
+            return
+        stacked.sort(axis=1)
+        if (stacked[:, 1:] == stacked[:, :-1]).any():
+            raise SimulationError(
+                "a triangle must contain three distinct vertices"
+            )
+        # zip over the column lists builds each canonical tuple directly at
+        # C speed (no intermediate per-row list objects).
+        self._output.update(
+            zip(
+                stacked[:, 0].tolist(),
+                stacked[:, 1].tolist(),
+                stacked[:, 2].tolist(),
+            )
+        )
+        self._output_frozen = None
 
     @property
     def output(self) -> frozenset[Triangle]:
-        """The node's current output set ``T_i`` (canonicalised triples)."""
-        return frozenset(self._output)
+        """The node's current output set ``T_i`` (canonicalised triples).
+
+        Cached between mutations: repeated reads (result collection over
+        millions of listed triples) must not re-copy the whole set.
+        """
+        if self._output_frozen is None:
+            self._output_frozen = frozenset(self._output)
+        return self._output_frozen
 
     # ------------------------------------------------------------------
     # simulator-facing internals

@@ -13,14 +13,22 @@ kernel both engines now sit on:
 * :class:`MessagePlane` — the batched send buffer.  Scalar ``send`` calls
   stage into plain lists; the bulk paths (:meth:`NodeContext.bulk_send`,
   :meth:`NodeContext.broadcast_bits`) append whole numpy chunks, so a node
-  enqueueing thousands of messages costs O(1) Python operations.
+  enqueueing thousands of messages costs O(1) Python operations.  The
+  columnar path (:meth:`MessagePlane.extend_columns`) goes further: a whole
+  ``(targets, columns)`` batch under a :class:`~repro.congest.wire.WireSchema`
+  is staged, sized (``schema.bit_size`` over the batch) and later delivered
+  without ever materialising per-message payload objects.
 * :class:`PhaseTraffic` — one phase's drained traffic as flat ``(src, dst,
-  bits)`` int64 arrays plus an aligned object array of payloads.
+  bits)`` int64 arrays plus an aligned object array of payloads, and — for
+  columnar sends — one :class:`TypedChannel` of flattened element columns
+  per schema kind.
 * :class:`InboxSlice` — a delivered inbox as zero-copy views into the
   phase's destination-sorted arrays; the ``(sender, payload)`` pair list is
   materialized lazily on first read, so phases whose inboxes are only
   partially consumed (BFS frontiers, sparse responders) never pay for the
-  rest.
+  rest.  Typed traffic arrives as :class:`TypedInboxView` column views
+  (``inbox.columns(schema)``); object payloads for typed messages are only
+  decoded if some consumer actually asks for the pair list.
 * :class:`CongestRuntime` — context construction, per-node RNG seeding,
   vectorized traffic aggregation (``np.bincount`` over encoded link keys
   instead of per-message dict updates), grouped delivery fan-out, metrics
@@ -34,8 +42,8 @@ at send time — neither re-implements delivery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -44,7 +52,7 @@ from ..graphs.graph import Graph
 from ..types import NodeId
 from .bandwidth import DEFAULT_BANDWIDTH, BandwidthPolicy
 from .metrics import ExecutionMetrics, PhaseReport
-from .wire import default_bit_size
+from .wire import WireSchema, default_bit_size
 
 #: Shared empty-inbox value.  Immutable, so one instance can reset every
 #: context between phases without allocation.
@@ -71,17 +79,51 @@ def repeated_payload(payload: Any, count: int) -> np.ndarray:
 
 
 @dataclass(frozen=True)
+class TypedChannel:
+    """One schema's columnar traffic for a phase.
+
+    ``src[i] -> dst[i]`` is a message of ``bits[i]`` on-wire bits whose
+    elements are the rows ``offsets[i]:offsets[i+1]`` of every column in
+    ``data`` (the flattened structure-of-arrays layout).
+    """
+
+    schema: WireSchema
+    src: np.ndarray
+    dst: np.ndarray
+    bits: np.ndarray
+    offsets: np.ndarray
+    data: Dict[str, np.ndarray]
+
+    @property
+    def count(self) -> int:
+        """Number of messages in this channel."""
+        return int(self.src.shape[0])
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-message element counts."""
+        return np.diff(self.offsets)
+
+
+@dataclass(frozen=True)
 class PhaseTraffic:
     """One phase's drained traffic in structure-of-arrays form.
 
-    ``payloads[i]`` is the payload of the message ``src[i] -> dst[i]`` of
-    on-wire size ``bits[i]``; records appear in global send order.
+    The flat ``src``/``dst``/``bits`` arrays cover *every* message of the
+    phase (scalar, bulk and columnar sends alike), so the accounting
+    reductions (:func:`max_link_bits`, :func:`record_deliveries`) need no
+    special cases.  ``payloads[i]`` is the payload of the ``i``-th message
+    for the first ``len(payloads)`` records — the object-payload sends, in
+    global send order.  The remaining records belong to the typed
+    ``channels``, whose payloads exist only as column blocks until someone
+    asks a delivered inbox for its pair list.
     """
 
     src: np.ndarray
     dst: np.ndarray
     bits: np.ndarray
     payloads: np.ndarray
+    channels: Tuple[TypedChannel, ...] = field(default=())
 
     @property
     def count(self) -> int:
@@ -103,29 +145,240 @@ def empty_traffic() -> PhaseTraffic:
     return PhaseTraffic(src=_EMPTY_INT, dst=_EMPTY_INT, bits=_EMPTY_INT, payloads=_EMPTY_OBJ)
 
 
+def build_typed_channel(
+    schema: WireSchema,
+    src: NodeId | np.ndarray,
+    destinations: np.ndarray | Sequence[NodeId],
+    data: Dict[str, np.ndarray],
+    lengths: Optional[np.ndarray | Sequence[int]],
+    bits: Optional[np.ndarray | Sequence[int] | int],
+    num_nodes: int,
+) -> Optional[TypedChannel]:
+    """Validate and assemble one columnar batch into a :class:`TypedChannel`.
+
+    The single staging door shared by :meth:`MessagePlane.extend_columns`
+    and :meth:`~repro.congest.routing.LenzenRouter.route_columns`: source
+    broadcasting, offset construction, column-layout checks and schema
+    sizing all live here.  Returns ``None`` for an empty batch.
+
+    Raises
+    ------
+    SimulationError
+        When column names, array lengths or message counts disagree with
+        the schema.
+    """
+    dst = np.ascontiguousarray(destinations, dtype=np.int64)
+    count = int(dst.shape[0])
+    if count == 0:
+        return None
+    if np.ndim(src) == 0:
+        src_arr = np.full(count, int(src), dtype=np.int64)
+    else:
+        src_arr = np.ascontiguousarray(src, dtype=np.int64)
+        if src_arr.shape[0] != count:
+            raise SimulationError(
+                f"typed batch has {count} destinations but "
+                f"{src_arr.shape[0]} sources"
+            )
+    if lengths is None:
+        if schema.fixed_length is None:
+            raise SimulationError(
+                f"schema {schema.kind!r} is ragged; lengths are required"
+            )
+        counts = np.full(count, schema.fixed_length, dtype=np.int64)
+    else:
+        counts = np.ascontiguousarray(lengths, dtype=np.int64)
+        if counts.shape[0] != count:
+            raise SimulationError(
+                f"typed batch has {count} destinations but "
+                f"{counts.shape[0]} lengths"
+            )
+        if counts.shape[0] and int(counts.min()) < 0:
+            raise SimulationError("message lengths must be non-negative")
+    offsets = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    total_elements = int(offsets[-1])
+    if set(data) != set(schema.columns):
+        raise SimulationError(
+            f"schema {schema.kind!r} expects columns {schema.columns}, "
+            f"got {tuple(sorted(data))}"
+        )
+    columns: Dict[str, np.ndarray] = {}
+    for name in schema.columns:
+        column = np.ascontiguousarray(data[name], dtype=np.int64)
+        if column.shape[0] != total_elements:
+            raise SimulationError(
+                f"column {name!r} has {column.shape[0]} rows; offsets "
+                f"imply {total_elements}"
+            )
+        columns[name] = column
+    if bits is None:
+        sizes = schema.bit_size(counts, num_nodes)
+    elif np.ndim(bits) == 0:
+        sizes = np.full(count, int(bits), dtype=np.int64)
+    else:
+        sizes = np.ascontiguousarray(bits, dtype=np.int64)
+        if sizes.shape[0] != count:
+            raise SimulationError(
+                f"typed batch has {count} destinations but "
+                f"{sizes.shape[0]} sizes"
+            )
+    return TypedChannel(
+        schema=schema, src=src_arr, dst=dst, bits=sizes, offsets=offsets, data=columns
+    )
+
+
+def _merge_typed_segments(segments: List[TypedChannel]) -> TypedChannel:
+    """Concatenate one kind's staged columnar segments into a channel."""
+    if len(segments) == 1:
+        return segments[0]
+    schema = segments[0].schema
+    src = np.concatenate([segment.src for segment in segments])
+    dst = np.concatenate([segment.dst for segment in segments])
+    bits = np.concatenate([segment.bits for segment in segments])
+    # Per-segment offsets are rebased onto the concatenated element rows.
+    lengths = np.concatenate([segment.lengths for segment in segments])
+    offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    data = {
+        name: np.concatenate([segment.data[name] for segment in segments])
+        for name in schema.columns
+    }
+    return TypedChannel(
+        schema=schema, src=src, dst=dst, bits=bits, offsets=offsets, data=data
+    )
+
+
+class TypedInboxView:
+    """One receiver's slice of a typed channel: zero-copy column views.
+
+    ``senders[i]`` sent the message whose elements are rows
+    ``offsets[i]:offsets[i+1]`` of every column — the same flattened layout
+    as :class:`TypedChannel`, restricted to this receiver.  Batched phase
+    kernels consume these views directly; :meth:`decode_pairs` exists for
+    the reference pair-list path and the differential tests.
+    """
+
+    __slots__ = ("schema", "senders", "offsets", "data")
+
+    def __init__(
+        self,
+        schema: WireSchema,
+        senders: np.ndarray,
+        offsets: np.ndarray,
+        data: Dict[str, np.ndarray],
+    ) -> None:
+        self.schema = schema
+        self.senders = senders
+        self.offsets = offsets
+        self.data = data
+
+    @classmethod
+    def empty(cls, schema: WireSchema) -> "TypedInboxView":
+        """Return an empty view under ``schema`` (zero messages)."""
+        return cls(
+            schema,
+            _EMPTY_INT,
+            np.zeros(1, dtype=np.int64),
+            {name: _EMPTY_INT for name in schema.columns},
+        )
+
+    @property
+    def count(self) -> int:
+        """Number of messages in the view."""
+        return int(self.senders.shape[0])
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-message element counts."""
+        return np.diff(self.offsets)
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one flattened element column (all messages concatenated)."""
+        return self.data[name]
+
+    def decode_pairs(self) -> List[Tuple[int, Any]]:
+        """Materialize the ``(sender, payload)`` list via the schema codec."""
+        offsets = self.offsets
+        return [
+            (
+                int(sender),
+                self.schema.decode(
+                    {
+                        name: column[offsets[index] : offsets[index + 1]]
+                        for name, column in self.data.items()
+                    }
+                ),
+            )
+            for index, sender in enumerate(self.senders.tolist())
+        ]
+
+
 class InboxSlice:
     """One node's delivered inbox, backed by views into the phase arrays.
 
     Materializing the ``(sender, payload)`` pair list costs one C-level
     ``zip`` per inbox and happens only when the node program actually reads
-    its messages.
+    its messages.  Typed traffic is attached as per-schema
+    :class:`TypedInboxView` blocks: :meth:`columns` hands them to batched
+    kernels untouched, while :meth:`pairs` decodes them through the schema
+    codec so reference-path consumers see the same ``(sender, payload)``
+    messages either way.
     """
 
-    __slots__ = ("_senders", "_payloads", "_pairs")
+    __slots__ = ("_senders", "_payloads", "_pairs", "_typed")
 
     def __init__(self, senders: np.ndarray, payloads: np.ndarray) -> None:
         self._senders = senders
         self._payloads = payloads
         self._pairs: Optional[List[Tuple[int, Any]]] = None
+        self._typed: Optional[Dict[str, TypedInboxView]] = None
+
+    @classmethod
+    def empty(cls) -> "InboxSlice":
+        """Return an inbox with no object-payload messages."""
+        return cls(_EMPTY_INT, _EMPTY_OBJ)
+
+    def _attach_typed(self, view: TypedInboxView) -> None:
+        if self._typed is None:
+            self._typed = {}
+        self._typed[view.schema.kind] = view
+        self._pairs = None
+
+    def columns(self, schema: WireSchema | str) -> TypedInboxView:
+        """Return this inbox's typed view for ``schema`` (empty if none).
+
+        Accepts the schema object or its kind string.  The returned view is
+        zero-copy over the phase's destination-grouped column blocks.
+        """
+        kind = schema if isinstance(schema, str) else schema.kind
+        if self._typed is not None and kind in self._typed:
+            return self._typed[kind]
+        if isinstance(schema, str):
+            from .wire import schema_for
+
+            schema = schema_for(schema)
+        return TypedInboxView.empty(schema)
 
     def pairs(self) -> List[Tuple[int, Any]]:
-        """Return (and cache) the ``(sender, payload)`` list."""
+        """Return (and cache) the ``(sender, payload)`` list.
+
+        Typed messages are decoded through their schema codec and appended
+        after the object-payload messages, grouped by schema kind.
+        """
         if self._pairs is None:
-            self._pairs = list(zip(self._senders.tolist(), self._payloads.tolist()))
+            pairs = list(zip(self._senders.tolist(), self._payloads.tolist()))
+            if self._typed is not None:
+                for view in self._typed.values():
+                    pairs.extend(view.decode_pairs())
+            self._pairs = pairs
         return self._pairs
 
     def __len__(self) -> int:
-        return int(self._senders.shape[0])
+        count = int(self._senders.shape[0])
+        if self._typed is not None:
+            count += sum(view.count for view in self._typed.values())
+        return count
 
     def __iter__(self):
         return iter(self.pairs())
@@ -141,6 +394,17 @@ def inbox_pairs(inbox: Inbox) -> Sequence[Tuple[int, Any]]:
     if isinstance(inbox, InboxSlice):
         return inbox.pairs()
     return inbox
+
+
+def inbox_columns(inbox: Inbox, schema: WireSchema) -> TypedInboxView:
+    """Return the typed view of ``inbox`` for ``schema`` (empty if none).
+
+    Plain pair-list inboxes (the shared empty inbox, legacy explicit lists)
+    carry no columnar traffic, so they yield the empty view.
+    """
+    if isinstance(inbox, InboxSlice):
+        return inbox.columns(schema)
+    return TypedInboxView.empty(schema)
 
 
 class MessagePlane:
@@ -165,6 +429,7 @@ class MessagePlane:
         "_scalar_bits",
         "_scalar_payloads",
         "_chunks",
+        "_typed",
         "_count",
         "_has_unset",
     )
@@ -185,6 +450,9 @@ class MessagePlane:
         self._chunks: List[
             Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]
         ] = []
+        # Columnar segments per schema kind, staged by extend_columns and
+        # concatenated into one TypedChannel per kind at flush time.
+        self._typed: Dict[str, List[TypedChannel]] = {}
         self._count = 0
         self._has_unset = False
 
@@ -232,6 +500,48 @@ class MessagePlane:
             )
         )
         self._count += count
+
+    def extend_columns(
+        self,
+        schema: WireSchema,
+        src: NodeId | np.ndarray,
+        destinations: np.ndarray | Sequence[NodeId],
+        data: Dict[str, np.ndarray],
+        lengths: Optional[np.ndarray | Sequence[int]] = None,
+        bits: Optional[np.ndarray | Sequence[int] | int] = None,
+    ) -> None:
+        """Queue a whole columnar batch of typed messages (the schema path).
+
+        Parameters
+        ----------
+        schema:
+            The wire schema every message of the batch conforms to.
+        src:
+            The sending node, or one int64 sender per message.
+        destinations:
+            One receiving node per message.
+        data:
+            The flattened element columns, one int64 array per schema
+            column; message ``i`` owns rows ``offsets[i]:offsets[i+1]``.
+        lengths:
+            Per-message element counts.  Defaults to the schema's
+            ``fixed_length`` when it has one.
+        bits:
+            Optional explicit per-message (or scalar) sizes, overriding
+            ``schema.bit_size(lengths, n)``.
+
+        Raises
+        ------
+        SimulationError
+            When column names or array lengths disagree with the schema.
+        """
+        channel = build_typed_channel(
+            schema, src, destinations, data, lengths, bits, self.num_nodes
+        )
+        if channel is None:
+            return
+        self._typed.setdefault(schema.kind, []).append(channel)
+        self._count += channel.count
 
     def _seal_scalars(self) -> None:
         """Convert staged scalar sends into one chunk, preserving order."""
@@ -281,7 +591,15 @@ class MessagePlane:
         if self._count == 0:
             return empty_traffic()
         self._seal_scalars()
-        if len(self._chunks) == 1:
+        if not self._chunks:
+            src, dst, bits, payloads, unset = (
+                _EMPTY_INT,
+                _EMPTY_INT,
+                _EMPTY_INT,
+                _EMPTY_OBJ,
+                None,
+            )
+        elif len(self._chunks) == 1:
             src, dst, bits, payloads, unset = self._chunks[0]
         else:
             src = np.concatenate([chunk[0] for chunk in self._chunks])
@@ -299,7 +617,11 @@ class MessagePlane:
                 )
             else:
                 unset = None
+        channels = tuple(
+            _merge_typed_segments(segments) for segments in self._typed.values()
+        )
         self._chunks = []
+        self._typed = {}
         self._count = 0
         self._has_unset = False
 
@@ -307,40 +629,115 @@ class MessagePlane:
             size_of = self._size_of
             for index in np.flatnonzero(unset).tolist():
                 bits[index] = size_of(payloads[index])
+        if channels:
+            # The flat record arrays cover every message; typed channels are
+            # appended after the object-payload block, whose length payloads
+            # still tracks.
+            src = np.concatenate([src] + [channel.src for channel in channels])
+            dst = np.concatenate([dst] + [channel.dst for channel in channels])
+            bits = np.concatenate([bits] + [channel.bits for channel in channels])
         if bits.shape[0] and int(bits.min()) < 0:
             raise SimulationError(
                 f"message size must be non-negative, got {int(bits.min())}"
             )
-        return PhaseTraffic(src=src, dst=dst, bits=bits, payloads=payloads)
+        return PhaseTraffic(
+            src=src, dst=dst, bits=bits, payloads=payloads, channels=channels
+        )
 
 
-def deliver_traffic(contexts: Sequence[Any], traffic: PhaseTraffic) -> None:
-    """Replace every context's inbox with this phase's deliveries.
-
-    One stable argsort groups the flat record arrays by destination; each
-    receiving context gets an :class:`InboxSlice` over zero-copy views, and
-    everyone else the shared empty inbox (inboxes never carry over between
-    phases).  Works for any context type exposing ``_deliver``.
-    """
-    for context in contexts:
-        context._deliver(EMPTY_INBOX)
-    if traffic.count == 0:
-        return
-    order = np.argsort(traffic.dst, kind="stable")
-    dst_sorted = traffic.dst[order]
-    src_sorted = traffic.src[order]
-    payload_sorted = traffic.payloads[order]
+def _group_starts(dst_sorted: np.ndarray) -> Tuple[List[int], List[int], List[int]]:
+    """Return (group starts, group ends, receivers) of a dst-sorted array."""
     starts = np.flatnonzero(
         np.concatenate(([True], dst_sorted[1:] != dst_sorted[:-1]))
     )
     start_list = starts.tolist()
     bounds = start_list[1:] + [int(dst_sorted.shape[0])]
     receivers = dst_sorted[starts].tolist()
+    return start_list, bounds, receivers
+
+
+def _deliver_channel(slices: Dict[int, InboxSlice], channel: TypedChannel) -> None:
+    """Group one typed channel by destination and attach per-receiver views.
+
+    The flattened element rows are gathered once into destination order
+    (one vectorized permutation), after which every receiver's view is a
+    zero-copy slice of the grouped columns.
+    """
+    if channel.count == 0:
+        return
+    order = np.argsort(channel.dst, kind="stable")
+    dst_sorted = channel.dst[order]
+    src_sorted = channel.src[order]
+    lengths_sorted = np.diff(channel.offsets)[order]
+    grouped_offsets = np.zeros(channel.count + 1, dtype=np.int64)
+    np.cumsum(lengths_sorted, out=grouped_offsets[1:])
+    total_elements = int(grouped_offsets[-1])
+    if total_elements:
+        # element_perm[row] = the source row of the grouped element at
+        # ``row``: each message's block start is shifted from its staged
+        # position to its grouped position, then walked linearly.
+        element_perm = np.repeat(
+            channel.offsets[:-1][order] - grouped_offsets[:-1], lengths_sorted
+        ) + np.arange(total_elements, dtype=np.int64)
+        grouped_data = {
+            name: column[element_perm] for name, column in channel.data.items()
+        }
+    else:
+        grouped_data = {name: _EMPTY_INT for name in channel.schema.columns}
+    start_list, bounds, receivers = _group_starts(dst_sorted)
     for which, start in enumerate(start_list):
         end = bounds[which]
-        contexts[receivers[which]]._deliver(
-            InboxSlice(src_sorted[start:end], payload_sorted[start:end])
+        receiver = receivers[which]
+        inbox = slices.get(receiver)
+        if inbox is None:
+            inbox = InboxSlice.empty()
+            slices[receiver] = inbox
+        element_start = int(grouped_offsets[start])
+        inbox._attach_typed(
+            TypedInboxView(
+                channel.schema,
+                src_sorted[start:end],
+                grouped_offsets[start : end + 1] - element_start,
+                {
+                    name: column[element_start : int(grouped_offsets[end])]
+                    for name, column in grouped_data.items()
+                },
+            )
         )
+
+
+def deliver_traffic(contexts: Sequence[Any], traffic: PhaseTraffic) -> None:
+    """Replace every context's inbox with this phase's deliveries.
+
+    One stable argsort groups the object-payload records by destination and
+    one more groups each typed channel; each receiving context gets an
+    :class:`InboxSlice` over zero-copy views (column views attached for the
+    typed traffic), and everyone else the shared empty inbox (inboxes never
+    carry over between phases).  Works for any context type exposing
+    ``_deliver``.
+    """
+    for context in contexts:
+        context._deliver(EMPTY_INBOX)
+    if traffic.count == 0:
+        return
+    slices: Dict[int, InboxSlice] = {}
+    untyped = int(traffic.payloads.shape[0])
+    if untyped:
+        dst_block = traffic.dst[:untyped]
+        order = np.argsort(dst_block, kind="stable")
+        dst_sorted = dst_block[order]
+        src_sorted = traffic.src[:untyped][order]
+        payload_sorted = traffic.payloads[order]
+        start_list, bounds, receivers = _group_starts(dst_sorted)
+        for which, start in enumerate(start_list):
+            end = bounds[which]
+            slices[receivers[which]] = InboxSlice(
+                src_sorted[start:end], payload_sorted[start:end]
+            )
+    for channel in traffic.channels:
+        _deliver_channel(slices, channel)
+    for receiver, inbox in slices.items():
+        contexts[receiver]._deliver(inbox)
 
 
 def record_deliveries(metrics: ExecutionMetrics, traffic: PhaseTraffic) -> None:

@@ -194,6 +194,30 @@ class CongestSimulator:
         for context in self._contexts:
             action(context)
 
+    def stage_columns(
+        self,
+        schema,
+        src,
+        dst,
+        data,
+        lengths=None,
+        bits=None,
+    ) -> None:
+        """Stage a network-wide typed batch on the message plane.
+
+        The batched phase kernels' staging door: one call enqueues an
+        entire phase's columnar traffic (``src``/``dst`` per message plus
+        the schema's flattened element columns).  Callers are the layer-3
+        array programs, which construct destinations from each sender's CSR
+        neighbour row — the topology every per-node fast path validates —
+        and are differentially tested against the per-node reference
+        closures, so the per-destination membership checks are not repeated
+        here.
+        """
+        self._runtime.plane.extend_columns(
+            schema, src, dst, data, lengths=lengths, bits=bits
+        )
+
     def _phase_cost(self, traffic: PhaseTraffic) -> Tuple[int, int]:
         """Return ``(rounds, reported max bits)`` for one phase's traffic.
 

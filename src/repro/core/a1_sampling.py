@@ -22,10 +22,12 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from ..congest.node import NodeContext
 from ..congest.simulator import CongestSimulator
-from ..congest.wire import id_bits
-from .base import TriangleAlgorithm
+from ..congest.wire import A1_SAMPLE_SCHEMA, id_bits
+from .base import TriangleAlgorithm, validate_kernel
 from .parameters import a1_sample_cap, a1_sampling_probability
 
 
@@ -41,12 +43,21 @@ class HeavySamplingFinder(TriangleAlgorithm):
     sample_cap_constant:
         The constant in the sample-size cap ``4 n^{1-ε}``; exposed so the
         ablation benchmarks can study its effect.
+    kernel:
+        ``"batched"`` (default) stages every node's sample broadcast as one
+        columnar batch and vectorizes detection; ``"reference"`` runs the
+        per-node closures.  Identical executions for the same seed.
     """
 
     name = "A1-heavy-sampling"
     model = "CONGEST"
 
-    def __init__(self, epsilon: float, sample_cap_constant: float = 4.0) -> None:
+    def __init__(
+        self,
+        epsilon: float,
+        sample_cap_constant: float = 4.0,
+        kernel: str = "batched",
+    ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
         if sample_cap_constant <= 0:
@@ -55,11 +66,13 @@ class HeavySamplingFinder(TriangleAlgorithm):
             )
         self._epsilon = epsilon
         self._sample_cap_constant = sample_cap_constant
+        self._kernel = validate_kernel(kernel)
 
     def describe_parameters(self) -> Dict[str, Any]:
         return {
             "epsilon": self._epsilon,
             "sample_cap_constant": self._sample_cap_constant,
+            "kernel": self._kernel,
         }
 
     # ------------------------------------------------------------------
@@ -71,6 +84,14 @@ class HeavySamplingFinder(TriangleAlgorithm):
         cap = (
             self._sample_cap_constant / 4.0
         ) * a1_sample_cap(num_nodes, self._epsilon)
+        if self._kernel == "batched":
+            return self._execute_batched(simulator, probability, cap)
+        return self._execute_reference(simulator, probability, cap)
+
+    def _execute_reference(
+        self, simulator: CongestSimulator, probability: float, cap: float
+    ) -> bool:
+        num_nodes = simulator.num_nodes
 
         def sample_and_send(context: NodeContext) -> None:
             neighbors = context.sorted_neighbors()
@@ -103,6 +124,84 @@ class HeavySamplingFinder(TriangleAlgorithm):
                         context.output_triangle(sender, context.node_id, candidate)
 
         simulator.for_each_node(detect)
+        return False
+
+    def _execute_batched(
+        self, simulator: CongestSimulator, probability: float, cap: float
+    ) -> bool:
+        """The vectorized kernel: columnar sample broadcasts, array detection.
+
+        Per-node randomness is drawn exactly as the reference closure draws
+        it (one ``rng.random(degree)`` mask over the sorted neighbour row),
+        so seeded runs coincide; everything per-message is array work.
+        """
+        num_nodes = simulator.num_nodes
+        csr = simulator.graph.csr()
+        indptr, indices = csr.indptr, csr.indices
+        contexts = simulator.contexts
+        node_id_bits = id_bits(num_nodes)
+
+        sender_nodes: List[int] = []
+        sender_degrees: List[int] = []
+        sample_chunks: List[np.ndarray] = []
+        for context in contexts:
+            node = context.node_id
+            row = indices[indptr[node] : indptr[node + 1]]
+            if row.shape[0] == 0:
+                continue
+            mask = context.rng.random(row.shape[0]) < probability
+            sample = row[mask]
+            context.state["sample"] = sample.tolist()
+            if sample.shape[0] == 0 or sample.shape[0] > cap:
+                continue
+            sender_nodes.append(node)
+            sender_degrees.append(int(row.shape[0]))
+            sample_chunks.append(sample)
+        if sender_nodes:
+            senders = np.asarray(sender_nodes, dtype=np.int64)
+            degrees = np.asarray(sender_degrees, dtype=np.int64)
+            sizes = np.asarray(
+                [chunk.shape[0] for chunk in sample_chunks], dtype=np.int64
+            )
+            # One message per (sender, neighbour) pair, each carrying the
+            # sender's whole sample.
+            simulator.stage_columns(
+                A1_SAMPLE_SCHEMA,
+                np.repeat(senders, degrees),
+                np.concatenate(
+                    [
+                        indices[indptr[node] : indptr[node + 1]]
+                        for node in sender_nodes
+                    ]
+                ),
+                {
+                    "member": np.concatenate(
+                        [
+                            np.tile(chunk, degree)
+                            for chunk, degree in zip(sample_chunks, sender_degrees)
+                        ]
+                    )
+                },
+                lengths=np.repeat(sizes, degrees),
+                bits=np.repeat(sizes * node_id_bits, degrees),
+            )
+        simulator.run_phase("A1:send-samples")
+
+        for context in contexts:
+            view = context.received_columns(A1_SAMPLE_SCHEMA)
+            if view.count == 0:
+                continue
+            node = context.node_id
+            row = indices[indptr[node] : indptr[node + 1]]
+            candidates = view.column("member")
+            senders_per_candidate = np.repeat(view.senders, view.lengths)
+            hits = (candidates != node) & np.isin(candidates, row)
+            if hits.any():
+                context.output_triangles(
+                    senders_per_candidate[hits],
+                    np.full(int(hits.sum()), node, dtype=np.int64),
+                    candidates[hits],
+                )
         return False
 
 

@@ -19,19 +19,37 @@ by Lemma 1 happens with probability at least ``3/(4 n^ε)`` — so *some*
 common neighbour catches it with constant probability.  The communication
 cost is dominated by step 2: at most ``8 + 4n/⌊n^{ε/2}⌋`` edges per link,
 i.e. ``O(n^{1-ε/2})`` rounds.
+
+Two execution kernels implement the protocol:
+
+* the **batched kernel** (default) evaluates every node's 3-wise hash over
+  the CSR neighbour rows as one array program — each family member is
+  Horner-evaluated once over the whole vertex set instead of once per
+  received message — and ships the filtered edge batches through the typed
+  columnar plane (:data:`repro.congest.wire.A2_EDGE_SCHEMA`), and
+* the **reference kernel** keeps the paper-shaped per-node closures over
+  object payloads.
+
+Both kernels draw per-node randomness identically, so a seeded run produces
+the same round counts, link-bit maxima and triangle outputs on either path;
+the differential suite (``tests/core/test_batched_kernels.py``) enforces
+this on every workload family.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..congest.node import NodeContext
 from ..congest.simulator import CongestSimulator
-from ..congest.wire import edge_bits
+from ..congest.wire import A2_EDGE_SCHEMA, HashDescriptorSchema, edge_bits
+from ..graphs.csr import CSRGraph
 from ..graphs.graph import Graph
 from ..hashing.kwise import KWiseIndependentFamily
 from ..types import Edge, make_edge
-from .base import TriangleAlgorithm
+from .base import TriangleAlgorithm, dense_pair_matrix_worthwhile, validate_kernel
 from .parameters import a2_edge_set_cap, a2_hash_range
 
 
@@ -47,21 +65,32 @@ class HeavyHashingLister(TriangleAlgorithm):
         Independence of the hash family (the analysis needs 3; exposed for
         the ablation that demonstrates pairwise independence is not enough
         for Lemma 1's conditioning argument).
+    kernel:
+        ``"batched"`` (default) runs the vectorized phase kernels over the
+        typed columnar plane; ``"reference"`` runs the per-node closures.
+        Both produce identical executions for the same seed.
     """
 
     name = "A2-heavy-hashing"
     model = "CONGEST"
 
-    def __init__(self, epsilon: float, independence: int = 3) -> None:
+    def __init__(
+        self, epsilon: float, independence: int = 3, kernel: str = "batched"
+    ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
         if independence < 2:
             raise ValueError(f"independence must be at least 2, got {independence}")
         self._epsilon = epsilon
         self._independence = independence
+        self._kernel = validate_kernel(kernel)
 
     def describe_parameters(self) -> Dict[str, Any]:
-        return {"epsilon": self._epsilon, "independence": self._independence}
+        return {
+            "epsilon": self._epsilon,
+            "independence": self._independence,
+            "kernel": self._kernel,
+        }
 
     # ------------------------------------------------------------------
     # protocol
@@ -78,6 +107,17 @@ class HeavyHashingLister(TriangleAlgorithm):
             range_size=hash_range,
             independence=self._independence,
         )
+        if self._kernel == "batched":
+            return self._execute_batched(simulator, family, edge_cap)
+        return self._execute_reference(simulator, family, edge_cap)
+
+    def _execute_reference(
+        self,
+        simulator: CongestSimulator,
+        family: KWiseIndependentFamily,
+        edge_cap: float,
+    ) -> bool:
+        num_nodes = simulator.num_nodes
 
         # Step 1: sample and broadcast hash functions.
         def sample_hash(context: NodeContext) -> None:
@@ -137,6 +177,133 @@ class HeavyHashingLister(TriangleAlgorithm):
         simulator.for_each_node(list_local_triangles)
         return False
 
+    def _execute_batched(
+        self,
+        simulator: CongestSimulator,
+        family: KWiseIndependentFamily,
+        edge_cap: float,
+    ) -> bool:
+        """The vectorized kernel: whole-phase array programs, typed channels.
+
+        Identical execution to :meth:`_execute_reference` (same per-node RNG
+        draws, same messages, same sizes); the per-message Python work is
+        replaced by one hash-matrix evaluation and per-node numpy
+        reductions over CSR neighbour rows.
+        """
+        num_nodes = simulator.num_nodes
+        csr = simulator.graph.csr()
+        indptr, indices = csr.indptr, csr.indices
+        degrees = np.diff(indptr)
+        contexts = simulator.contexts
+
+        # Step 1: sample per node (the same family.sample(rng) calls as the
+        # reference closure, so seeded runs coincide), then broadcast every
+        # descriptor in one columnar batch: one message per directed edge,
+        # each carrying the sender's k coefficients.
+        coefficients = np.empty((num_nodes, family.independence), dtype=np.int64)
+        for context in contexts:
+            own_hash = family.sample(context.rng)
+            context.state["hash"] = own_hash
+            coefficients[context.node_id] = own_hash.coefficients
+        schema = HashDescriptorSchema(family.independence, family.prime)
+        src = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+        if src.shape[0]:
+            simulator.stage_columns(
+                schema,
+                src,
+                indices,
+                {"coefficient": coefficients[src].ravel()},
+                bits=family.description_bits(),
+            )
+        simulator.run_phase("A2:send-hash-functions")
+
+        # Step 2 as one array program: decode each neighbour's family once —
+        # on dense graphs evaluate all n functions over all n vertices in
+        # one Horner pass, on sparse ones evaluate each neighbour-row block
+        # on demand — then build every node's filtered edge batches and cap
+        # masks as array reductions over its CSR row.
+        zero_mask = (
+            _hash_zero_matrix(coefficients, family.prime, family.range_size, num_nodes)
+            if dense_pair_matrix_worthwhile(num_nodes, degrees)
+            else None
+        )
+        batch_nodes: List[int] = []
+        batch_counts: List[int] = []
+        target_chunks: List[np.ndarray] = []
+        length_chunks: List[np.ndarray] = []
+        endpoint_chunks: List[np.ndarray] = []
+        for node in range(num_nodes):
+            row = indices[indptr[node] : indptr[node + 1]]
+            if row.shape[0] == 0:
+                continue
+            # filters[a, l] — does neighbour ``a``'s hash keep vertex ``l``?
+            if zero_mask is not None:
+                filters = zero_mask[np.ix_(row, row)]
+            else:
+                filters = _hash_zero_block(
+                    coefficients[row], row, family.prime, family.range_size
+                )
+            kept_per_target = filters.sum(axis=1)
+            shipped = (kept_per_target > 0) & (kept_per_target <= edge_cap)
+            if not shipped.any():
+                continue
+            endpoints = row[np.nonzero(filters[shipped])[1]]
+            targets = row[shipped]
+            batch_nodes.append(node)
+            batch_counts.append(int(targets.shape[0]))
+            target_chunks.append(targets)
+            length_chunks.append(kept_per_target[shipped])
+            endpoint_chunks.append(endpoints)
+        if batch_nodes:
+            senders = np.repeat(
+                np.asarray(batch_nodes, dtype=np.int64),
+                np.asarray(batch_counts, dtype=np.int64),
+            )
+            endpoints = np.concatenate(endpoint_chunks)
+            # Canonical edges {node, l}: every endpoint pairs with its
+            # message's sending node.
+            edge_peers = np.repeat(senders, np.concatenate(length_chunks))
+            simulator.stage_columns(
+                A2_EDGE_SCHEMA,
+                senders,
+                np.concatenate(target_chunks),
+                {
+                    "u": np.minimum(edge_peers, endpoints),
+                    "v": np.maximum(edge_peers, endpoints),
+                },
+                lengths=np.concatenate(length_chunks),
+            )
+        simulator.run_phase("A2:send-filtered-edges")
+
+        # Step 3: list triangles inside each node's received edge columns.
+        # Each inbox defines a small graph F_i; its triangles come from the
+        # vectorized CSR oracle instead of the Python set-walk, and land in
+        # the output set as one bulk update.  Endpoints are remapped to a
+        # compact vertex set first so the per-inbox graph (and the oracle's
+        # strategy choice) is sized by the inbox, not by n.
+        for context in contexts:
+            view = context.received_columns(A2_EDGE_SCHEMA)
+            if view.count == 0:
+                continue
+            keys = view.column("u") * np.int64(num_nodes) + view.column("v")
+            unique_keys = np.unique(keys)
+            endpoint_u = unique_keys // num_nodes
+            endpoint_v = unique_keys % num_nodes
+            vertices = np.unique(np.concatenate((endpoint_u, endpoint_v)))
+            local_graph = CSRGraph.from_edge_arrays(
+                int(vertices.shape[0]),
+                np.searchsorted(vertices, endpoint_u),
+                np.searchsorted(vertices, endpoint_v),
+            )
+            listed = local_graph.triangles()
+            if listed.shape[0]:
+                context.output_triangles(
+                    vertices[listed[:, 0]],
+                    vertices[listed[:, 1]],
+                    vertices[listed[:, 2]],
+                )
+        return False
+
 
 def _triangles_in_edge_set(edges: Set[Edge]) -> List[Tuple[int, int, int]]:
     """Return all triples whose three edges are all contained in ``edges``.
@@ -158,6 +325,46 @@ def _triangles_in_edge_set(edges: Set[Edge]) -> List[Tuple[int, int, int]]:
                 if w in adjacency[v]:
                     triangles.append((u, v, w))
     return triangles
+
+
+def _hash_zero_block(
+    coefficient_rows: np.ndarray, points: np.ndarray, prime: int, range_size: int
+) -> np.ndarray:
+    """Return ``Z[i, j] = (h_i(points[j]) == 0)`` for the given functions.
+
+    One Horner pass per coefficient, vectorized over the whole block.
+    Intermediate products stay below ``prime²`` (< 2⁶³ for every realistic
+    ``n``), so plain int64 arithmetic is exact.
+    """
+    reduced_points = (points % prime)[None, :]
+    accumulator = np.zeros(
+        (coefficient_rows.shape[0], points.shape[0]), dtype=np.int64
+    )
+    for index in range(coefficient_rows.shape[1] - 1, -1, -1):
+        accumulator *= reduced_points
+        accumulator += coefficient_rows[:, index : index + 1]
+        accumulator %= prime
+    return (accumulator % range_size) == 0
+
+
+def _hash_zero_matrix(
+    coefficients: np.ndarray, prime: int, range_size: int, num_nodes: int
+) -> np.ndarray:
+    """Return the boolean matrix ``Z[a, l] = (h_a(l) == 0)`` for all pairs.
+
+    Rows are chunked so the int64 work matrix stays within a fixed memory
+    budget; used when :func:`repro.core.base.dense_pair_matrix_worthwhile`
+    says the all-pairs precompute amortises (dense graphs).
+    """
+    points = np.arange(num_nodes, dtype=np.int64)
+    zero = np.empty((num_nodes, num_nodes), dtype=bool)
+    row_chunk = max(1, (8 << 20) // max(8 * num_nodes, 1))
+    for start in range(0, num_nodes, row_chunk):
+        end = min(num_nodes, start + row_chunk)
+        zero[start:end] = _hash_zero_block(
+            coefficients[start:end], points, prime, range_size
+        )
+    return zero
 
 
 def expected_rounds(num_nodes: int, epsilon: float) -> float:

@@ -43,11 +43,20 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Set
 
+import numpy as np
+
 from ..congest.node import NodeContext
 from ..congest.simulator import CongestSimulator
-from ..congest.wire import id_bits
+from ..congest.wire import (
+    A3_IN_U_SCHEMA,
+    A3_IN_X_SCHEMA,
+    A3_NX_SCHEMA,
+    A3_S_SCHEMA,
+    A3_V_SCHEMA,
+    id_bits,
+)
 from ..errors import RoundLimitExceededError
-from .base import TriangleAlgorithm
+from .base import TriangleAlgorithm, dense_pair_matrix_worthwhile, validate_kernel
 from .parameters import (
     a3_goodness_threshold,
     a3_landmark_probability,
@@ -55,7 +64,17 @@ from .parameters import (
 )
 
 
-def run_axr(simulator: CongestSimulator, goodness_threshold: float, max_iterations: Optional[int] = None) -> bool:
+def _axr_max_iterations(num_nodes: int) -> int:
+    """Default while-loop cap: twice the Lemma-3 ``O(log n)`` guarantee."""
+    return 2 * max(1, math.ceil(math.log2(max(2, num_nodes)))) + 2
+
+
+def run_axr(
+    simulator: CongestSimulator,
+    goodness_threshold: float,
+    max_iterations: Optional[int] = None,
+    kernel: str = "batched",
+) -> bool:
     """Run Algorithm ``A(X, r)`` (Figure 2) on ``simulator``.
 
     Preconditions: every node context's ``state["in_X"]`` has been set (the
@@ -74,6 +93,11 @@ def run_axr(simulator: CongestSimulator, goodness_threshold: float, max_iteratio
         Safety cap on while-loop iterations; defaults to ``2 log2 n + 2``
         (twice the Lemma-3 guarantee, to accommodate unlucky landmark sets
         without looping forever).
+    kernel:
+        ``"batched"`` (default) stages every phase's traffic as columnar
+        batches and evaluates the ∆(X) tests as one disjointness matrix;
+        ``"reference"`` runs the per-node closures.  Both kernels execute
+        identically (same rounds, bits and outputs).
 
     Returns
     -------
@@ -81,10 +105,22 @@ def run_axr(simulator: CongestSimulator, goodness_threshold: float, max_iteratio
         ``True`` when the loop stopped early because no node was r-good in
         some iteration (no further progress possible), ``False`` otherwise.
     """
+    validate_kernel(kernel)
+    if kernel == "batched":
+        return _run_axr_batched(simulator, goodness_threshold, max_iterations)
+    return _run_axr_reference(simulator, goodness_threshold, max_iterations)
+
+
+def _run_axr_reference(
+    simulator: CongestSimulator,
+    goodness_threshold: float,
+    max_iterations: Optional[int] = None,
+) -> bool:
+    """The per-node closure implementation of ``A(X, r)`` (Figure 2)."""
     num_nodes = simulator.num_nodes
     node_id_bits = id_bits(num_nodes)
     if max_iterations is None:
-        max_iterations = 2 * max(1, math.ceil(math.log2(max(2, num_nodes)))) + 2
+        max_iterations = _axr_max_iterations(num_nodes)
 
     # Step 1: announce landmark membership.
     def announce_landmark(context: NodeContext) -> None:
@@ -251,6 +287,279 @@ def run_axr(simulator: CongestSimulator, goodness_threshold: float, max_iteratio
     return truncated_by_progress
 
 
+def _landmark_incidence(
+    indptr: np.ndarray, indices: np.ndarray, in_x: np.ndarray
+) -> Optional[np.ndarray]:
+    """Return ``B[v, i] = (landmark i ∈ N(v))``, or ``None`` for empty X."""
+    num_nodes = in_x.shape[0]
+    landmarks = np.flatnonzero(in_x)
+    if landmarks.shape[0] == 0:
+        return None
+    incidence = np.zeros((num_nodes, landmarks.shape[0]), dtype=np.int64)
+    for column, landmark in enumerate(landmarks.tolist()):
+        incidence[indices[indptr[landmark] : indptr[landmark + 1]], column] = 1
+    return incidence
+
+
+def _make_disjointness(
+    incidence: Optional[np.ndarray], num_nodes: int, degrees: np.ndarray
+):
+    """Return ``block(vertices) -> D`` with ``D[j, l] = ({j, l} ∈ ∆(X))``.
+
+    This is the test every node evaluates from its step-2 knowledge: the
+    landmark neighbourhoods of ``j`` and ``l`` are disjoint.  With
+    ``B[v, i]`` marking landmark ``i`` adjacent to ``v``, intersection
+    sizes are ``B·Bᵀ`` products over the (small) landmark dimension — done
+    once for all pairs when the n×n precompute amortises (dense graphs),
+    or per neighbour-row block on demand (sparse ones, where most pairs
+    are never consulted).
+    """
+    if incidence is None:
+        return lambda vertices: np.ones(
+            (vertices.shape[0], vertices.shape[0]), dtype=bool
+        )
+    if dense_pair_matrix_worthwhile(num_nodes, degrees):
+        disjoint = (incidence @ incidence.T) == 0
+
+        def block(vertices: np.ndarray) -> np.ndarray:
+            return disjoint[np.ix_(vertices, vertices)]
+
+        return block
+
+    def block(vertices: np.ndarray) -> np.ndarray:
+        rows = incidence[vertices]
+        return (rows @ rows.T) == 0
+
+    return block
+
+
+def _run_axr_batched(
+    simulator: CongestSimulator,
+    goodness_threshold: float,
+    max_iterations: Optional[int] = None,
+) -> bool:
+    """The vectorized kernel for ``A(X, r)``: columnar phases, matrix ∆(X).
+
+    Phase for phase the same execution as :func:`_run_axr_reference` (the
+    differential suite enforces identical round counts, link-bit maxima and
+    outputs); message production and consumption run as array programs over
+    the CSR rows and the typed channels instead of per-node closures.
+    """
+    num_nodes = simulator.num_nodes
+    node_id_bits = id_bits(num_nodes)
+    if max_iterations is None:
+        max_iterations = _axr_max_iterations(num_nodes)
+    csr = simulator.graph.csr()
+    indptr, indices = csr.indptr, csr.indices
+    degrees = np.diff(indptr)
+    contexts = simulator.contexts
+    all_nodes = np.arange(num_nodes, dtype=np.int64)
+    broadcast_src = np.repeat(all_nodes, degrees)
+
+    in_x = np.fromiter(
+        (bool(context.state.get("in_X", False)) for context in contexts),
+        dtype=bool,
+        count=num_nodes,
+    )
+
+    # Step 1: announce landmark membership (one bit per incident edge).
+    if broadcast_src.shape[0]:
+        simulator.stage_columns(
+            A3_IN_X_SCHEMA,
+            broadcast_src,
+            indices,
+            {"flag": in_x[broadcast_src].astype(np.int64)},
+        )
+    simulator.run_phase("A(X,r):1-announce-X")
+
+    # Step 2: ship N(k) ∩ X to every neighbour.  Every node's landmark
+    # neighbourhood is its sorted CSR row filtered through the step-1
+    # flags, tiled once per neighbour.
+    landmark_rows = [
+        indices[indptr[node] : indptr[node + 1]][
+            in_x[indices[indptr[node] : indptr[node + 1]]]
+        ]
+        for node in range(num_nodes)
+    ]
+    landmark_counts = np.asarray(
+        [row.shape[0] for row in landmark_rows], dtype=np.int64
+    )
+    if broadcast_src.shape[0]:
+        tiled = [
+            np.tile(landmark_rows[node], int(degrees[node]))
+            for node in range(num_nodes)
+            if degrees[node]
+        ]
+        simulator.stage_columns(
+            A3_NX_SCHEMA,
+            broadcast_src,
+            indices,
+            {
+                "member": np.concatenate(tiled)
+                if tiled
+                else np.empty(0, dtype=np.int64)
+            },
+            lengths=landmark_counts[broadcast_src],
+        )
+    simulator.run_phase("A(X,r):2-send-X-neighbourhoods")
+
+    # The ∆(X) membership test, as a per-block evaluator (precomputed for
+    # all pairs on dense graphs, on demand on sparse ones).
+    disjoint_block = _make_disjointness(
+        _landmark_incidence(indptr, indices, in_x), num_nodes, degrees
+    )
+
+    in_u = np.ones(num_nodes, dtype=bool)
+    truncated_by_progress = False
+    for _ in range(max_iterations):
+        if not in_u.any():
+            break
+        active_nodes = np.flatnonzero(in_u)
+        active_rows = {
+            int(node): indices[indptr[node] : indptr[node + 1]][
+                in_u[indices[indptr[node] : indptr[node + 1]]]
+            ]
+            for node in active_nodes.tolist()
+        }
+
+        # Step 4.1 — compute and ship the S(j, k) sets.
+        sender_nodes: List[int] = []
+        sender_counts: List[int] = []
+        target_chunks: List[np.ndarray] = []
+        length_chunks: List[np.ndarray] = []
+        member_chunks: List[np.ndarray] = []
+        for node in active_nodes.tolist():
+            active_neighbors = active_rows[node]
+            if active_neighbors.shape[0] == 0:
+                continue
+            candidate = disjoint_block(active_neighbors)
+            np.fill_diagonal(candidate, False)
+            set_sizes = candidate.sum(axis=1)
+            shipped = set_sizes <= goodness_threshold
+            if not shipped.any():
+                continue
+            sender_nodes.append(node)
+            targets = active_neighbors[shipped]
+            sender_counts.append(int(targets.shape[0]))
+            target_chunks.append(targets)
+            length_chunks.append(set_sizes[shipped])
+            member_chunks.append(
+                active_neighbors[np.nonzero(candidate[shipped])[1]]
+            )
+        if sender_nodes:
+            lengths = np.concatenate(length_chunks)
+            simulator.stage_columns(
+                A3_S_SCHEMA,
+                np.repeat(
+                    np.asarray(sender_nodes, dtype=np.int64),
+                    np.asarray(sender_counts, dtype=np.int64),
+                ),
+                np.concatenate(target_chunks),
+                {
+                    "member": np.concatenate(member_chunks)
+                    if lengths.sum()
+                    else np.empty(0, dtype=np.int64)
+                },
+                lengths=lengths,
+                bits=np.maximum(lengths * node_id_bits, 1),
+            )
+        simulator.run_phase("A(X,r):4.1-send-S")
+
+        # Receivers list revealed triangles and compute V(j) (step 4.2).
+        is_good = np.zeros(num_nodes, dtype=bool)
+        withholding_sets: Dict[int, np.ndarray] = {}
+        for node in active_nodes.tolist():
+            context = contexts[node]
+            row = indices[indptr[node] : indptr[node + 1]]
+            view = context.received_columns(A3_S_SCHEMA)
+            if view.count:
+                thirds = view.column("member")
+                senders_per_third = np.repeat(view.senders, view.lengths)
+                revealed = (thirds != node) & np.isin(thirds, row)
+                if revealed.any():
+                    context.output_triangles(
+                        np.full(int(revealed.sum()), node, dtype=np.int64),
+                        senders_per_third[revealed],
+                        thirds[revealed],
+                    )
+            active_neighbors = active_rows[node]
+            withheld = active_neighbors[
+                np.isin(active_neighbors, view.senders, invert=True)
+            ]
+            withholding_sets[node] = withheld
+            is_good[node] = withheld.shape[0] <= goodness_threshold
+
+        # Step 4.3 — r-good nodes ship V(j) to their active neighbours.
+        sender_nodes = []
+        sender_counts = []
+        target_chunks = []
+        member_chunks = []
+        set_size_list: List[int] = []
+        for node in active_nodes.tolist():
+            if not is_good[node]:
+                continue
+            withheld = withholding_sets[node]
+            if withheld.shape[0] == 0:
+                continue
+            active_neighbors = active_rows[node]
+            if active_neighbors.shape[0] == 0:
+                continue
+            sender_nodes.append(node)
+            sender_counts.append(int(active_neighbors.shape[0]))
+            target_chunks.append(active_neighbors)
+            member_chunks.append(np.tile(withheld, active_neighbors.shape[0]))
+            set_size_list.append(int(withheld.shape[0]))
+        if sender_nodes:
+            counts = np.asarray(sender_counts, dtype=np.int64)
+            sizes = np.asarray(set_size_list, dtype=np.int64)
+            simulator.stage_columns(
+                A3_V_SCHEMA,
+                np.repeat(np.asarray(sender_nodes, dtype=np.int64), counts),
+                np.concatenate(target_chunks),
+                {"member": np.concatenate(member_chunks)},
+                lengths=np.repeat(sizes, counts),
+                bits=np.repeat(np.maximum(sizes * node_id_bits, 1), counts),
+            )
+        simulator.run_phase("A(X,r):4.3-send-V")
+
+        for node in active_nodes.tolist():
+            context = contexts[node]
+            view = context.received_columns(A3_V_SCHEMA)
+            if view.count == 0:
+                continue
+            row = indices[indptr[node] : indptr[node + 1]]
+            thirds = view.column("member")
+            senders_per_third = np.repeat(view.senders, view.lengths)
+            revealed = (thirds != node) & np.isin(thirds, row)
+            if revealed.any():
+                context.output_triangles(
+                    np.full(int(revealed.sum()), node, dtype=np.int64),
+                    senders_per_third[revealed],
+                    thirds[revealed],
+                )
+
+        # Steps 4.4 / 4.5 — good nodes retire; everyone announces membership.
+        retired_any = bool((in_u & is_good).any())
+        in_u = in_u & ~is_good
+        if broadcast_src.shape[0]:
+            simulator.stage_columns(
+                A3_IN_U_SCHEMA,
+                broadcast_src,
+                indices,
+                {"flag": in_u[broadcast_src].astype(np.int64)},
+            )
+        simulator.run_phase("A(X,r):4.5-announce-U")
+
+        if not retired_any:
+            # No node was r-good: the configuration is now static and more
+            # iterations cannot reveal anything new (the landmark set failed
+            # Lemma 3's guarantee).  Stop rather than loop until the budget.
+            truncated_by_progress = True
+            break
+
+    return truncated_by_progress
+
+
 class LightTrianglesLister(TriangleAlgorithm):
     """Algorithm A3 (Proposition 3): list every triangle that is not ε-heavy.
 
@@ -269,6 +578,10 @@ class LightTrianglesLister(TriangleAlgorithm):
     enforce_budget:
         When ``False`` the round budget is not enforced (useful for studying
         the untruncated behaviour of unlucky runs).
+    kernel:
+        ``"batched"`` (default) runs the vectorized ``A(X, r)`` kernel;
+        ``"reference"`` runs the per-node closures.  Identical executions
+        for the same seed.
     """
 
     name = "A3-light-listing"
@@ -281,6 +594,7 @@ class LightTrianglesLister(TriangleAlgorithm):
         landmark_probability: Optional[float] = None,
         goodness_threshold: Optional[float] = None,
         enforce_budget: bool = True,
+        kernel: str = "batched",
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
@@ -289,6 +603,7 @@ class LightTrianglesLister(TriangleAlgorithm):
         self._landmark_probability = landmark_probability
         self._goodness_threshold = goodness_threshold
         self._enforce_budget = enforce_budget
+        self._kernel = validate_kernel(kernel)
         self._num_nodes_hint: Optional[int] = None
 
     def describe_parameters(self) -> Dict[str, Any]:
@@ -298,6 +613,7 @@ class LightTrianglesLister(TriangleAlgorithm):
             "landmark_probability": self._landmark_probability,
             "goodness_threshold": self._goodness_threshold,
             "enforce_budget": self._enforce_budget,
+            "kernel": self._kernel,
         }
 
     def _build_simulator(self, graph, seed):  # type: ignore[override]
@@ -326,7 +642,7 @@ class LightTrianglesLister(TriangleAlgorithm):
 
         simulator.for_each_node(select_landmark)
         try:
-            return run_axr(simulator, threshold)
+            return run_axr(simulator, threshold, kernel=self._kernel)
         except RoundLimitExceededError:
             # The paper's A3 stops as soon as the budget is exceeded and
             # keeps whatever has been output so far.

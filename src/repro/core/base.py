@@ -28,6 +28,48 @@ from ..graphs.graph import Graph
 from .output import AlgorithmResult, TriangleOutput
 
 
+#: The two execution kernels every protocol offers: whole-network array
+#: programs over the typed columnar plane, or the paper-shaped per-node
+#: closures they are differentially tested against.
+VALID_KERNELS = ("batched", "reference")
+
+#: Memory ceiling for a precomputed n×n pair matrix (bool entries).
+DENSE_PAIR_MATRIX_MAX_BYTES = 1 << 28
+
+
+def dense_pair_matrix_worthwhile(num_nodes: int, degrees: "np.ndarray") -> bool:
+    """Should a batched kernel precompute an all-pairs n×n matrix?
+
+    The batched kernels only ever read pair entries ``(a, l)`` with both
+    endpoints in some node's neighbour row, i.e. ``Σ deg²`` entries in
+    total.  Precomputing the full matrix amortises shared pairs on dense
+    graphs but wastes O(n²) work and memory on sparse ones, so it is used
+    only when the matrix is modest in absolute terms *and* a sizeable
+    fraction of it is actually consumed; otherwise the kernels evaluate
+    each neighbour-row block on demand.
+    """
+    matrix_bytes = num_nodes * num_nodes
+    if matrix_bytes > DENSE_PAIR_MATRIX_MAX_BYTES:
+        return False
+    consumed = int((degrees.astype(np.int64) ** 2).sum())
+    return matrix_bytes <= 4 * max(consumed, 1)
+
+
+def validate_kernel(kernel: str) -> str:
+    """Validate and return an execution-kernel name.
+
+    Raises
+    ------
+    ValueError
+        For anything other than ``"batched"`` or ``"reference"``.
+    """
+    if kernel not in VALID_KERNELS:
+        raise ValueError(
+            f"kernel must be one of {VALID_KERNELS}, got {kernel!r}"
+        )
+    return kernel
+
+
 class TriangleAlgorithm(abc.ABC):
     """Abstract base class for distributed triangle finding/listing algorithms.
 

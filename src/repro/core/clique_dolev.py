@@ -34,9 +34,10 @@ import numpy as np
 from ..congest.clique import CliqueSimulator
 from ..congest.metrics import AlgorithmCost
 from ..congest.routing import LenzenRouter, RoutingRequest
-from ..congest.wire import edge_bits
+from ..congest.wire import RoutedEdgeSchema, edge_bits
 from ..graphs.graph import Graph
 from ..types import Edge, Triangle, make_edge, make_triangle
+from .base import validate_kernel
 from .output import AlgorithmResult, TriangleOutput
 
 
@@ -85,19 +86,32 @@ class DolevCliqueListing:
         original analysis does.
     routing_constant:
         Constant-round factor of the Lenzen routing primitive.
+    kernel:
+        ``"batched"`` (default) builds the routing instance as array
+        programs over the canonical CSR edge arrays and routes it through
+        the typed columnar plane; ``"reference"`` builds per-message
+        :class:`~repro.congest.routing.RoutingRequest` objects.  Identical
+        executions either way.
     """
 
     name = "Dolev-clique-listing"
     model = "CONGEST clique"
 
-    def __init__(self, group_count: Optional[int] = None, routing_constant: int = 2) -> None:
+    def __init__(
+        self,
+        group_count: Optional[int] = None,
+        routing_constant: int = 2,
+        kernel: str = "batched",
+    ) -> None:
         self._group_count = group_count
         self._routing_constant = routing_constant
+        self._kernel = validate_kernel(kernel)
 
     def describe_parameters(self) -> Dict[str, Any]:
         return {
             "group_count": self._group_count,
             "routing_constant": self._routing_constant,
+            "kernel": self._kernel,
         }
 
     def run(
@@ -131,10 +145,40 @@ class DolevCliqueListing:
                     if triple not in bucket:
                         bucket.append(triple)
 
-        # Build the routing instance: the lower-id endpoint of every edge
-        # forwards it to each responsible node (one copy per triple).
+        if self._kernel == "batched":
+            self._route_batched(
+                graph, simulator, router, groups, triples, triple_owner, pair_to_triples
+            )
+            self._list_batched(simulator, groups, triples)
+        else:
+            self._route_reference(
+                graph, simulator, router, groups, triple_owner, pair_to_triples
+            )
+            self._list_reference(simulator, groups)
+
+        output = TriangleOutput.from_simulator_outputs(simulator.collect_outputs())
+        return AlgorithmResult(
+            algorithm=self.name,
+            model=simulator.model_name,
+            output=output,
+            cost=AlgorithmCost.from_metrics(simulator.metrics),
+            metrics=simulator.metrics,
+            parameters={
+                "group_count": group_count,
+                "num_triples": len(triples),
+                "routing_constant": self._routing_constant,
+                "kernel": self._kernel,
+            },
+        )
+
+    def _route_reference(
+        self, graph, simulator, router, groups, triple_owner, pair_to_triples
+    ) -> None:
+        """Build the routing instance as per-message request objects."""
+        # The lower-id endpoint of every edge forwards it to each
+        # responsible node (one copy per triple).
         requests: List[RoutingRequest] = []
-        per_edge_bits = edge_bits(num_nodes)
+        per_edge_bits = edge_bits(graph.num_nodes)
         for u, v in graph.edges():
             pair = tuple(sorted((groups[u], groups[v])))
             for triple in pair_to_triples.get(pair, []):
@@ -156,7 +200,8 @@ class DolevCliqueListing:
                 )
         router.route(requests, name="dolev:route-edges")
 
-        # Local listing at every responsible node.
+    def _list_reference(self, simulator, groups) -> None:
+        """Local listing at every responsible node (pair-list inboxes)."""
         for context in simulator.contexts:
             edges_by_triple: Dict[Tuple[int, int, int], Set[Edge]] = {}
             for stored_edge, triple in context.state.get("edges", set()):
@@ -170,19 +215,105 @@ class DolevCliqueListing:
                 ):
                     context.output_triangle(*triangle)
 
-        output = TriangleOutput.from_simulator_outputs(simulator.collect_outputs())
-        return AlgorithmResult(
-            algorithm=self.name,
-            model=simulator.model_name,
-            output=output,
-            cost=AlgorithmCost.from_metrics(simulator.metrics),
-            metrics=simulator.metrics,
-            parameters={
-                "group_count": group_count,
-                "num_triples": len(triples),
-                "routing_constant": self._routing_constant,
-            },
-        )
+    def _route_batched(
+        self, graph, simulator, router, groups, triples, triple_owner, pair_to_triples
+    ) -> None:
+        """Build and route the instance as arrays over the CSR edge lists.
+
+        Each group pair selects its edges with one mask over the canonical
+        ``(edge_u, edge_v)`` arrays; per-triple owners and the owner's own
+        incident edges (which skip routing, as in the reference) fall out of
+        the same masks.  The whole instance then ships through
+        :meth:`~repro.congest.routing.LenzenRouter.route_columns` as one
+        typed channel.
+        """
+        num_nodes = graph.num_nodes
+        csr = graph.csr()
+        edge_u, edge_v = csr.edges_array()
+        groups_arr = np.asarray(groups, dtype=np.int64)
+        pair_low = np.minimum(groups_arr[edge_u], groups_arr[edge_v])
+        pair_high = np.maximum(groups_arr[edge_u], groups_arr[edge_v])
+        triple_index = {triple: index for index, triple in enumerate(triples)}
+
+        src_chunks: List[np.ndarray] = []
+        owner_list: List[int] = []
+        owner_counts: List[int] = []
+        u_chunks: List[np.ndarray] = []
+        v_chunks: List[np.ndarray] = []
+        t_list: List[int] = []
+        for (low, high), bucket in pair_to_triples.items():
+            selected = np.flatnonzero((pair_low == low) & (pair_high == high))
+            if selected.shape[0] == 0:
+                continue
+            pair_u = edge_u[selected]
+            pair_v = edge_v[selected]
+            for triple in bucket:
+                owner = triple_owner[triple]
+                own = pair_u == owner
+                if own.any():
+                    # The owner already knows its incident edges; no routing
+                    # message is needed for them.
+                    stored = simulator.context(owner).state.setdefault(
+                        "edges", set()
+                    )
+                    for u, v in zip(
+                        pair_u[own].tolist(), pair_v[own].tolist()
+                    ):
+                        stored.add(((u, v), triple))
+                routed = ~own
+                count = int(routed.sum())
+                if count == 0:
+                    continue
+                src_chunks.append(pair_u[routed])
+                owner_list.append(owner)
+                owner_counts.append(count)
+                u_chunks.append(pair_u[routed])
+                v_chunks.append(pair_v[routed])
+                t_list.append(triple_index[triple])
+        schema = RoutedEdgeSchema(triples)
+        if src_chunks:
+            counts = np.asarray(owner_counts, dtype=np.int64)
+            router.route_columns(
+                schema,
+                np.concatenate(src_chunks),
+                np.repeat(np.asarray(owner_list, dtype=np.int64), counts),
+                {
+                    "u": np.concatenate(u_chunks),
+                    "v": np.concatenate(v_chunks),
+                    "triple": np.repeat(np.asarray(t_list, dtype=np.int64), counts),
+                },
+                bits=edge_bits(num_nodes),
+                name="dolev:route-edges",
+            )
+        else:
+            router.route([], name="dolev:route-edges")
+
+    def _list_batched(self, simulator, groups, triples) -> None:
+        """Local listing over the delivered routed-edge columns."""
+        schema = RoutedEdgeSchema(triples)
+        for context in simulator.contexts:
+            edges_by_triple: Dict[Tuple[int, int, int], Set[Edge]] = {}
+            for stored_edge, triple in context.state.get("edges", set()):
+                edges_by_triple.setdefault(triple, set()).add(stored_edge)
+            view = context.received_columns(schema)
+            if view.count:
+                received_u = view.column("u")
+                received_v = view.column("v")
+                received_t = view.column("triple")
+                for index in np.unique(received_t).tolist():
+                    triple = triples[index]
+                    members = received_t == index
+                    edges_by_triple.setdefault(triple, set()).update(
+                        zip(
+                            received_u[members].tolist(),
+                            received_v[members].tolist(),
+                        )
+                    )
+            for triple, edge_set in edges_by_triple.items():
+                for triangle in _triangles_with_group_signature(
+                    edge_set, groups, triple
+                ):
+                    context.output_triangle(*triangle)
 
 
 def _triangles_with_group_signature(

@@ -25,7 +25,7 @@ import numpy as np
 from ..graphs.graph import Graph
 from .a1_sampling import HeavySamplingFinder
 from .a3_light import LightTrianglesLister
-from .base import combine_results
+from .base import combine_results, validate_kernel
 from .output import AlgorithmResult
 from .parameters import FindingParameters
 
@@ -45,6 +45,9 @@ class TriangleFinding:
         Stop repeating as soon as some pass reports a triangle.  Defaults to
         ``False`` so measured costs reflect the worst-case composition the
         theorem describes.
+    kernel:
+        Execution kernel for the A1/A3 passes (``"batched"`` by default;
+        ``"reference"`` selects the per-node closures).
     """
 
     name = "Theorem1-finding"
@@ -56,11 +59,13 @@ class TriangleFinding:
         budget_constant: float = 8.0,
         stop_on_success: bool = False,
         epsilon: Optional[float] = None,
+        kernel: str = "batched",
     ) -> None:
         self._repetitions = repetitions
         self._budget_constant = budget_constant
         self._stop_on_success = stop_on_success
         self._epsilon = epsilon
+        self._kernel = validate_kernel(kernel)
 
     def parameters_for(self, graph: Graph) -> FindingParameters:
         """Return the concrete Theorem-1 parameters used on ``graph``.
@@ -87,10 +92,13 @@ class TriangleFinding:
         )
         sub_results: List[AlgorithmResult] = []
         for _ in range(parameters.repetitions):
-            heavy_pass = HeavySamplingFinder(epsilon=parameters.epsilon)
+            heavy_pass = HeavySamplingFinder(
+                epsilon=parameters.epsilon, kernel=self._kernel
+            )
             light_pass = LightTrianglesLister(
                 epsilon=parameters.epsilon,
                 budget_constant=self._budget_constant,
+                kernel=self._kernel,
             )
             heavy_result = heavy_pass.run(graph, seed=rng)
             light_result = light_pass.run(graph, seed=rng)
@@ -115,6 +123,7 @@ class TriangleFinding:
             "repetitions": parameters.repetitions,
             "round_budget_per_pass": parameters.round_budget,
             "stop_on_success": self._stop_on_success,
+            "kernel": self._kernel,
         }
 
 

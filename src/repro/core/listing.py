@@ -22,7 +22,7 @@ import numpy as np
 from ..graphs.graph import Graph
 from .a2_heavy import HeavyHashingLister
 from .a3_light import LightTrianglesLister
-from .base import combine_results
+from .base import combine_results, validate_kernel
 from .output import AlgorithmResult
 from .parameters import ListingParameters
 
@@ -39,6 +39,9 @@ class TriangleListing:
         The constant ``c`` in ``⌈c log n⌉`` when ``repetitions`` is None.
     budget_constant:
         Constant for A3's round budget.
+    kernel:
+        Execution kernel for the A2/A3 passes (``"batched"`` by default;
+        ``"reference"`` selects the per-node closures).
     """
 
     name = "Theorem2-listing"
@@ -50,11 +53,13 @@ class TriangleListing:
         repetition_constant: float = 1.0,
         budget_constant: float = 8.0,
         epsilon: Optional[float] = None,
+        kernel: str = "batched",
     ) -> None:
         self._repetitions = repetitions
         self._repetition_constant = repetition_constant
         self._budget_constant = budget_constant
         self._epsilon = epsilon
+        self._kernel = validate_kernel(kernel)
 
     def parameters_for(self, graph: Graph) -> ListingParameters:
         """Return the concrete Theorem-2 parameters used on ``graph``.
@@ -82,10 +87,13 @@ class TriangleListing:
         )
         sub_results: List[AlgorithmResult] = []
         for _ in range(parameters.repetitions):
-            heavy_pass = HeavyHashingLister(epsilon=parameters.epsilon)
+            heavy_pass = HeavyHashingLister(
+                epsilon=parameters.epsilon, kernel=self._kernel
+            )
             light_pass = LightTrianglesLister(
                 epsilon=parameters.epsilon,
                 budget_constant=self._budget_constant,
+                kernel=self._kernel,
             )
             sub_results.append(heavy_pass.run(graph, seed=rng))
             sub_results.append(light_pass.run(graph, seed=rng))
@@ -104,6 +112,7 @@ class TriangleListing:
             "edge_set_cap": parameters.edge_set_cap,
             "repetitions": parameters.repetitions,
             "round_budget_per_pass": parameters.round_budget,
+            "kernel": self._kernel,
         }
 
 

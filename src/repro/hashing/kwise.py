@@ -121,6 +121,10 @@ class KWiseIndependentFamily:
         # The field must be at least as large as the domain for distinct
         # domain points to remain distinct field elements.
         self._prime = next_prime(max(domain_size, range_size, 2))
+        # Decoded functions memoized per coefficient tuple: in A2 every
+        # receiver decodes each neighbour's descriptor, so the same
+        # coefficients arrive up to deg(sender) times per run.
+        self._decode_cache: dict[Tuple[int, ...], HashFunction] = {}
 
     @property
     def domain_size(self) -> int:
@@ -151,12 +155,22 @@ class KWiseIndependentFamily:
         return HashFunction(coefficients, self._prime, self._range_size)
 
     def decode(self, coefficients: Sequence[int]) -> HashFunction:
-        """Reconstruct a member of this family from its transmitted description."""
+        """Reconstruct a member of this family from its transmitted description.
+
+        Memoized per coefficient tuple: hash functions are immutable value
+        objects, so every receiver of the same descriptor shares one
+        instance instead of re-validating and re-building it per message.
+        """
         if len(coefficients) != self._independence:
             raise HashingError(
                 f"expected {self._independence} coefficients, got {len(coefficients)}"
             )
-        return HashFunction.decode(coefficients, self._prime, self._range_size)
+        key = tuple(int(c) for c in coefficients)
+        cached = self._decode_cache.get(key)
+        if cached is None:
+            cached = HashFunction.decode(key, self._prime, self._range_size)
+            self._decode_cache[key] = cached
+        return cached
 
     def description_bits(self) -> int:
         """Return the bit length of any member's on-wire description."""

@@ -80,3 +80,36 @@ class TestBroadcastAccounting:
         simulator.context(0).broadcast(tuple(range(20)))
         with pytest.raises(RoundLimitExceededError):
             simulator.run_phase()
+
+
+class TestBroadcastWithTypedChannels:
+    def test_typed_broadcast_passes_discipline(self):
+        import numpy as np
+
+        from repro.congest.wire import A3_IN_X_SCHEMA
+
+        simulator = BroadcastCongestSimulator(complete_graph(4), seed=0)
+        csr = simulator.graph.csr()
+        degrees = np.diff(csr.indptr)
+        src = np.repeat(np.arange(4, dtype=np.int64), degrees)
+        simulator.stage_columns(
+            A3_IN_X_SCHEMA, src, csr.indices, {"flag": (src % 2).astype(np.int64)}
+        )
+        report = simulator.run_phase("typed-broadcast")
+        assert report.rounds == 1
+        assert report.messages == 12
+        assert simulator.context(0).received_columns(A3_IN_X_SCHEMA).count == 3
+
+    def test_typed_per_link_send_rejected(self):
+        import numpy as np
+
+        from repro.congest.wire import A3_IN_X_SCHEMA
+
+        simulator = BroadcastCongestSimulator(complete_graph(4), seed=0)
+        simulator.context(0).send_columns(
+            A3_IN_X_SCHEMA,
+            np.array([1], dtype=np.int64),
+            {"flag": np.array([1], dtype=np.int64)},
+        )
+        with pytest.raises(TopologyError):
+            simulator.run_phase()

@@ -329,3 +329,192 @@ class TestDeliverTraffic:
         deliver_traffic(simulator.contexts, traffic)
         assert simulator.context(0).received() == [(1, "hello")]
         assert simulator.context(2).received() == []
+
+
+class TestColumnarPlane:
+    """The typed columnar payload channels (schema path)."""
+
+    def _flag_schema(self):
+        from repro.congest.wire import A3_IN_X_SCHEMA
+
+        return A3_IN_X_SCHEMA
+
+    def _list_schema(self):
+        from repro.congest.wire import A3_S_SCHEMA
+
+        return A3_S_SCHEMA
+
+    def test_extend_columns_counts_and_sizes(self):
+        from repro.congest.wire import A3_S_SCHEMA
+
+        plane = MessagePlane(num_nodes=16)
+        plane.extend_columns(
+            A3_S_SCHEMA,
+            0,
+            np.array([1, 2, 3], dtype=np.int64),
+            {"member": np.array([4, 5, 6], dtype=np.int64)},
+            lengths=np.array([2, 0, 1], dtype=np.int64),
+        )
+        assert len(plane) == 3
+        traffic = plane.flush()
+        assert traffic.count == 3
+        # id_bits(16) = 4: sizes are max(1, len * 4).
+        assert traffic.bits.tolist() == [8, 1, 4]
+        assert len(traffic.channels) == 1
+        channel = traffic.channels[0]
+        assert channel.schema is A3_S_SCHEMA
+        assert channel.lengths.tolist() == [2, 0, 1]
+
+    def test_flat_arrays_cover_typed_and_untyped_messages(self):
+        from repro.congest.wire import A3_IN_X_SCHEMA
+
+        plane = MessagePlane(num_nodes=8)
+        plane.append(0, 1, "scalar", 5)
+        plane.extend_columns(
+            A3_IN_X_SCHEMA,
+            2,
+            np.array([3, 4], dtype=np.int64),
+            {"flag": np.array([1, 0], dtype=np.int64)},
+        )
+        traffic = plane.flush()
+        assert traffic.count == 3
+        assert traffic.total_bits == 5 + 1 + 1
+        # The object-payload block keeps global send order; typed messages
+        # follow it in the flat accounting arrays.
+        assert traffic.payloads.shape[0] == 1
+        assert traffic.src.tolist() == [0, 2, 2]
+
+    def test_typed_delivery_views_and_decoded_pairs(self):
+        from repro.congest.wire import A3_S_SCHEMA
+
+        simulator = CongestSimulator(complete_graph(5), seed=0)
+        context = simulator.context(0)
+        context.send_columns(
+            A3_S_SCHEMA,
+            np.array([1, 2], dtype=np.int64),
+            {"member": np.array([3, 4, 2], dtype=np.int64)},
+            lengths=np.array([2, 1], dtype=np.int64),
+        )
+        simulator.run_phase("typed")
+        view = simulator.context(1).received_columns(A3_S_SCHEMA)
+        assert view.count == 1
+        assert view.senders.tolist() == [0]
+        assert view.column("member").tolist() == [3, 4]
+        # The pair list decodes through the schema codec.
+        assert simulator.context(1).received() == [(0, ("S", (3, 4)))]
+        assert simulator.context(2).received() == [(0, ("S", (2,)))]
+        # Nodes without typed traffic see the empty view.
+        assert simulator.context(3).received_columns(A3_S_SCHEMA).count == 0
+
+    def test_interleaved_ragged_batches_group_correctly(self):
+        from repro.congest.wire import A3_S_SCHEMA
+
+        simulator = CongestSimulator(complete_graph(6), seed=0)
+        # Two senders target the same receiver with different lengths; the
+        # element gather must keep each message's block intact.
+        simulator.context(1).send_columns(
+            A3_S_SCHEMA,
+            np.array([0, 2], dtype=np.int64),
+            {"member": np.array([5, 4, 3], dtype=np.int64)},
+            lengths=np.array([2, 1], dtype=np.int64),
+        )
+        simulator.context(2).send_columns(
+            A3_S_SCHEMA,
+            np.array([0], dtype=np.int64),
+            {"member": np.array([1, 2, 3], dtype=np.int64)},
+            lengths=np.array([3], dtype=np.int64),
+        )
+        simulator.run_phase("typed")
+        view = simulator.context(0).received_columns(A3_S_SCHEMA)
+        assert view.count == 2
+        by_sender = {
+            int(sender): view.column("member")[
+                view.offsets[index] : view.offsets[index + 1]
+            ].tolist()
+            for index, sender in enumerate(view.senders)
+        }
+        assert by_sender == {1: [5, 4], 2: [1, 2, 3]}
+
+    def test_mixed_typed_and_scalar_inbox(self):
+        from repro.congest.wire import A3_IN_X_SCHEMA
+
+        simulator = CongestSimulator(complete_graph(4), seed=0)
+        simulator.context(1).send(0, ("tag", 3), bits=7)
+        simulator.context(2).send_columns(
+            A3_IN_X_SCHEMA,
+            np.array([0], dtype=np.int64),
+            {"flag": np.array([1], dtype=np.int64)},
+        )
+        report = simulator.run_phase("mixed")
+        assert report.messages == 2
+        assert report.bits == 8
+        inbox = simulator.context(0).received()
+        assert (1, ("tag", 3)) in inbox
+        assert (2, ("in_X", True)) in inbox
+        assert len(simulator.context(0)._inbox) == 2
+
+    def test_send_columns_validates_topology(self):
+        from repro.congest.wire import A3_IN_X_SCHEMA
+
+        simulator = CongestSimulator(cycle_graph(5), seed=0)
+        context = simulator.context(0)
+        with pytest.raises(TopologyError):
+            context.send_columns(
+                A3_IN_X_SCHEMA,
+                np.array([2], dtype=np.int64),  # not a cycle neighbour of 0
+                {"flag": np.array([1], dtype=np.int64)},
+            )
+        with pytest.raises(TopologyError):
+            context.send_columns(
+                A3_IN_X_SCHEMA,
+                np.array([0], dtype=np.int64),
+                {"flag": np.array([1], dtype=np.int64)},
+            )
+
+    def test_extend_columns_validates_shapes(self):
+        from repro.congest.wire import A3_S_SCHEMA
+
+        plane = MessagePlane(num_nodes=8)
+        with pytest.raises(SimulationError):
+            plane.extend_columns(
+                A3_S_SCHEMA,
+                0,
+                np.array([1, 2], dtype=np.int64),
+                {"member": np.array([3], dtype=np.int64)},
+                lengths=np.array([1, 1], dtype=np.int64),
+            )
+        with pytest.raises(SimulationError):
+            plane.extend_columns(
+                A3_S_SCHEMA,
+                0,
+                np.array([1], dtype=np.int64),
+                {"wrong": np.array([3], dtype=np.int64)},
+                lengths=np.array([1], dtype=np.int64),
+            )
+        with pytest.raises(SimulationError):
+            # Ragged schema without lengths.
+            plane.extend_columns(
+                A3_S_SCHEMA,
+                0,
+                np.array([1], dtype=np.int64),
+                {"member": np.array([3], dtype=np.int64)},
+            )
+
+    def test_bulk_output_triangles_matches_scalar(self):
+        simulator = CongestSimulator(complete_graph(4), seed=0)
+        scalar = simulator.context(0)
+        bulk = simulator.context(1)
+        scalar.output_triangle(3, 1, 2)
+        scalar.output_triangle(2, 3, 0)
+        bulk.output_triangles(
+            np.array([3, 2], dtype=np.int64),
+            np.array([1, 3], dtype=np.int64),
+            np.array([2, 0], dtype=np.int64),
+        )
+        assert scalar.output == bulk.output
+        with pytest.raises(SimulationError):
+            bulk.output_triangles(
+                np.array([1], dtype=np.int64),
+                np.array([1], dtype=np.int64),
+                np.array([2], dtype=np.int64),
+            )

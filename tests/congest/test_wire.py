@@ -1,8 +1,34 @@
-"""Unit tests for on-wire bit-size accounting."""
+"""Unit tests for on-wire bit-size accounting and the typed wire schemas."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.congest import default_bit_size, edge_bits, id_bits, integer_bits, triangle_bits
+from repro.congest import (
+    WIRE_SCHEMAS,
+    EdgeListSchema,
+    FlagSchema,
+    HashDescriptorSchema,
+    IdListSchema,
+    RoutedEdgeSchema,
+    default_bit_size,
+    edge_bits,
+    id_bits,
+    integer_bits,
+    register_schema,
+    schema_for,
+    triangle_bits,
+)
+from repro.congest.wire import (
+    A1_SAMPLE_SCHEMA,
+    A2_EDGE_SCHEMA,
+    A3_IN_U_SCHEMA,
+    A3_IN_X_SCHEMA,
+    A3_NX_SCHEMA,
+    A3_S_SCHEMA,
+    A3_V_SCHEMA,
+)
 from repro.errors import SimulationError
 from repro.hashing import KWiseIndependentFamily
 
@@ -74,3 +100,158 @@ class TestDefaultBitSize:
     def test_unsupported_type_raises(self):
         with pytest.raises(SimulationError):
             default_bit_size(object(), 10)
+
+    def test_empty_containers_are_floored_at_one_bit(self):
+        # Regression: a zero-bit message would be free on the wire.  Like
+        # ``None``, an empty container still occupies a message slot.
+        assert default_bit_size((), 100) == 1
+        assert default_bit_size([], 100) == 1
+        assert default_bit_size(set(), 100) == 1
+        assert default_bit_size(frozenset(), 100) == 1
+
+    def test_tagged_empty_container_still_counts_the_tag(self):
+        assert default_bit_size(("S", ()), 100) == 8 + 1
+
+
+class TestSchemaRegistry:
+    def test_known_kinds_resolve(self):
+        for kind, schema in WIRE_SCHEMAS.items():
+            assert schema_for(kind) is schema
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(SimulationError):
+            schema_for("no-such-kind")
+
+    def test_reregistering_same_object_is_idempotent(self):
+        assert register_schema(A2_EDGE_SCHEMA) is A2_EDGE_SCHEMA
+
+    def test_conflicting_registration_rejected(self):
+        with pytest.raises(SimulationError):
+            register_schema(IdListSchema("a2-edges", "other"))
+
+    def test_protocol_schemas_registered(self):
+        for schema in (
+            A1_SAMPLE_SCHEMA,
+            A2_EDGE_SCHEMA,
+            A3_NX_SCHEMA,
+            A3_S_SCHEMA,
+            A3_V_SCHEMA,
+            A3_IN_X_SCHEMA,
+            A3_IN_U_SCHEMA,
+        ):
+            assert WIRE_SCHEMAS[schema.kind] is schema
+
+
+#: One id-list schema stands in for all four (they differ only in tag).
+_NUM_NODES = st.integers(min_value=2, max_value=2000)
+
+
+class TestSchemaRoundTrips:
+    """Property tests: encode → columns → decode identity, and singleton
+    batch sizes consistent with the scalar ``default_bit_size`` story."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        num_nodes=_NUM_NODES,
+        members=st.lists(st.integers(min_value=0, max_value=1999), max_size=30),
+    )
+    def test_id_list_round_trip(self, num_nodes, members):
+        payload = ("S", tuple(members))
+        columns = A3_S_SCHEMA.encode(payload)
+        assert set(columns) == {"member"}
+        assert A3_S_SCHEMA.decode(columns) == payload
+        size = int(A3_S_SCHEMA.bit_size([len(members)], num_nodes)[0])
+        # The members are node identifiers, so the columnar accounting must
+        # agree with the scalar default on the data content.
+        assert size == default_bit_size(tuple(members), num_nodes)
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        num_nodes=_NUM_NODES,
+        pairs=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=999),
+                st.integers(min_value=1000, max_value=1999),
+            ),
+            max_size=20,
+        ),
+    )
+    def test_edge_list_round_trip(self, num_nodes, pairs):
+        payload = ("edges", tuple(pairs))
+        columns = A2_EDGE_SCHEMA.encode(payload)
+        assert set(columns) == {"u", "v"}
+        assert A2_EDGE_SCHEMA.decode(columns) == payload
+        size = int(A2_EDGE_SCHEMA.bit_size([len(pairs)], num_nodes)[0])
+        assert size == default_bit_size(tuple(pairs), num_nodes)
+
+    @settings(deadline=None, max_examples=60)
+    @given(num_nodes=_NUM_NODES, flag=st.booleans())
+    def test_flag_round_trip(self, num_nodes, flag):
+        payload = ("in_X", flag)
+        columns = A3_IN_X_SCHEMA.encode(payload)
+        assert A3_IN_X_SCHEMA.decode(columns) == payload
+        assert int(A3_IN_X_SCHEMA.bit_size([1], num_nodes)[0]) == default_bit_size(
+            flag, num_nodes
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        num_nodes=st.integers(min_value=2, max_value=500),
+        independence=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_hash_descriptor_round_trip(self, num_nodes, independence, seed):
+        family = KWiseIndependentFamily(
+            domain_size=num_nodes, range_size=4, independence=independence
+        )
+        function = family.sample(np.random.default_rng(seed))
+        payload = ("hash", function.encode())
+        schema = HashDescriptorSchema(family.independence, family.prime)
+        columns = schema.encode(payload)
+        assert schema.decode(columns) == payload
+        # The columnar size of one descriptor is exactly the encoded size
+        # the scalar path charges for the hash-function object.
+        assert int(schema.bit_size([family.independence], num_nodes)[0]) == (
+            default_bit_size(function, num_nodes)
+        )
+        assert int(
+            schema.bit_size([family.independence], num_nodes)[0]
+        ) == family.description_bits()
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        num_nodes=_NUM_NODES,
+        u=st.integers(min_value=0, max_value=999),
+        v=st.integers(min_value=1000, max_value=1999),
+        triple_index=st.integers(min_value=0, max_value=3),
+    )
+    def test_routed_edge_round_trip(self, num_nodes, u, v, triple_index):
+        triples = [(0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1)]
+        schema = RoutedEdgeSchema(triples)
+        payload = ("edge", (u, v), triples[triple_index])
+        columns = schema.encode(payload)
+        assert schema.decode(columns) == payload
+        assert int(schema.bit_size([1], num_nodes)[0]) == default_bit_size(
+            (u, v), num_nodes
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        num_nodes=_NUM_NODES,
+        lengths=st.lists(
+            st.integers(min_value=0, max_value=50), min_size=1, max_size=30
+        ),
+    )
+    def test_vectorized_sizes_match_scalar_sizes(self, num_nodes, lengths):
+        # A whole batch sized in one call equals per-message scalar sizing.
+        batch = A3_NX_SCHEMA.bit_size(lengths, num_nodes)
+        assert batch.dtype == np.int64
+        for index, length in enumerate(lengths):
+            expected = max(1, length * id_bits(num_nodes))
+            assert int(batch[index]) == expected
+
+    def test_encode_rejects_wrong_tag(self):
+        with pytest.raises(SimulationError):
+            A3_S_SCHEMA.encode(("V", (1, 2)))
+        with pytest.raises(SimulationError):
+            A2_EDGE_SCHEMA.encode(("S", ()))

@@ -29,7 +29,11 @@ class TestA2Basics:
 
     def test_parameters_recorded(self):
         result = HeavyHashingLister(epsilon=0.5).run(complete_graph(6), seed=1)
-        assert result.parameters == {"epsilon": 0.5, "independence": 3}
+        assert result.parameters == {
+            "epsilon": 0.5,
+            "independence": 3,
+            "kernel": "batched",
+        }
 
     def test_name_and_model(self):
         result = HeavyHashingLister(epsilon=0.5).run(complete_graph(4), seed=0)

@@ -185,3 +185,29 @@ def test_property_encode_decode_identity(domain_size, seed):
     function = family.sample(np.random.default_rng(seed))
     decoded = family.decode(function.encode())
     assert all(function(x) == decoded(x) for x in range(domain_size))
+
+
+class TestDecodeMemoization:
+    def test_same_description_decodes_to_one_shared_instance(self):
+        # A2 decodes each neighbour's descriptor once per received message;
+        # the family memoizes per coefficient tuple so repeated decodes are
+        # dictionary hits on a shared immutable value object.
+        family = KWiseIndependentFamily(domain_size=64, range_size=4)
+        function = family.sample(np.random.default_rng(3))
+        first = family.decode(function.encode())
+        second = family.decode(list(function.encode()))
+        assert first is second
+        assert first == function
+
+    def test_distinct_descriptions_stay_distinct(self):
+        family = KWiseIndependentFamily(domain_size=64, range_size=4)
+        rng = np.random.default_rng(4)
+        one = family.sample(rng)
+        other = family.sample(rng)
+        assert one.coefficients != other.coefficients
+        assert family.decode(one.encode()) is not family.decode(other.encode())
+
+    def test_wrong_length_still_rejected(self):
+        family = KWiseIndependentFamily(domain_size=64, range_size=4, independence=3)
+        with pytest.raises(HashingError):
+            family.decode((1, 2))
