@@ -1,0 +1,115 @@
+"""Benchmark: direct-exchange fused kernels vs the per-node batched kernels.
+
+The direct-exchange refactor removed the last O(n)-Python layers of a
+batched phase: per-node ``InboxSlice``/``TypedInboxView`` construction, the
+per-receiver consumption loops, the O(n) empty-inbox reset, and the
+per-node local oracle calls of A2's step 3.  The ``pernode`` kernel keeps
+the previous generation (columnar staging, per-node inbox views — what PR 3
+shipped as "batched") precisely so this comparison stays honest over time.
+
+The measured workload is the ISSUE's bar: one full Theorem-2 listing pass
+(A2 ∘ A3) on dense ``G(600, 1/2)`` — a size at which the per-node layers
+dominate and which the pre-direct-exchange kernels could barely sustain.
+ε is pinned inside the analysis regime as in the wire-plane benchmark.
+
+Both kernels must agree exactly — same cost, same per-phase rounds /
+link-bit maxima / messages / bits, same per-node triangle outputs — before
+the timing is considered meaningful.  The acceptance bar is a ≥2.5x
+end-to-end speedup at full size.  Set ``DIRECT_EXCHANGE_QUICK=1`` (CI does)
+for a reduced-size run with a relaxed bar.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core import TriangleListing
+from repro.graphs import gnp_random_graph
+
+from _bench_utils import record_json, record_table, run_once
+
+QUICK = os.environ.get("DIRECT_EXCHANGE_QUICK", "") not in ("", "0")
+NUM_NODES = 240 if QUICK else 600
+EDGE_PROBABILITY = 0.5
+EPSILON = 0.6
+SEED = 7
+#: Required end-to-end speedup of the direct-exchange kernels over the
+#: per-node batched kernels.
+REQUIRED_SPEEDUP = 1.5 if QUICK else 2.5
+
+
+def test_direct_exchange_speedup(benchmark):
+    """Theorem-2 listing: direct exchange must beat the pernode kernels."""
+    graph = gnp_random_graph(NUM_NODES, EDGE_PROBABILITY, seed=42)
+    graph.csr()  # both kernels share the prebuilt snapshot
+
+    def compare():
+        timings = {}
+        results = {}
+        for kernel in ("batched", "pernode"):
+            algorithm = TriangleListing(
+                repetitions=1, epsilon=EPSILON, kernel=kernel
+            )
+            start = time.perf_counter()
+            results[kernel] = algorithm.run(graph, seed=SEED)
+            timings[kernel] = time.perf_counter() - start
+        return timings, results
+
+    timings, results = run_once(benchmark, compare)
+    batched, pernode = results["batched"], results["pernode"]
+
+    # The physics must be identical before the timing means anything.
+    assert batched.cost == pernode.cost
+    batched_phases = [
+        (phase.name, phase.rounds, phase.max_link_bits, phase.bits, phase.messages)
+        for phase in batched.metrics.phases
+    ]
+    pernode_phases = [
+        (phase.name, phase.rounds, phase.max_link_bits, phase.bits, phase.messages)
+        for phase in pernode.metrics.phases
+    ]
+    assert batched_phases == pernode_phases
+    for node in range(NUM_NODES):
+        assert np.array_equal(
+            batched.output.node_keys(node), pernode.output.node_keys(node)
+        )
+
+    speedup = timings["pernode"] / timings["batched"]
+    triangles = int(batched.output.union_keys().shape[0])
+    table = "\n".join(
+        [
+            f"direct-exchange benchmark (n={NUM_NODES}, p={EDGE_PROBABILITY}, "
+            f"eps={EPSILON}, quick={QUICK})",
+            f"  rounds (both kernels):  {batched.cost.rounds}",
+            f"  messages per run:       {batched.cost.messages}",
+            f"  triangles listed:       {triangles}",
+            f"  pernode kernels:        {timings['pernode']:.2f} s",
+            f"  direct exchange:        {timings['batched']:.2f} s",
+            f"  speedup:                {speedup:.2f}x "
+            f"(required ≥{REQUIRED_SPEEDUP}x)",
+        ]
+    )
+    record_table("direct_exchange", table)
+    record_json(
+        "direct_exchange",
+        {
+            "benchmark": "direct_exchange",
+            "quick": QUICK,
+            "num_nodes": NUM_NODES,
+            "edge_probability": EDGE_PROBABILITY,
+            "epsilon": EPSILON,
+            "seed": SEED,
+            "rounds": batched.cost.rounds,
+            "messages": batched.cost.messages,
+            "bits": batched.cost.bits,
+            "triangles": triangles,
+            "pernode_seconds": timings["pernode"],
+            "batched_seconds": timings["batched"],
+            "speedup": speedup,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
+    assert speedup >= REQUIRED_SPEEDUP, table

@@ -74,9 +74,13 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
     """S-THM1: measured finding rounds vs the Theorem-1 reference curve."""
 
     def sweep():
-        runner = SweepRunner(max_workers=SWEEP_WORKERS)
-        finding_records = runner.run_cells(_sweep_cells("S-THM1", _finding_algorithm))
-        naive_records = runner.run_cells(_sweep_cells("S-THM1-naive", _naive_algorithm))
+        with SweepRunner(max_workers=SWEEP_WORKERS) as runner:
+            finding_records = runner.run_cells(
+                _sweep_cells("S-THM1", _finding_algorithm)
+            )
+            naive_records = runner.run_cells(
+                _sweep_cells("S-THM1-naive", _naive_algorithm)
+            )
         return finding_records, naive_records
 
     finding_records, naive_records = run_once(benchmark, sweep)

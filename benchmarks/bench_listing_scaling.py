@@ -71,7 +71,8 @@ def test_listing_scaling_against_theorem2_bound(benchmark):
     """S-THM2: measured listing rounds vs the Theorem-2 reference curve."""
 
     def sweep():
-        return SweepRunner(max_workers=SWEEP_WORKERS).run_cells(_sweep_cells())
+        with SweepRunner(max_workers=SWEEP_WORKERS) as runner:
+            return runner.run_cells(_sweep_cells())
 
     records = run_once(benchmark, sweep)
     for record in records:

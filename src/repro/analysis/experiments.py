@@ -14,13 +14,32 @@ its own explicit seed (derive per-cell seeds reproducibly with
 :meth:`SweepRunner.spawn_seeds`, built on ``np.random.SeedSequence.spawn``),
 so a parallel run produces records identical to the serial loop, in the
 same order — parallelism changes wall-clock, never results.
+
+Two properties keep large sweeps cheap:
+
+* the runner's process pool is **persistent** — created lazily on the
+  first parallel sweep and reused by every later ``run_*`` call on the
+  same runner (close it with :meth:`SweepRunner.close` or a ``with``
+  block), so repeated sweeps do not pay worker spawn and import costs per
+  grid, and
+* workloads are built **once per worker** — every executing process
+  (workers and the serial path alike) memoises graph construction in a
+  small cache keyed by the pickled ``(graph_factory, seed)`` cell
+  identity, so a grid that runs many algorithms over the same workloads
+  regenerates each graph at most once per process instead of once per
+  cell (and reuses its cached CSR snapshot / oracle work across
+  algorithms).  Factories must therefore be deterministic functions of
+  the seed — which the reproducibility contract already requires.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+import weakref
+from collections import OrderedDict
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -182,9 +201,54 @@ class SweepCell:
     extra: Optional[Dict[str, Any]] = None
 
 
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Finalizer target: release a dropped runner's worker processes."""
+    pool.shutdown(wait=False)
+
+
+#: Per-process workload cache: pickled (graph_factory, seed) ->
+#: (Graph, num_nodes, num_edges).  Bounded LRU so long multi-workload
+#: sweeps cannot hoard memory.
+_GRAPH_CACHE: "OrderedDict[bytes, tuple]" = OrderedDict()
+_GRAPH_CACHE_MAX_ENTRIES = 8
+
+
+def _cell_graph(cell: SweepCell) -> Graph:
+    """Build (or fetch from this process's cache) the cell's workload graph.
+
+    The cache key is the pickled ``(graph_factory, seed)`` pair — the same
+    bytes the pool ships to workers, so two cells share a graph exactly
+    when a worker would deterministically rebuild the same one.
+    Unpicklable factories (lambdas on the serial path) skip the cache.
+
+    Sharing one object presumes cells treat their workload as read-only —
+    every algorithm in this repository does, and the serial-equals-parallel
+    record guarantee requires it (workers cache independently, so a
+    mutation would be visible to different cell subsets per schedule).  As
+    a cheap tripwire, a cached graph whose size no longer matches its
+    construction-time shape is discarded and rebuilt.
+    """
+    try:
+        key = pickle.dumps((cell.graph_factory, cell.seed), protocol=4)
+    except Exception:
+        return cell.graph_factory(cell.seed)
+    entry = _GRAPH_CACHE.get(key)
+    if entry is not None:
+        graph, num_nodes, num_edges = entry
+        if graph.num_nodes == num_nodes and graph.num_edges == num_edges:
+            _GRAPH_CACHE.move_to_end(key)
+            return graph
+        del _GRAPH_CACHE[key]
+    graph = cell.graph_factory(cell.seed)
+    _GRAPH_CACHE[key] = (graph, graph.num_nodes, graph.num_edges)
+    while len(_GRAPH_CACHE) > _GRAPH_CACHE_MAX_ENTRIES:
+        _GRAPH_CACHE.popitem(last=False)
+    return graph
+
+
 def _execute_cell(cell: SweepCell) -> ExperimentRecord:
     """Run one cell (the worker entry point; top-level for picklability)."""
-    graph = cell.graph_factory(cell.seed)
+    graph = _cell_graph(cell)
     return run_single(
         cell.experiment,
         cell.algorithm_factory(),
@@ -207,6 +271,14 @@ class SweepRunner:
         Cells per pool task (``chunksize`` of :meth:`Executor.map`).  Raise
         it for sweeps of many cheap cells to amortise pickling overhead.
 
+    The pool is created lazily on the first parallel sweep and **persists**
+    across ``run_*`` calls on the same runner; use the runner as a context
+    manager (or call :meth:`close`) to shut it down deterministically.
+    Workers memoise workload construction per process (see
+    :func:`_cell_graph`), so grids that revisit the same (workload, seed)
+    cells — e.g. several algorithms over one workload list via
+    :meth:`run_grid` — rebuild each graph at most once per worker.
+
     Because every cell carries its own explicit seed and cells share no
     state, the parallel path reproduces the serial path exactly: same
     records, same order.  The acceptance test pickles both record lists and
@@ -220,11 +292,45 @@ class SweepRunner:
             raise AnalysisError(f"chunk_size must be positive, got {chunk_size}")
         self._max_workers = max_workers
         self._chunk_size = chunk_size
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
 
     @property
     def parallel(self) -> bool:
         """``True`` when sweeps run on a process pool."""
         return self._max_workers is not None and self._max_workers > 1
+
+    def _executor(self) -> ProcessPoolExecutor:
+        """Return the persistent pool, creating it on first use.
+
+        A ``weakref.finalize`` ties the pool's lifetime to the runner:
+        dropping a runner without calling :meth:`close` still releases its
+        worker processes at garbage collection instead of leaking them
+        until interpreter exit.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent).
+
+        The runner remains usable afterwards — the next parallel sweep
+        simply creates a fresh pool.
+        """
+        if self._pool is not None:
+            self._pool_finalizer.detach()
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @staticmethod
     def spawn_seeds(base_seed: int, count: int) -> List[int]:
@@ -245,8 +351,56 @@ class SweepRunner:
         cells = list(cells)
         if not self.parallel or len(cells) < 2:
             return [_execute_cell(cell) for cell in cells]
-        with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+        pool = self._executor()
+        try:
             return list(pool.map(_execute_cell, cells, chunksize=self._chunk_size))
+        except BrokenExecutor:
+            # A crashed worker (OOM kill, segfault) breaks the executor for
+            # good; drop it so the next sweep gets a fresh pool instead of
+            # re-raising forever.
+            self._pool_finalizer.detach()
+            pool.shutdown(wait=False)
+            self._pool = None
+            raise
+
+    def run_grid(
+        self,
+        experiment: str,
+        algorithm_factories: Mapping[str, Callable[[], RunnableAlgorithm]],
+        graph_factory: Callable[[int], Graph],
+        seeds: Sequence[int],
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, List[ExperimentRecord]]:
+        """Run several algorithms over one (workload × seed) grid.
+
+        Cells are ordered workload-major (all algorithms of a seed
+        adjacent), so the per-process workload cache turns the grid's
+        ``algorithms × seeds`` graph constructions into one per seed per
+        process — the whole point of sharing workloads across algorithms.
+        Records come back grouped by algorithm label, in seed order,
+        identical to running each algorithm's sweep separately.
+        """
+        if not seeds:
+            raise AnalysisError("run_grid needs at least one seed")
+        if not algorithm_factories:
+            raise AnalysisError("run_grid needs at least one algorithm")
+        labels = list(algorithm_factories)
+        cells = [
+            SweepCell(
+                experiment=experiment,
+                algorithm_factory=algorithm_factories[label],
+                graph_factory=graph_factory,
+                seed=seed,
+                extra=dict(extra) if extra else None,
+            )
+            for seed in seeds
+            for label in labels
+        ]
+        records = self.run_cells(cells)
+        grouped: Dict[str, List[ExperimentRecord]] = {label: [] for label in labels}
+        for index, record in enumerate(records):
+            grouped[labels[index % len(labels)]].append(record)
+        return grouped
 
     def run_repeated(
         self,

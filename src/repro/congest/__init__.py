@@ -29,10 +29,14 @@ from .node import NodeContext
 from .routing import LenzenRouter, RoutingRequest
 from .runtime import (
     CongestRuntime,
+    DeliveredChannel,
+    DeliveredPhase,
     MessagePlane,
     PhaseTraffic,
     TypedChannel,
     TypedInboxView,
+    group_channel,
+    set_allocation_hook,
 )
 from .simulator import CongestSimulator
 from .wire import (
@@ -70,10 +74,14 @@ __all__ = [
     "LenzenRouter",
     "RoutingRequest",
     "CongestRuntime",
+    "DeliveredChannel",
+    "DeliveredPhase",
     "MessagePlane",
     "PhaseTraffic",
     "TypedChannel",
     "TypedInboxView",
+    "group_channel",
+    "set_allocation_hook",
     "CongestSimulator",
     "WIRE_SCHEMAS",
     "WireSchema",

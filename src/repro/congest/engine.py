@@ -20,11 +20,14 @@ The strict engine serves three purposes:
 
 Both engines share one execution kernel
 (:class:`~repro.congest.runtime.CongestRuntime`): context construction,
-RNG seeding, the message plane, delivery fan-out and metrics recording are
-the same code paths the phase simulator uses.  What makes this engine
-*strict* is purely a validation hook — :meth:`RoundContext.send` rejects a
-second message on the same link within a round and any message exceeding
-the per-round bandwidth before it reaches the plane.
+RNG seeding, the message plane, delivery fan-out (with the kernel's
+O(touched-nodes) dirty-tracked inbox resets — an idle round on a large
+network clears only the inboxes the previous round filled) and metrics
+recording are the same code paths the phase simulator uses.  What makes
+this engine *strict* is purely a validation hook —
+:meth:`RoundContext.send` rejects a second message on the same link within
+a round and any message exceeding the per-round bandwidth before it
+reaches the plane.
 """
 
 from __future__ import annotations

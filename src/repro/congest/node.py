@@ -23,7 +23,14 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..errors import SimulationError, TopologyError
-from ..types import NodeId, Triangle, make_triangle
+from ..types import (
+    TRIANGLE_KEY_MAX_NODES,
+    NodeId,
+    Triangle,
+    decode_triangle_keys,
+    make_triangle,
+    triangle_keys,
+)
 from .runtime import (
     EMPTY_INBOX,
     Inbox,
@@ -34,6 +41,29 @@ from .runtime import (
     repeated_payload,
 )
 from .wire import WireSchema
+
+
+def emit_grouped_keys(
+    contexts: Sequence["NodeContext"], receivers: np.ndarray, keys: np.ndarray
+) -> None:
+    """Append triangle keys to their receiving contexts, one run at a time.
+
+    ``receivers`` must be non-decreasing (the natural order of
+    destination-grouped channel data); ``keys[i]`` is credited to node
+    ``receivers[i]``.  The shared emission tail of every fused
+    direct-exchange receiver: per receiver it costs one
+    :meth:`NodeContext.output_triangle_keys` append.
+    """
+    if receivers.shape[0] == 0:
+        return
+    starts = np.flatnonzero(
+        np.concatenate(([True], receivers[1:] != receivers[:-1]))
+    ).tolist()
+    bounds = starts[1:] + [int(receivers.shape[0])]
+    for which, start in enumerate(starts):
+        contexts[int(receivers[start])].output_triangle_keys(
+            keys[start : bounds[which]]
+        )
 
 
 class NodeContext:
@@ -56,6 +86,7 @@ class NodeContext:
         "_plane",
         "_inbox",
         "_output",
+        "_output_key_chunks",
         "_output_frozen",
     )
 
@@ -103,6 +134,10 @@ class NodeContext:
         self._plane = plane
         self._inbox: Inbox = EMPTY_INBOX
         self._output: Set[Triangle] = set()
+        # Bulk outputs accumulate as int64 triangle-key chunks (the columnar
+        # output plane); tuples are only materialised if someone reads the
+        # ``output`` frozenset.  May hold duplicate keys — consumers dedup.
+        self._output_key_chunks: List[np.ndarray] = []
         self._output_frozen: Optional[frozenset] = None
 
     # ------------------------------------------------------------------
@@ -387,43 +422,66 @@ class NodeContext:
         self._output_frozen = None
 
     def output_triangles(
-        self, a: np.ndarray, b: np.ndarray, c: np.ndarray
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray, canonical: bool = False
     ) -> None:
         """Bulk variant of :meth:`output_triangle` over vertex arrays.
 
-        Canonicalises all triples with one vectorized sort; used by the
-        batched phase kernels to emit a whole detection batch per node.
+        Canonicalises all triples with one vectorized sort (skipped when the
+        caller passes ``canonical=True`` for rows already sorted ``a < b <
+        c``, as the triangle oracle produces) and accumulates them as int64
+        triangle keys on the columnar output plane — no per-triple Python
+        tuples until someone reads :attr:`output`.
 
         Raises
         ------
         SimulationError
             If any triple has fewer than three distinct vertices.
         """
-        stacked = np.stack(
-            (
-                np.asarray(a, dtype=np.int64),
-                np.asarray(b, dtype=np.int64),
-                np.asarray(c, dtype=np.int64),
-            ),
-            axis=1,
-        )
-        if stacked.shape[0] == 0:
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        c = np.asarray(c, dtype=np.int64)
+        if a.shape[0] == 0:
             return
-        stacked.sort(axis=1)
-        if (stacked[:, 1:] == stacked[:, :-1]).any():
-            raise SimulationError(
-                "a triangle must contain three distinct vertices"
-            )
-        # zip over the column lists builds each canonical tuple directly at
-        # C speed (no intermediate per-row list objects).
-        self._output.update(
-            zip(
-                stacked[:, 0].tolist(),
-                stacked[:, 1].tolist(),
-                stacked[:, 2].tolist(),
-            )
-        )
+        if canonical:
+            if ((a >= b) | (b >= c)).any():
+                raise SimulationError(
+                    "a triangle must contain three distinct vertices"
+                )
+        else:
+            stacked = np.stack((a, b, c), axis=1)
+            stacked.sort(axis=1)
+            if (stacked[:, 1:] == stacked[:, :-1]).any():
+                raise SimulationError(
+                    "a triangle must contain three distinct vertices"
+                )
+            a, b, c = stacked[:, 0], stacked[:, 1], stacked[:, 2]
+        if self.num_nodes <= TRIANGLE_KEY_MAX_NODES:
+            self._output_key_chunks.append(triangle_keys(a, b, c, self.num_nodes))
+        else:  # pragma: no cover - beyond any simulated size
+            self._output.update(zip(a.tolist(), b.tolist(), c.tolist()))
         self._output_frozen = None
+
+    def output_triangle_keys(self, keys: np.ndarray) -> None:
+        """Append precomputed canonical triangle keys (the kernel fast door).
+
+        ``keys`` must encode canonical triples under
+        :func:`repro.types.triangle_keys` for this network's ``n``; the
+        fused phase kernels, which build keys directly from oracle output,
+        are the only intended callers.
+        """
+        if keys.shape[0] == 0:
+            return
+        self._output_key_chunks.append(keys)
+        self._output_frozen = None
+
+    def output_state(self) -> Tuple[Set[Triangle], List[np.ndarray]]:
+        """Hand the raw output accumulators to the result layer.
+
+        Returns the scalar tuple set and the (possibly duplicated) key
+        chunks; :class:`~repro.core.output.TriangleOutput` wraps them
+        without materialising anything.
+        """
+        return self._output, self._output_key_chunks
 
     @property
     def output(self) -> frozenset[Triangle]:
@@ -433,7 +491,14 @@ class NodeContext:
         millions of listed triples) must not re-copy the whole set.
         """
         if self._output_frozen is None:
-            self._output_frozen = frozenset(self._output)
+            if self._output_key_chunks:
+                keys = np.unique(np.concatenate(self._output_key_chunks))
+                a, b, c = decode_triangle_keys(keys, self.num_nodes)
+                combined = set(zip(a.tolist(), b.tolist(), c.tolist()))
+                combined.update(self._output)
+                self._output_frozen = frozenset(combined)
+            else:
+                self._output_frozen = frozenset(self._output)
         return self._output_frozen
 
     # ------------------------------------------------------------------

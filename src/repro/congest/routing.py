@@ -39,9 +39,9 @@ from ..types import NodeId
 from .clique import CliqueSimulator
 from .metrics import PhaseReport
 from .runtime import (
+    DeliveredPhase,
     PhaseTraffic,
     build_typed_channel,
-    deliver_traffic,
     record_deliveries,
 )
 from .wire import WireSchema, default_bit_size
@@ -149,28 +149,59 @@ class LenzenRouter:
         Round accounting is identical to :meth:`route` for the same
         messages.
         """
+        traffic = self._columnar_instance(schema, src, dst, data, lengths, bits)
+        return self._deliver_instance(traffic, name)
+
+    def route_columns_direct(
+        self,
+        schema: WireSchema,
+        src: np.ndarray,
+        dst: np.ndarray,
+        data: dict,
+        lengths: Optional[np.ndarray] = None,
+        bits: Optional[np.ndarray | int] = None,
+        name: str = "lenzen-routing",
+    ) -> DeliveredPhase:
+        """Route a columnar instance on the **direct-exchange** path.
+
+        Identical round/bit accounting to :meth:`route_columns` for the
+        same messages, but the delivered edges come back as a
+        :class:`~repro.congest.runtime.DeliveredPhase` of destination-
+        grouped channel arrays — no per-node inbox objects are built.
+        """
+        traffic = self._columnar_instance(schema, src, dst, data, lengths, bits)
+        report = self._account_instance(traffic, name)
+        channels = self._simulator.runtime.deliver_direct(traffic)
+        return DeliveredPhase(report, channels)
+
+    def _columnar_instance(
+        self,
+        schema: WireSchema,
+        src: np.ndarray,
+        dst: np.ndarray,
+        data: dict,
+        lengths: Optional[np.ndarray],
+        bits: Optional[np.ndarray | int],
+    ) -> PhaseTraffic:
+        """Validate and assemble a columnar instance into phase traffic."""
         channel = build_typed_channel(
             schema, src, dst, data, lengths, bits, self._simulator.num_nodes
         )
         if channel is None:
-            return self._deliver_instance(
-                PhaseTraffic(
-                    src=np.empty(0, dtype=np.int64),
-                    dst=np.empty(0, dtype=np.int64),
-                    bits=np.empty(0, dtype=np.int64),
-                    payloads=_EMPTY_OBJECTS,
-                ),
-                name,
+            return PhaseTraffic(
+                src=np.empty(0, dtype=np.int64),
+                dst=np.empty(0, dtype=np.int64),
+                bits=np.empty(0, dtype=np.int64),
+                payloads=_EMPTY_OBJECTS,
             )
         self._validate_endpoints(channel.src, channel.dst)
-        traffic = PhaseTraffic(
+        return PhaseTraffic(
             src=channel.src,
             dst=channel.dst,
             bits=channel.bits,
             payloads=_EMPTY_OBJECTS,
             channels=(channel,),
         )
-        return self._deliver_instance(traffic, name)
 
     def _validate_endpoints(self, src: np.ndarray, dst: np.ndarray) -> None:
         """Reject self-sends and out-of-range endpoints, vectorized."""
@@ -193,7 +224,13 @@ class LenzenRouter:
             )
 
     def _deliver_instance(self, traffic: PhaseTraffic, name: str) -> PhaseReport:
-        """Charge Lenzen rounds for ``traffic`` and deliver it."""
+        """Charge Lenzen rounds for ``traffic`` and deliver it into inboxes."""
+        report = self._account_instance(traffic, name)
+        self._simulator.runtime.deliver(traffic)
+        return report
+
+    def _account_instance(self, traffic: PhaseTraffic, name: str) -> PhaseReport:
+        """Charge Lenzen rounds and record the delivery tallies."""
         num_nodes = self._simulator.num_nodes
         bandwidth_bits = self._simulator.bandwidth.bits_per_round(num_nodes)
         count = traffic.count
@@ -218,5 +255,4 @@ class LenzenRouter:
         metrics = self._simulator.metrics
         metrics.record_phase(report)
         record_deliveries(metrics, traffic)
-        deliver_traffic(self._simulator.contexts, traffic)
         return report

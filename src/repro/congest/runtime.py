@@ -29,10 +29,23 @@ kernel both engines now sit on:
   rest.  Typed traffic arrives as :class:`TypedInboxView` column views
   (``inbox.columns(schema)``); object payloads for typed messages are only
   decoded if some consumer actually asks for the pair list.
+* :class:`DeliveredChannel` / :class:`DeliveredPhase` — the **direct
+  exchange** path.  When a batched phase kernel drives the network it does
+  not need per-node inboxes at all: :meth:`CongestRuntime.deliver_direct`
+  hands the kernel each typed channel's destination-grouped arrays
+  (``dst``-sorted senders, grouped element offsets, grouped columns) and
+  never materializes an :class:`InboxSlice`, a :class:`TypedInboxView` or
+  the per-receiver dict.  Grouping is lazy per schema kind — announcement
+  channels nobody reads are never grouped.  Accounting (the flat
+  ``src``/``dst``/``bits`` arrays, link-bit maxima,
+  :class:`~repro.congest.metrics.ExecutionMetrics`) is shared with the
+  inbox path, so both paths charge byte-identical CONGEST costs.
 * :class:`CongestRuntime` — context construction, per-node RNG seeding,
   vectorized traffic aggregation (``np.bincount`` over encoded link keys
   instead of per-message dict updates), grouped delivery fan-out, metrics
-  recording and round-limit enforcement.
+  recording and round-limit enforcement.  Inbox resets between phases are
+  O(touched nodes): the runtime remembers which contexts currently hold a
+  non-empty inbox and only clears those.
 
 The engines remain thin *policy* layers: the phase simulator decides how a
 phase's round cost is computed from the traffic, and the strict engine adds
@@ -57,6 +70,22 @@ from .wire import WireSchema, default_bit_size
 #: Shared empty-inbox value.  Immutable, so one instance can reset every
 #: context between phases without allocation.
 EMPTY_INBOX: Tuple[Tuple[int, Any], ...] = ()
+
+#: Optional instrumentation hook: when set, called with the class name every
+#: time a per-node delivery object (:class:`InboxSlice`,
+#: :class:`TypedInboxView`) is created.  The allocation regression tests use
+#: it to prove the direct-exchange path builds none of them.
+_allocation_hook: Optional[Callable[[str], None]] = None
+
+
+def set_allocation_hook(hook: Optional[Callable[[str], None]]) -> None:
+    """Install (or clear, with ``None``) the delivery-allocation hook.
+
+    Testing aid only — the hook must not raise.  Returns nothing; pass the
+    previous value back to restore it.
+    """
+    global _allocation_hook
+    _allocation_hook = hook
 
 
 
@@ -268,6 +297,8 @@ class TypedInboxView:
         offsets: np.ndarray,
         data: Dict[str, np.ndarray],
     ) -> None:
+        if _allocation_hook is not None:
+            _allocation_hook("TypedInboxView")
         self.schema = schema
         self.senders = senders
         self.offsets = offsets
@@ -329,6 +360,8 @@ class InboxSlice:
     __slots__ = ("_senders", "_payloads", "_pairs", "_typed")
 
     def __init__(self, senders: np.ndarray, payloads: np.ndarray) -> None:
+        if _allocation_hook is not None:
+            _allocation_hook("InboxSlice")
         self._senders = senders
         self._payloads = payloads
         self._pairs: Optional[List[Tuple[int, Any]]] = None
@@ -547,18 +580,20 @@ class MessagePlane:
         """Convert staged scalar sends into one chunk, preserving order."""
         if not self._scalar_src:
             return
+        # One pass over the staged sizes fills both the value array and the
+        # unset mask (instead of walking the list twice with np.fromiter).
         scalar_bits = self._scalar_bits
-        bits = np.fromiter(
-            (size if size is not None else 0 for size in scalar_bits),
-            dtype=np.int64,
-            count=len(scalar_bits),
-        )
-        unset = np.fromiter(
-            (size is None for size in scalar_bits),
-            dtype=bool,
-            count=len(scalar_bits),
-        )
-        if unset.any():
+        count = len(scalar_bits)
+        bits = np.zeros(count, dtype=np.int64)
+        unset: Optional[np.ndarray] = np.zeros(count, dtype=bool)
+        any_unset = False
+        for index, size in enumerate(scalar_bits):
+            if size is None:
+                unset[index] = True
+                any_unset = True
+            else:
+                bits[index] = size
+        if any_unset:
             self._has_unset = True
         else:
             unset = None
@@ -632,10 +667,17 @@ class MessagePlane:
         if channels:
             # The flat record arrays cover every message; typed channels are
             # appended after the object-payload block, whose length payloads
-            # still tracks.
-            src = np.concatenate([src] + [channel.src for channel in channels])
-            dst = np.concatenate([dst] + [channel.dst for channel in channels])
-            bits = np.concatenate([bits] + [channel.bits for channel in channels])
+            # still tracks.  A typed-only phase with a single channel (the
+            # common batched-kernel shape) reuses the channel arrays as the
+            # flat accounting arrays outright — no concatenation copies.
+            if src.shape[0] == 0 and len(channels) == 1:
+                src = channels[0].src
+                dst = channels[0].dst
+                bits = channels[0].bits
+            else:
+                src = np.concatenate([src] + [channel.src for channel in channels])
+                dst = np.concatenate([dst] + [channel.dst for channel in channels])
+                bits = np.concatenate([bits] + [channel.bits for channel in channels])
         if bits.shape[0] and int(bits.min()) < 0:
             raise SimulationError(
                 f"message size must be non-negative, got {int(bits.min())}"
@@ -656,70 +698,189 @@ def _group_starts(dst_sorted: np.ndarray) -> Tuple[List[int], List[int], List[in
     return start_list, bounds, receivers
 
 
-def _deliver_channel(slices: Dict[int, InboxSlice], channel: TypedChannel) -> None:
-    """Group one typed channel by destination and attach per-receiver views.
+@dataclass(frozen=True)
+class DeliveredChannel:
+    """One typed channel reordered into destination groups.
+
+    The direct-exchange consumable: batched phase kernels read these arrays
+    in place instead of per-node :class:`TypedInboxView` objects.  Message
+    ``i`` (rows grouped so ``dst`` is ascending, ties in staged order) was
+    sent by ``src[i]`` and owns element rows ``offsets[i]:offsets[i+1]`` of
+    every column in ``data``.  The messages of ``receivers[g]`` are rows
+    ``message_bounds[g]:message_bounds[g+1]``.
+    """
+
+    schema: WireSchema
+    receivers: np.ndarray
+    message_bounds: np.ndarray
+    src: np.ndarray
+    dst: np.ndarray
+    offsets: np.ndarray
+    data: Dict[str, np.ndarray]
+
+    @classmethod
+    def empty(cls, schema: WireSchema) -> "DeliveredChannel":
+        """Return a delivered channel with no messages."""
+        return cls(
+            schema=schema,
+            receivers=_EMPTY_INT,
+            message_bounds=np.zeros(1, dtype=np.int64),
+            src=_EMPTY_INT,
+            dst=_EMPTY_INT,
+            offsets=np.zeros(1, dtype=np.int64),
+            data={name: _EMPTY_INT for name in schema.columns},
+        )
+
+    @property
+    def count(self) -> int:
+        """Number of messages in the channel."""
+        return int(self.src.shape[0])
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-message element counts (grouped order)."""
+        return np.diff(self.offsets)
+
+    def element_receivers(self) -> np.ndarray:
+        """Per-element receiving node (ascending, aligned with the columns)."""
+        return np.repeat(self.dst, self.lengths)
+
+    def element_senders(self) -> np.ndarray:
+        """Per-element sending node (aligned with the columns)."""
+        return np.repeat(self.src, self.lengths)
+
+    def view_for(self, which: int) -> TypedInboxView:
+        """Build the ``which``-th receiver's :class:`TypedInboxView` slice.
+
+        Only the inbox delivery path calls this; direct-exchange consumers
+        read the grouped arrays without per-receiver objects.
+        """
+        start = int(self.message_bounds[which])
+        end = int(self.message_bounds[which + 1])
+        element_start = int(self.offsets[start])
+        return TypedInboxView(
+            self.schema,
+            self.src[start:end],
+            self.offsets[start : end + 1] - element_start,
+            {
+                name: column[element_start : int(self.offsets[end])]
+                for name, column in self.data.items()
+            },
+        )
+
+
+def group_channel(channel: TypedChannel) -> DeliveredChannel:
+    """Reorder one typed channel into destination groups.
 
     The flattened element rows are gathered once into destination order
-    (one vectorized permutation), after which every receiver's view is a
-    zero-copy slice of the grouped columns.
+    (one vectorized permutation); when the staged destinations are already
+    sorted (single-receiver batches, pre-grouped routing instances) the
+    staged arrays are reused as-is with no copies.
     """
     if channel.count == 0:
-        return
-    order = np.argsort(channel.dst, kind="stable")
-    dst_sorted = channel.dst[order]
-    src_sorted = channel.src[order]
-    lengths_sorted = np.diff(channel.offsets)[order]
-    grouped_offsets = np.zeros(channel.count + 1, dtype=np.int64)
-    np.cumsum(lengths_sorted, out=grouped_offsets[1:])
-    total_elements = int(grouped_offsets[-1])
-    if total_elements:
-        # element_perm[row] = the source row of the grouped element at
-        # ``row``: each message's block start is shifted from its staged
-        # position to its grouped position, then walked linearly.
-        element_perm = np.repeat(
-            channel.offsets[:-1][order] - grouped_offsets[:-1], lengths_sorted
-        ) + np.arange(total_elements, dtype=np.int64)
-        grouped_data = {
-            name: column[element_perm] for name, column in channel.data.items()
-        }
+        return DeliveredChannel.empty(channel.schema)
+    if channel.count == 1 or bool((channel.dst[1:] >= channel.dst[:-1]).all()):
+        dst_sorted = channel.dst
+        src_sorted = channel.src
+        grouped_offsets = channel.offsets
+        grouped_data = channel.data
     else:
-        grouped_data = {name: _EMPTY_INT for name in channel.schema.columns}
-    start_list, bounds, receivers = _group_starts(dst_sorted)
-    for which, start in enumerate(start_list):
-        end = bounds[which]
-        receiver = receivers[which]
+        order = np.argsort(channel.dst, kind="stable")
+        dst_sorted = channel.dst[order]
+        src_sorted = channel.src[order]
+        lengths_sorted = np.diff(channel.offsets)[order]
+        grouped_offsets = np.zeros(channel.count + 1, dtype=np.int64)
+        np.cumsum(lengths_sorted, out=grouped_offsets[1:])
+        total_elements = int(grouped_offsets[-1])
+        if total_elements:
+            # element_perm[row] = the source row of the grouped element at
+            # ``row``: each message's block start is shifted from its staged
+            # position to its grouped position, then walked linearly.
+            element_perm = np.repeat(
+                channel.offsets[:-1][order] - grouped_offsets[:-1], lengths_sorted
+            ) + np.arange(total_elements, dtype=np.int64)
+            grouped_data = {
+                name: column[element_perm] for name, column in channel.data.items()
+            }
+        else:
+            grouped_data = {name: _EMPTY_INT for name in channel.schema.columns}
+    starts = np.flatnonzero(
+        np.concatenate(([True], dst_sorted[1:] != dst_sorted[:-1]))
+    )
+    message_bounds = np.concatenate(
+        (starts, np.array([dst_sorted.shape[0]], dtype=np.int64))
+    )
+    return DeliveredChannel(
+        schema=channel.schema,
+        receivers=dst_sorted[starts],
+        message_bounds=message_bounds,
+        src=src_sorted,
+        dst=dst_sorted,
+        offsets=grouped_offsets,
+        data=grouped_data,
+    )
+
+
+def _deliver_channel(slices: Dict[int, InboxSlice], channel: TypedChannel) -> None:
+    """Group one typed channel by destination and attach per-receiver views."""
+    if channel.count == 0:
+        return
+    grouped = group_channel(channel)
+    for which, receiver in enumerate(grouped.receivers.tolist()):
         inbox = slices.get(receiver)
         if inbox is None:
             inbox = InboxSlice.empty()
             slices[receiver] = inbox
-        element_start = int(grouped_offsets[start])
-        inbox._attach_typed(
-            TypedInboxView(
-                channel.schema,
-                src_sorted[start:end],
-                grouped_offsets[start : end + 1] - element_start,
-                {
-                    name: column[element_start : int(grouped_offsets[end])]
-                    for name, column in grouped_data.items()
-                },
-            )
-        )
+        inbox._attach_typed(grouped.view_for(which))
 
 
-def deliver_traffic(contexts: Sequence[Any], traffic: PhaseTraffic) -> None:
-    """Replace every context's inbox with this phase's deliveries.
+class DeliveredPhase:
+    """One direct-exchange phase's typed traffic, grouped lazily per schema.
 
-    One stable argsort groups the object-payload records by destination and
-    one more groups each typed channel; each receiving context gets an
-    :class:`InboxSlice` over zero-copy views (column views attached for the
-    typed traffic), and everyone else the shared empty inbox (inboxes never
-    carry over between phases).  Works for any context type exposing
-    ``_deliver``.
+    Handed to batched phase kernels by
+    :meth:`~repro.congest.simulator.CongestSimulator.exchange_phase`.
+    Channels are grouped by destination only when :meth:`channel` is first
+    asked for them — announcement phases whose traffic no kernel reads
+    (A3's ``in_X``/``in_U`` flags, A2's hash descriptors) never pay the
+    grouping permutation at all.
     """
-    for context in contexts:
-        context._deliver(EMPTY_INBOX)
-    if traffic.count == 0:
-        return
+
+    __slots__ = ("report", "_staged", "_grouped")
+
+    def __init__(
+        self, report: PhaseReport, channels: Tuple[TypedChannel, ...]
+    ) -> None:
+        self.report = report
+        self._staged: Dict[str, TypedChannel] = {
+            channel.schema.kind: channel for channel in channels
+        }
+        self._grouped: Dict[str, DeliveredChannel] = {}
+
+    def channel(self, schema: WireSchema | str) -> DeliveredChannel:
+        """Return (grouping on first use) the delivered channel for ``schema``.
+
+        Unknown kinds yield an empty channel, mirroring
+        :meth:`InboxSlice.columns` on the inbox path.
+        """
+        kind = schema if isinstance(schema, str) else schema.kind
+        grouped = self._grouped.get(kind)
+        if grouped is not None:
+            return grouped
+        staged = self._staged.get(kind)
+        if staged is None:
+            if isinstance(schema, str):
+                from .wire import schema_for
+
+                schema = schema_for(schema)
+            grouped = DeliveredChannel.empty(schema)
+        else:
+            grouped = group_channel(staged)
+        self._grouped[kind] = grouped
+        return grouped
+
+
+def _untyped_slices(traffic: PhaseTraffic) -> Dict[int, InboxSlice]:
+    """Group the object-payload block by destination into inbox slices."""
     slices: Dict[int, InboxSlice] = {}
     untyped = int(traffic.payloads.shape[0])
     if untyped:
@@ -734,10 +895,42 @@ def deliver_traffic(contexts: Sequence[Any], traffic: PhaseTraffic) -> None:
             slices[receivers[which]] = InboxSlice(
                 src_sorted[start:end], payload_sorted[start:end]
             )
+    return slices
+
+
+def deliver_traffic(
+    contexts: Sequence[Any],
+    traffic: PhaseTraffic,
+    dirty: Optional[Sequence[Any]] = None,
+) -> List[Any]:
+    """Replace every context's inbox with this phase's deliveries.
+
+    One stable argsort groups the object-payload records by destination and
+    one more groups each typed channel; each receiving context gets an
+    :class:`InboxSlice` over zero-copy views (column views attached for the
+    typed traffic), and everyone else the shared empty inbox (inboxes never
+    carry over between phases).  Works for any context type exposing
+    ``_deliver``.
+
+    ``dirty`` is the list of contexts still holding a non-empty inbox from
+    the previous phase; when given, only those are reset — O(touched
+    nodes), not O(n).  Callers without bookkeeping (``None``) get the
+    legacy reset of every context.  Returns the contexts that now hold a
+    non-empty inbox, i.e. the ``dirty`` list for the next phase.
+    """
+    for context in contexts if dirty is None else dirty:
+        context._deliver(EMPTY_INBOX)
+    if traffic.count == 0:
+        return []
+    slices = _untyped_slices(traffic)
     for channel in traffic.channels:
         _deliver_channel(slices, channel)
+    receiving = []
     for receiver, inbox in slices.items():
-        contexts[receiver]._deliver(inbox)
+        context = contexts[receiver]
+        context._deliver(inbox)
+        receiving.append(context)
+    return receiving
 
 
 def record_deliveries(metrics: ExecutionMetrics, traffic: PhaseTraffic) -> None:
@@ -799,7 +992,15 @@ class CongestRuntime:
     engine can supply its own context type).
     """
 
-    __slots__ = ("graph", "bandwidth", "round_limit", "metrics", "plane", "contexts")
+    __slots__ = (
+        "graph",
+        "bandwidth",
+        "round_limit",
+        "metrics",
+        "plane",
+        "contexts",
+        "_dirty",
+    )
 
     def __init__(
         self,
@@ -815,6 +1016,10 @@ class CongestRuntime:
         self.metrics = ExecutionMetrics()
         self.plane = MessagePlane(graph.num_nodes)
         self.contexts: List[Any] = []
+        # Contexts currently holding a non-empty inbox: the next delivery
+        # resets exactly these, so between-phase resets cost O(touched
+        # nodes) instead of O(n).
+        self._dirty: List[Any] = []
 
     def build_contexts(
         self,
@@ -830,10 +1035,34 @@ class CongestRuntime:
         """Drain the message plane for this phase."""
         return self.plane.flush()
 
-    def complete_phase(
+    def deliver(self, traffic: PhaseTraffic) -> None:
+        """Deliver ``traffic`` into per-node inboxes (O(touched) resets)."""
+        self._dirty = deliver_traffic(self.contexts, traffic, dirty=self._dirty)
+
+    def deliver_direct(self, traffic: PhaseTraffic) -> Tuple[TypedChannel, ...]:
+        """Clear stale inboxes and hand the typed channels back untouched.
+
+        The direct-exchange delivery: no :class:`InboxSlice` dict, no
+        per-receiver views — the caller consumes the channels through a
+        :class:`DeliveredPhase` (grouping lazily per schema).  Object
+        payloads, which the batched kernels never send, still arrive as
+        per-node inboxes so ``received()`` keeps working on mixed phases.
+        """
+        for context in self._dirty:
+            context._deliver(EMPTY_INBOX)
+        self._dirty = []
+        if int(traffic.payloads.shape[0]):
+            slices = _untyped_slices(traffic)
+            for receiver, inbox in slices.items():
+                context = self.contexts[receiver]
+                context._deliver(inbox)
+                self._dirty.append(context)
+        return traffic.channels
+
+    def _record_phase(
         self, name: str, rounds: int, traffic: PhaseTraffic, link_bits: int
     ) -> PhaseReport:
-        """Record one phase's cost, deliver its traffic, enforce the budget."""
+        """Record one phase's cost and per-node delivery tallies."""
         report = PhaseReport(
             name=name,
             rounds=rounds,
@@ -843,9 +1072,32 @@ class CongestRuntime:
         )
         self.metrics.record_phase(report)
         record_deliveries(self.metrics, traffic)
-        deliver_traffic(self.contexts, traffic)
+        return report
+
+    def complete_phase(
+        self, name: str, rounds: int, traffic: PhaseTraffic, link_bits: int
+    ) -> PhaseReport:
+        """Record one phase's cost, deliver its traffic, enforce the budget."""
+        report = self._record_phase(name, rounds, traffic, link_bits)
+        self.deliver(traffic)
         self.enforce_round_limit()
         return report
+
+    def complete_phase_direct(
+        self, name: str, rounds: int, traffic: PhaseTraffic, link_bits: int
+    ) -> DeliveredPhase:
+        """Direct-exchange twin of :meth:`complete_phase`.
+
+        Identical accounting (phase report, delivery tallies, round-budget
+        enforcement — in the same order, so budget exhaustion surfaces at
+        the same point of the execution), but the typed traffic is returned
+        as a :class:`DeliveredPhase` instead of being fanned out into
+        per-node inboxes.
+        """
+        report = self._record_phase(name, rounds, traffic, link_bits)
+        channels = self.deliver_direct(traffic)
+        self.enforce_round_limit()
+        return DeliveredPhase(report, channels)
 
     def exchange(self) -> PhaseTraffic:
         """Deliver the queued traffic without phase/round accounting.
@@ -856,7 +1108,7 @@ class CongestRuntime:
         """
         traffic = self.collect_traffic()
         record_deliveries(self.metrics, traffic)
-        deliver_traffic(self.contexts, traffic)
+        self.deliver(traffic)
         return traffic
 
     def enforce_round_limit(self) -> None:

@@ -44,7 +44,7 @@ from ..types import NodeId
 from .bandwidth import DEFAULT_BANDWIDTH, BandwidthPolicy
 from .metrics import ExecutionMetrics, PhaseReport
 from .node import NodeContext
-from .runtime import CongestRuntime, PhaseTraffic, max_link_bits
+from .runtime import CongestRuntime, DeliveredPhase, PhaseTraffic, max_link_bits
 
 #: Sentinel returned by :meth:`CongestSimulator._communication_targets` when
 #: the communication topology is the input graph itself.  The constructor
@@ -253,6 +253,34 @@ class CongestSimulator:
         traffic = self._runtime.collect_traffic()
         rounds, link_bits = self._phase_cost(traffic)
         return self._runtime.complete_phase(
+            name, rounds + extra_rounds, traffic, link_bits
+        )
+
+    def exchange_phase(
+        self, name: str = "phase", extra_rounds: int = 0
+    ) -> DeliveredPhase:
+        """Run one phase on the **direct-exchange** path.
+
+        Same accounting as :meth:`run_phase` (same rounds, link-bit maxima,
+        message/bit totals, per-node delivery tallies, round-budget
+        enforcement), but instead of fanning the typed traffic out into
+        per-node inboxes the phase's channels come back as a
+        :class:`~repro.congest.runtime.DeliveredPhase`: the driving batched
+        kernel consumes the destination-grouped channel arrays in place,
+        and no per-node ``InboxSlice``/``TypedInboxView`` objects (nor the
+        receiver dict) are ever materialized.  Object-payload messages, if
+        any were queued, are still delivered as inboxes.
+
+        Raises
+        ------
+        RoundLimitExceededError
+            If the cumulative round count would exceed the configured
+            budget — after recording the phase, exactly like
+            :meth:`run_phase`, so truncation points match the inbox path.
+        """
+        traffic = self._runtime.collect_traffic()
+        rounds, link_bits = self._phase_cost(traffic)
+        return self._runtime.complete_phase_direct(
             name, rounds + extra_rounds, traffic, link_bits
         )
 

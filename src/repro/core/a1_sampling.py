@@ -24,9 +24,10 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from ..congest.node import NodeContext
+from ..congest.node import NodeContext, emit_grouped_keys
 from ..congest.simulator import CongestSimulator
 from ..congest.wire import A1_SAMPLE_SCHEMA, id_bits
+from ..types import triangle_keys
 from .base import TriangleAlgorithm, validate_kernel
 from .parameters import a1_sample_cap, a1_sampling_probability
 
@@ -45,8 +46,11 @@ class HeavySamplingFinder(TriangleAlgorithm):
         ablation benchmarks can study its effect.
     kernel:
         ``"batched"`` (default) stages every node's sample broadcast as one
-        columnar batch and vectorizes detection; ``"reference"`` runs the
-        per-node closures.  Identical executions for the same seed.
+        columnar batch and runs detection as a single whole-network
+        membership test over the direct-exchange channel arrays;
+        ``"pernode"`` keeps the per-node inbox views and receiver loops of
+        the previous batched generation; ``"reference"`` runs the per-node
+        closures.  Identical executions for the same seed.
     """
 
     name = "A1-heavy-sampling"
@@ -85,7 +89,9 @@ class HeavySamplingFinder(TriangleAlgorithm):
             self._sample_cap_constant / 4.0
         ) * a1_sample_cap(num_nodes, self._epsilon)
         if self._kernel == "batched":
-            return self._execute_batched(simulator, probability, cap)
+            return self._execute_direct(simulator, probability, cap)
+        if self._kernel == "pernode":
+            return self._execute_pernode(simulator, probability, cap)
         return self._execute_reference(simulator, probability, cap)
 
     def _execute_reference(
@@ -126,14 +132,16 @@ class HeavySamplingFinder(TriangleAlgorithm):
         simulator.for_each_node(detect)
         return False
 
-    def _execute_batched(
+    def _stage_samples(
         self, simulator: CongestSimulator, probability: float, cap: float
-    ) -> bool:
-        """The vectorized kernel: columnar sample broadcasts, array detection.
+    ) -> None:
+        """Draw every node's sample and stage the broadcasts columnar.
 
         Per-node randomness is drawn exactly as the reference closure draws
         it (one ``rng.random(degree)`` mask over the sorted neighbour row),
-        so seeded runs coincide; everything per-message is array work.
+        so seeded runs coincide; the whole phase's traffic lands on the
+        plane in one ``stage_columns`` call.  Shared by the ``pernode`` and
+        direct-exchange kernels, which differ only in consumption.
         """
         num_nodes = simulator.num_nodes
         csr = simulator.graph.csr()
@@ -185,9 +193,17 @@ class HeavySamplingFinder(TriangleAlgorithm):
                 lengths=np.repeat(sizes, degrees),
                 bits=np.repeat(sizes * node_id_bits, degrees),
             )
+
+    def _execute_pernode(
+        self, simulator: CongestSimulator, probability: float, cap: float
+    ) -> bool:
+        """Columnar staging + per-node inbox-view detection loops."""
+        csr = simulator.graph.csr()
+        indptr, indices = csr.indptr, csr.indices
+        self._stage_samples(simulator, probability, cap)
         simulator.run_phase("A1:send-samples")
 
-        for context in contexts:
+        for context in simulator.contexts:
             view = context.received_columns(A1_SAMPLE_SCHEMA)
             if view.count == 0:
                 continue
@@ -202,6 +218,41 @@ class HeavySamplingFinder(TriangleAlgorithm):
                     np.full(int(hits.sum()), node, dtype=np.int64),
                     candidates[hits],
                 )
+        return False
+
+    def _execute_direct(
+        self, simulator: CongestSimulator, probability: float, cap: float
+    ) -> bool:
+        """The direct-exchange kernel: fused whole-network detection.
+
+        Same staged traffic as :meth:`_execute_pernode`; delivery comes
+        back as destination-grouped channel arrays and the ``N(k) ∩ S_j``
+        test runs as one vectorized edge-membership query over every
+        (receiver, candidate) element at once — no per-node inboxes or
+        loops, only a per-receiver output emit over the grouped hits.
+        """
+        csr = simulator.graph.csr()
+        contexts = simulator.contexts
+        self._stage_samples(simulator, probability, cap)
+        delivered = simulator.exchange_phase("A1:send-samples")
+        channel = delivered.channel(A1_SAMPLE_SCHEMA)
+        if channel.count:
+            candidates = channel.data["member"]
+            receivers = channel.element_receivers()
+            mask = (candidates != receivers) & csr.has_edges(receivers, candidates)
+            if mask.any():
+                hits = np.flatnonzero(mask)
+                messages = np.searchsorted(channel.offsets, hits, side="right") - 1
+                hit_receivers = receivers[hits]
+                hit_senders = channel.src[messages]
+                hit_candidates = candidates[hits]
+                low = np.minimum(hit_senders, hit_candidates)
+                high = np.maximum(hit_senders, hit_candidates)
+                lo = np.minimum(low, hit_receivers)
+                hi = np.maximum(high, hit_receivers)
+                mid = hit_receivers + hit_senders + hit_candidates - lo - hi
+                keys = triangle_keys(lo, mid, hi, simulator.num_nodes)
+                emit_grouped_keys(contexts, hit_receivers, keys)
         return False
 
 

@@ -20,18 +20,26 @@ common neighbour catches it with constant probability.  The communication
 cost is dominated by step 2: at most ``8 + 4n/⌊n^{ε/2}⌋`` edges per link,
 i.e. ``O(n^{1-ε/2})`` rounds.
 
-Two execution kernels implement the protocol:
+Three execution kernels implement the protocol:
 
 * the **batched kernel** (default) evaluates every node's 3-wise hash over
   the CSR neighbour rows as one array program — each family member is
   Horner-evaluated once over the whole vertex set instead of once per
-  received message — and ships the filtered edge batches through the typed
-  columnar plane (:data:`repro.congest.wire.A2_EDGE_SCHEMA`), and
+  received message — ships the filtered edge batches through the typed
+  columnar plane (:data:`repro.congest.wire.A2_EDGE_SCHEMA`) on the
+  **direct-exchange** path, and lists the received edge sets with a single
+  whole-network grouped oracle call
+  (:func:`repro.graphs.csr.triangles_by_group`) over the
+  destination-grouped channel columns — no per-node inboxes, views or
+  receiver loops exist anywhere in the run,
+* the **pernode kernel** is the previous batched generation (per-node
+  inbox views, one local CSR oracle per receiver), kept as the
+  benchmark baseline for the direct-exchange speedup, and
 * the **reference kernel** keeps the paper-shaped per-node closures over
   object payloads.
 
-Both kernels draw per-node randomness identically, so a seeded run produces
-the same round counts, link-bit maxima and triangle outputs on either path;
+All kernels draw per-node randomness identically, so a seeded run produces
+the same round counts, link-bit maxima and triangle outputs on any path;
 the differential suite (``tests/core/test_batched_kernels.py``) enforces
 this on every workload family.
 """
@@ -42,13 +50,13 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from ..congest.node import NodeContext
+from ..congest.node import NodeContext, emit_grouped_keys
 from ..congest.simulator import CongestSimulator
 from ..congest.wire import A2_EDGE_SCHEMA, HashDescriptorSchema, edge_bits
-from ..graphs.csr import CSRGraph
+from ..graphs.csr import CSRGraph, triangles_by_group
 from ..graphs.graph import Graph
 from ..hashing.kwise import KWiseIndependentFamily
-from ..types import Edge, make_edge
+from ..types import Edge, make_edge, triangle_keys
 from .base import TriangleAlgorithm, dense_pair_matrix_worthwhile, validate_kernel
 from .parameters import a2_edge_set_cap, a2_hash_range
 
@@ -108,7 +116,9 @@ class HeavyHashingLister(TriangleAlgorithm):
             independence=self._independence,
         )
         if self._kernel == "batched":
-            return self._execute_batched(simulator, family, edge_cap)
+            return self._execute_direct(simulator, family, edge_cap)
+        if self._kernel == "pernode":
+            return self._execute_pernode(simulator, family, edge_cap)
         return self._execute_reference(simulator, family, edge_cap)
 
     def _execute_reference(
@@ -177,31 +187,24 @@ class HeavyHashingLister(TriangleAlgorithm):
         simulator.for_each_node(list_local_triangles)
         return False
 
-    def _execute_batched(
+    def _stage_hashes(
         self,
         simulator: CongestSimulator,
         family: KWiseIndependentFamily,
-        edge_cap: float,
-    ) -> bool:
-        """The vectorized kernel: whole-phase array programs, typed channels.
+    ) -> np.ndarray:
+        """Step 1: sample per node and stage every descriptor broadcast.
 
-        Identical execution to :meth:`_execute_reference` (same per-node RNG
-        draws, same messages, same sizes); the per-message Python work is
-        replaced by one hash-matrix evaluation and per-node numpy
-        reductions over CSR neighbour rows.
+        The same ``family.sample(rng)`` calls as the reference closure, so
+        seeded runs coincide; the whole phase is one columnar batch (one
+        message per directed edge, each carrying the sender's k
+        coefficients).  Returns the coefficient matrix, which the sender
+        programs evaluate locally in place of decoding received payloads.
         """
         num_nodes = simulator.num_nodes
         csr = simulator.graph.csr()
-        indptr, indices = csr.indptr, csr.indices
-        degrees = np.diff(indptr)
-        contexts = simulator.contexts
-
-        # Step 1: sample per node (the same family.sample(rng) calls as the
-        # reference closure, so seeded runs coincide), then broadcast every
-        # descriptor in one columnar batch: one message per directed edge,
-        # each carrying the sender's k coefficients.
+        degrees = np.diff(csr.indptr)
         coefficients = np.empty((num_nodes, family.independence), dtype=np.int64)
-        for context in contexts:
+        for context in simulator.contexts:
             own_hash = family.sample(context.rng)
             context.state["hash"] = own_hash
             coefficients[context.node_id] = own_hash.coefficients
@@ -211,17 +214,38 @@ class HeavyHashingLister(TriangleAlgorithm):
             simulator.stage_columns(
                 schema,
                 src,
-                indices,
+                csr.indices,
                 {"coefficient": coefficients[src].ravel()},
                 bits=family.description_bits(),
             )
-        simulator.run_phase("A2:send-hash-functions")
+        return coefficients
 
-        # Step 2 as one array program: decode each neighbour's family once —
-        # on dense graphs evaluate all n functions over all n vertices in
-        # one Horner pass, on sparse ones evaluate each neighbour-row block
-        # on demand — then build every node's filtered edge batches and cap
-        # masks as array reductions over its CSR row.
+    def _stage_filtered_edges(
+        self,
+        simulator: CongestSimulator,
+        family: KWiseIndependentFamily,
+        coefficients: np.ndarray,
+        edge_cap: float,
+    ) -> Tuple[Optional[np.ndarray], np.ndarray, np.ndarray]:
+        """Step 2 as one array program over the CSR rows.
+
+        Each neighbour's family is evaluated once — on dense graphs all n
+        functions over all n vertices in one Horner pass, on sparse ones
+        per neighbour-row block on demand — then every node's filtered edge
+        batches and cap masks fall out as array reductions, staged as one
+        columnar batch for the whole network.
+
+        Returns ``(zero_mask, shipped_senders, shipped_targets)``: the
+        all-pairs hash-zero matrix when the dense precompute was used
+        (``None`` otherwise) and the directed (sender, target) pairs that
+        actually shipped an edge set — the structure the fused receiver
+        reconstructs ``F_i`` membership from without re-reading the
+        channel.
+        """
+        num_nodes = simulator.num_nodes
+        csr = simulator.graph.csr()
+        indptr, indices = csr.indptr, csr.indices
+        degrees = np.diff(indptr)
         zero_mask = (
             _hash_zero_matrix(coefficients, family.prime, family.range_size, num_nodes)
             if dense_pair_matrix_worthwhile(num_nodes, degrees)
@@ -254,34 +278,54 @@ class HeavyHashingLister(TriangleAlgorithm):
             target_chunks.append(targets)
             length_chunks.append(kept_per_target[shipped])
             endpoint_chunks.append(endpoints)
-        if batch_nodes:
-            senders = np.repeat(
-                np.asarray(batch_nodes, dtype=np.int64),
-                np.asarray(batch_counts, dtype=np.int64),
-            )
-            endpoints = np.concatenate(endpoint_chunks)
-            # Canonical edges {node, l}: every endpoint pairs with its
-            # message's sending node.
-            edge_peers = np.repeat(senders, np.concatenate(length_chunks))
-            simulator.stage_columns(
-                A2_EDGE_SCHEMA,
-                senders,
-                np.concatenate(target_chunks),
-                {
-                    "u": np.minimum(edge_peers, endpoints),
-                    "v": np.maximum(edge_peers, endpoints),
-                },
-                lengths=np.concatenate(length_chunks),
-            )
+        if not batch_nodes:
+            return zero_mask, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        senders = np.repeat(
+            np.asarray(batch_nodes, dtype=np.int64),
+            np.asarray(batch_counts, dtype=np.int64),
+        )
+        targets = np.concatenate(target_chunks)
+        endpoints = np.concatenate(endpoint_chunks)
+        # Canonical edges {node, l}: every endpoint pairs with its
+        # message's sending node.
+        edge_peers = np.repeat(senders, np.concatenate(length_chunks))
+        simulator.stage_columns(
+            A2_EDGE_SCHEMA,
+            senders,
+            targets,
+            {
+                "u": np.minimum(edge_peers, endpoints),
+                "v": np.maximum(edge_peers, endpoints),
+            },
+            lengths=np.concatenate(length_chunks),
+        )
+        return zero_mask, senders, targets
+
+    def _execute_pernode(
+        self,
+        simulator: CongestSimulator,
+        family: KWiseIndependentFamily,
+        edge_cap: float,
+    ) -> bool:
+        """The per-node batched kernel: columnar staging, inbox-view receivers.
+
+        Identical execution to :meth:`_execute_reference` (same per-node RNG
+        draws, same messages, same sizes); message production is array work
+        but every receiver still consumes its own ``TypedInboxView`` and
+        runs its own local CSR oracle.
+        """
+        num_nodes = simulator.num_nodes
+        coefficients = self._stage_hashes(simulator, family)
+        simulator.run_phase("A2:send-hash-functions")
+        self._stage_filtered_edges(simulator, family, coefficients, edge_cap)
         simulator.run_phase("A2:send-filtered-edges")
 
         # Step 3: list triangles inside each node's received edge columns.
         # Each inbox defines a small graph F_i; its triangles come from the
-        # vectorized CSR oracle instead of the Python set-walk, and land in
-        # the output set as one bulk update.  Endpoints are remapped to a
+        # vectorized CSR oracle, per receiver.  Endpoints are remapped to a
         # compact vertex set first so the per-inbox graph (and the oracle's
         # strategy choice) is sized by the inbox, not by n.
-        for context in contexts:
+        for context in simulator.contexts:
             view = context.received_columns(A2_EDGE_SCHEMA)
             if view.count == 0:
                 continue
@@ -301,7 +345,129 @@ class HeavyHashingLister(TriangleAlgorithm):
                     vertices[listed[:, 0]],
                     vertices[listed[:, 1]],
                     vertices[listed[:, 2]],
+                    canonical=True,
                 )
+        return False
+
+    def _execute_direct(
+        self,
+        simulator: CongestSimulator,
+        family: KWiseIndependentFamily,
+        edge_cap: float,
+    ) -> bool:
+        """The direct-exchange kernel: fused whole-network receivers.
+
+        Same staged traffic as :meth:`_execute_pernode`, but both phases
+        run on the direct-exchange path and no per-node inbox objects
+        exist.  On dense graphs (where step 2 precomputed the all-pairs
+        hash-zero matrix) step 3 does not even group the delivered
+        channel: the received set ``F_i`` is a pure function of the
+        hash-zero matrix ``Z``, the shipping mask ``S`` and the adjacency
+        — an edge ``{u, v}`` is in ``F_i`` iff one endpoint shipped to
+        ``i`` and the other hashes to zero — so the kernel enumerates
+        candidate triples straight from that structure
+        (:meth:`_list_fused_dense`).  On sparse graphs the grouped channel
+        columns feed one whole-network grouped oracle call
+        (:func:`repro.graphs.csr.triangles_by_group`).
+        """
+        num_nodes = simulator.num_nodes
+        contexts = simulator.contexts
+        coefficients = self._stage_hashes(simulator, family)
+        simulator.exchange_phase("A2:send-hash-functions")
+        zero_mask, senders, targets = self._stage_filtered_edges(
+            simulator, family, coefficients, edge_cap
+        )
+        delivered = simulator.exchange_phase("A2:send-filtered-edges")
+
+        if zero_mask is not None:
+            self._list_fused_dense(simulator, zero_mask, senders, targets)
+            return False
+        channel = delivered.channel(A2_EDGE_SCHEMA)
+        if channel.count:
+            tri_groups, tri_keys = triangles_by_group(
+                channel.element_receivers(),
+                channel.data["u"],
+                channel.data["v"],
+                num_nodes,
+            )
+            emit_grouped_keys(contexts, tri_groups, tri_keys)
+        return False
+
+    def _list_fused_dense(
+        self,
+        simulator: CongestSimulator,
+        zero_mask: np.ndarray,
+        senders: np.ndarray,
+        targets: np.ndarray,
+    ) -> bool:
+        """Step 3 fused over the hash-zero structure (dense precompute).
+
+        Every triangle of ``F_i`` has at least two vertices hashing to
+        zero under ``h_i`` (each of its edges needs a zero endpoint, and
+        one zero vertex cannot cover three edges).  So for receiver ``i``
+        the kernel enumerates adjacent zero-pairs ``y < z``, expands their
+        common neighbourhoods ``x`` with one boolean row reduction, and
+        keeps a candidate exactly when all three edges lie in ``F_i``::
+
+            {u, v} ∈ F_i  ⟺  (S(u) ∧ Z(v)) ∨ (S(v) ∧ Z(u))
+
+        with ``S`` the shipped-to-``i`` mask and ``Z`` the zero mask —
+        which for a zero-pair candidate reduces to ``(S(x) ∧ (S(y) ∨
+        S(z))) ∨ (Z(x) ∧ S(y) ∧ S(z))``.  Work is proportional to the
+        candidate count (a small constant times the listed output), not to
+        ``receivers × adjacency-rows`` as a per-receiver scan would be.
+        """
+        if targets.shape[0] == 0:
+            return False
+        num_nodes = simulator.num_nodes
+        contexts = simulator.contexts
+        adjacency = simulator.graph.csr()._bool_matrix()
+        shipped = np.zeros((num_nodes, num_nodes), dtype=bool)
+        shipped[targets, senders] = True
+        # Zero-pair chunks keep the (pairs × n) row intersections
+        # cache-resident; one bulk key append per chunk.
+        pair_chunk = max(1, (1 << 20) // max(num_nodes, 1))
+        for receiver in np.unique(targets).tolist():
+            z_row = zero_mask[receiver]
+            s_row = shipped[receiver]
+            zeros = np.flatnonzero(z_row)
+            if zeros.shape[0] < 2:
+                continue
+            # Adjacent zero-pairs (y < z) with at least one side shipped —
+            # the {y, z} edge must itself be in F_i.
+            zero_shipped = s_row[zeros]
+            pair_matrix = adjacency[np.ix_(zeros, zeros)] & (
+                zero_shipped[:, None] | zero_shipped[None, :]
+            )
+            first, second = np.nonzero(np.triu(pair_matrix, k=1))
+            if first.shape[0] == 0:
+                continue
+            y = zeros[first]
+            z = zeros[second]
+            # Every kept pair already has S(y) ∨ S(z); the per-candidate
+            # test reduces to S(x) ∨ (Z(x) ∧ S(y) ∧ S(z)), applied in
+            # matrix form before any candidate is extracted.
+            both_shipped = (s_row[y] & s_row[z])[:, None]
+            output = contexts[receiver].output_triangle_keys
+            for start in range(0, y.shape[0], pair_chunk):
+                end = min(start + pair_chunk, y.shape[0])
+                y_chunk = y[start:end]
+                z_chunk = z[start:end]
+                rows = adjacency[y_chunk] & adjacency[z_chunk]
+                rows &= s_row[None, :] | (
+                    z_row[None, :] & both_shipped[start:end]
+                )
+                flat = np.flatnonzero(rows.ravel())
+                if flat.shape[0] == 0:
+                    continue
+                pair_index = flat // num_nodes
+                x = flat - pair_index * num_nodes
+                yy = y_chunk[pair_index]
+                zz = z_chunk[pair_index]
+                lo = np.minimum(x, yy)
+                hi = np.maximum(x, zz)
+                mid = x + yy + zz - lo - hi
+                output(triangle_keys(lo, mid, hi, num_nodes))
         return False
 
 

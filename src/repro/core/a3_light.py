@@ -45,7 +45,7 @@ from typing import Any, Dict, List, Optional, Set
 
 import numpy as np
 
-from ..congest.node import NodeContext
+from ..congest.node import NodeContext, emit_grouped_keys
 from ..congest.simulator import CongestSimulator
 from ..congest.wire import (
     A3_IN_U_SCHEMA,
@@ -56,6 +56,7 @@ from ..congest.wire import (
     id_bits,
 )
 from ..errors import RoundLimitExceededError
+from ..types import triangle_keys
 from .base import TriangleAlgorithm, dense_pair_matrix_worthwhile, validate_kernel
 from .parameters import (
     a3_goodness_threshold,
@@ -95,9 +96,13 @@ def run_axr(
         without looping forever).
     kernel:
         ``"batched"`` (default) stages every phase's traffic as columnar
-        batches and evaluates the ∆(X) tests as one disjointness matrix;
-        ``"reference"`` runs the per-node closures.  Both kernels execute
-        identically (same rounds, bits and outputs).
+        batches, evaluates the ∆(X) tests as one disjointness matrix, and
+        consumes the S/V/announcement phases on the direct-exchange path
+        (whole-network edge-membership oracle calls, no per-node inboxes);
+        ``"pernode"`` keeps the previous batched generation's per-node
+        inbox views and receiver loops; ``"reference"`` runs the per-node
+        closures.  All kernels execute identically (same rounds, bits and
+        outputs).
 
     Returns
     -------
@@ -107,7 +112,9 @@ def run_axr(
     """
     validate_kernel(kernel)
     if kernel == "batched":
-        return _run_axr_batched(simulator, goodness_threshold, max_iterations)
+        return _run_axr_direct(simulator, goodness_threshold, max_iterations)
+    if kernel == "pernode":
+        return _run_axr_pernode(simulator, goodness_threshold, max_iterations)
     return _run_axr_reference(simulator, goodness_threshold, max_iterations)
 
 
@@ -304,7 +311,7 @@ def _landmark_incidence(
 def _make_disjointness(
     incidence: Optional[np.ndarray], num_nodes: int, degrees: np.ndarray
 ):
-    """Return ``block(vertices) -> D`` with ``D[j, l] = ({j, l} ∈ ∆(X))``.
+    """Return ``(block, full)`` evaluators of ``D[j, l] = ({j, l} ∈ ∆(X))``.
 
     This is the test every node evaluates from its step-2 knowledge: the
     landmark neighbourhoods of ``j`` and ``l`` are disjoint.  With
@@ -313,37 +320,48 @@ def _make_disjointness(
     once for all pairs when the n×n precompute amortises (dense graphs),
     or per neighbour-row block on demand (sparse ones, where most pairs
     are never consulted).
+
+    ``block(vertices)`` returns the pair submatrix over ``vertices``;
+    ``full`` is the whole n×n matrix when the dense precompute was used
+    (consumed row-wise by the direct kernel's receiver-major step 4.1) and
+    ``None`` otherwise.
     """
-    if incidence is None:
-        return lambda vertices: np.ones(
-            (vertices.shape[0], vertices.shape[0]), dtype=bool
-        )
     if dense_pair_matrix_worthwhile(num_nodes, degrees):
-        disjoint = (incidence @ incidence.T) == 0
+        if incidence is None:
+            disjoint = np.ones((num_nodes, num_nodes), dtype=bool)
+        else:
+            disjoint = (incidence @ incidence.T) == 0
 
         def block(vertices: np.ndarray) -> np.ndarray:
             return disjoint[np.ix_(vertices, vertices)]
 
-        return block
+        return block, disjoint
+    if incidence is None:
+        return (
+            lambda vertices: np.ones(
+                (vertices.shape[0], vertices.shape[0]), dtype=bool
+            ),
+            None,
+        )
 
     def block(vertices: np.ndarray) -> np.ndarray:
         rows = incidence[vertices]
         return (rows @ rows.T) == 0
 
-    return block
+    return block, None
 
 
-def _run_axr_batched(
+def _run_axr_pernode(
     simulator: CongestSimulator,
     goodness_threshold: float,
     max_iterations: Optional[int] = None,
 ) -> bool:
-    """The vectorized kernel for ``A(X, r)``: columnar phases, matrix ∆(X).
+    """The per-node batched kernel: columnar phases, matrix ∆(X), inbox views.
 
     Phase for phase the same execution as :func:`_run_axr_reference` (the
     differential suite enforces identical round counts, link-bit maxima and
-    outputs); message production and consumption run as array programs over
-    the CSR rows and the typed channels instead of per-node closures.
+    outputs); message production runs as array programs over the CSR rows
+    but every receiver still consumes its own typed inbox view.
     """
     num_nodes = simulator.num_nodes
     node_id_bits = id_bits(num_nodes)
@@ -405,7 +423,7 @@ def _run_axr_batched(
 
     # The ∆(X) membership test, as a per-block evaluator (precomputed for
     # all pairs on dense graphs, on demand on sparse ones).
-    disjoint_block = _make_disjointness(
+    disjoint_block, _ = _make_disjointness(
         _landmark_incidence(indptr, indices, in_x), num_nodes, degrees
     )
 
@@ -560,6 +578,371 @@ def _run_axr_batched(
     return truncated_by_progress
 
 
+#: Element-block size for the fused receiver sweeps.  Chunks keep every
+#: intermediate array cache-resident — on the dense workloads a phase
+#: carries tens of millions of elements, and streaming ten full-size
+#: temporaries through DRAM measures ~5x slower than the same arithmetic
+#: over ~1 MB blocks.
+_FUSED_CHUNK_ELEMENTS = 131072
+
+
+def _emit_revealed_triangles(simulator, csr, channel) -> None:
+    """List the triangles one delivered S/V channel reveals, fused.
+
+    A message element ``third`` from sender ``k`` reveals the triangle
+    ``{receiver, k, third}`` exactly when ``third`` is a neighbour of the
+    receiver (steps 4.1/4.3 of Figure 2).  The membership test is the
+    vectorized adjacency oracle (:meth:`~repro.graphs.csr.CSRGraph.has_edges`,
+    whose self-pairs are always ``False``, covering the ``third ≠
+    receiver`` guard); hit triples are canonicalised arithmetically into
+    triangle keys (the three vertices are pairwise distinct: the sender
+    neighbours the receiver and the third neighbours both).  The sweep
+    runs over message-aligned element blocks so every temporary stays
+    cache-resident, emitting each block's grouped hits as bulk key
+    appends.
+    """
+    if channel.count == 0:
+        return
+    num_nodes = simulator.num_nodes
+    contexts = simulator.contexts
+    thirds = channel.data["member"]
+    offsets = channel.offsets
+    dst = channel.dst
+    src = channel.src
+    lengths = channel.lengths
+    message_count = channel.count
+    message_start = 0
+    while message_start < message_count:
+        element_start = int(offsets[message_start])
+        message_end = int(
+            np.searchsorted(
+                offsets, element_start + _FUSED_CHUNK_ELEMENTS, side="left"
+            )
+        )
+        message_end = max(message_end, message_start + 1)
+        message_end = min(message_end, message_count)
+        element_end = int(offsets[message_end])
+        if element_end == element_start:
+            message_start = message_end
+            continue
+        block_lengths = lengths[message_start:message_end]
+        block_thirds = thirds[element_start:element_end]
+        block_receivers = np.repeat(dst[message_start:message_end], block_lengths)
+        revealed = csr.has_edges(block_receivers, block_thirds)
+        hits = np.flatnonzero(revealed)
+        if hits.shape[0]:
+            block_senders = np.repeat(src[message_start:message_end], block_lengths)
+            hit_receivers = block_receivers[hits]
+            hit_senders = block_senders[hits]
+            hit_thirds = block_thirds[hits]
+            low = np.minimum(hit_senders, hit_thirds)
+            high = np.maximum(hit_senders, hit_thirds)
+            lo = np.minimum(low, hit_receivers)
+            hi = np.maximum(high, hit_receivers)
+            mid = hit_receivers + hit_senders + hit_thirds - lo - hi
+            keys = triangle_keys(lo, mid, hi, num_nodes)
+            emit_grouped_keys(contexts, hit_receivers, keys)
+        message_start = message_end
+
+
+def _run_axr_direct(
+    simulator: CongestSimulator,
+    goodness_threshold: float,
+    max_iterations: Optional[int] = None,
+) -> bool:
+    """The direct-exchange kernel for ``A(X, r)``: fused receivers throughout.
+
+    Same staged traffic, phase for phase, as :func:`_run_axr_pernode` — the
+    differential suite pins all three kernels together — but every phase
+    runs through :meth:`~repro.congest.simulator.CongestSimulator.exchange_phase`:
+
+    * the ``in_X``/``in_U`` announcements and the ``N(k) ∩ X``
+      neighbourhoods are staged for accounting and never grouped, let
+      alone delivered per node (the kernel already holds the flag arrays
+      they communicate);
+    * S and V processing consume the destination-grouped channel columns
+      with one whole-network edge-membership oracle call each
+      (:func:`_emit_revealed_triangles`);
+    * the withholding sets ``V(j)`` of step 4.2 fall out of one sorted-key
+      membership test between the active directed edges and the received
+      (receiver, sender) pairs — no per-node ``np.isin`` scans.
+    """
+    num_nodes = simulator.num_nodes
+    node_id_bits = id_bits(num_nodes)
+    if max_iterations is None:
+        max_iterations = _axr_max_iterations(num_nodes)
+    csr = simulator.graph.csr()
+    indptr, indices = csr.indptr, csr.indices
+    degrees = np.diff(indptr)
+    contexts = simulator.contexts
+    all_nodes = np.arange(num_nodes, dtype=np.int64)
+    broadcast_src = np.repeat(all_nodes, degrees)
+    n64 = np.int64(num_nodes)
+
+    in_x = np.fromiter(
+        (bool(context.state.get("in_X", False)) for context in contexts),
+        dtype=bool,
+        count=num_nodes,
+    )
+
+    # Step 1: announce landmark membership (one bit per incident edge).
+    if broadcast_src.shape[0]:
+        simulator.stage_columns(
+            A3_IN_X_SCHEMA,
+            broadcast_src,
+            indices,
+            {"flag": in_x[broadcast_src].astype(np.int64)},
+        )
+    simulator.exchange_phase("A(X,r):1-announce-X")
+
+    # Step 2: ship N(k) ∩ X to every neighbour.
+    landmark_rows = [
+        indices[indptr[node] : indptr[node + 1]][
+            in_x[indices[indptr[node] : indptr[node + 1]]]
+        ]
+        for node in range(num_nodes)
+    ]
+    landmark_counts = np.asarray(
+        [row.shape[0] for row in landmark_rows], dtype=np.int64
+    )
+    if broadcast_src.shape[0]:
+        tiled = [
+            np.tile(landmark_rows[node], int(degrees[node]))
+            for node in range(num_nodes)
+            if degrees[node]
+        ]
+        simulator.stage_columns(
+            A3_NX_SCHEMA,
+            broadcast_src,
+            indices,
+            {
+                "member": np.concatenate(tiled)
+                if tiled
+                else np.empty(0, dtype=np.int64)
+            },
+            lengths=landmark_counts[broadcast_src],
+        )
+    simulator.exchange_phase("A(X,r):2-send-X-neighbourhoods")
+
+    disjoint_block, disjoint_full = _make_disjointness(
+        _landmark_incidence(indptr, indices, in_x), num_nodes, degrees
+    )
+    # The receiver-major step-4.1 build needs row access to both the ∆(X)
+    # matrix and the boolean adjacency; both exist on dense graphs only.
+    adjacency = (
+        csr._bool_matrix()
+        if disjoint_full is not None and csr._use_dense()
+        else None
+    )
+
+    in_u = np.ones(num_nodes, dtype=bool)
+    truncated_by_progress = False
+    for _ in range(max_iterations):
+        if not in_u.any():
+            break
+        active_nodes = np.flatnonzero(in_u)
+        active_rows = {
+            int(node): indices[indptr[node] : indptr[node + 1]][
+                in_u[indices[indptr[node] : indptr[node + 1]]]
+            ]
+            for node in active_nodes.tolist()
+        }
+
+        if adjacency is not None:
+            # Step 4.1, receiver-major: for receiver ``j`` the messages
+            # S(j, k) over all active neighbours ``k`` are the rows of one
+            # boolean product — adjacency rows of the k's AND-ed with
+            # ``j``'s ∆(X) row restricted to active l ≠ j.  Row sums give
+            # |S(j, k)| (the shipping test *and* the withheld pairs fall
+            # out of the same pass), and the flat nonzero positions are
+            # the member column, already in destination-ascending staged
+            # order — the delivered channel groups with zero copies.  The
+            # staged message multiset is identical to the pernode kernel's
+            # sender-major build.
+            stage_src_chunks: List[np.ndarray] = []
+            stage_dst_chunks: List[np.ndarray] = []
+            stage_length_chunks: List[np.ndarray] = []
+            stage_member_chunks: List[np.ndarray] = []
+            withheld_j_chunks: List[np.ndarray] = []
+            withheld_k_chunks: List[np.ndarray] = []
+            for receiver in active_nodes.tolist():
+                sender_row = active_rows[receiver]
+                if sender_row.shape[0] == 0:
+                    continue
+                member_mask = disjoint_full[receiver] & in_u
+                member_mask[receiver] = False
+                rows = adjacency[sender_row] & member_mask[None, :]
+                counts = rows.sum(axis=1)
+                shipped = counts <= goodness_threshold
+                if not shipped.all():
+                    kept_back = sender_row[~shipped]
+                    withheld_j_chunks.append(
+                        np.full(kept_back.shape[0], receiver, dtype=np.int64)
+                    )
+                    withheld_k_chunks.append(kept_back)
+                if shipped.any():
+                    flat = np.flatnonzero(rows[shipped].ravel())
+                    stage_src_chunks.append(sender_row[shipped])
+                    stage_dst_chunks.append(
+                        np.full(int(shipped.sum()), receiver, dtype=np.int64)
+                    )
+                    stage_length_chunks.append(counts[shipped])
+                    stage_member_chunks.append(flat % np.int64(num_nodes))
+            if stage_src_chunks:
+                lengths = np.concatenate(stage_length_chunks)
+                simulator.stage_columns(
+                    A3_S_SCHEMA,
+                    np.concatenate(stage_src_chunks),
+                    np.concatenate(stage_dst_chunks),
+                    {"member": np.concatenate(stage_member_chunks)},
+                    lengths=lengths,
+                    bits=np.maximum(lengths * node_id_bits, 1),
+                )
+            withheld_j = (
+                np.concatenate(withheld_j_chunks)
+                if withheld_j_chunks
+                else np.empty(0, dtype=np.int64)
+            )
+            withheld_k = (
+                np.concatenate(withheld_k_chunks)
+                if withheld_k_chunks
+                else np.empty(0, dtype=np.int64)
+            )
+        else:
+            # Step 4.1, sender-major (sparse fallback — identical to the
+            # pernode kernel's build).
+            sender_nodes: List[int] = []
+            sender_counts: List[int] = []
+            target_chunks: List[np.ndarray] = []
+            length_chunks: List[np.ndarray] = []
+            member_chunks: List[np.ndarray] = []
+            for node in active_nodes.tolist():
+                active_neighbors = active_rows[node]
+                if active_neighbors.shape[0] == 0:
+                    continue
+                candidate = disjoint_block(active_neighbors)
+                np.fill_diagonal(candidate, False)
+                set_sizes = candidate.sum(axis=1)
+                shipped = set_sizes <= goodness_threshold
+                if not shipped.any():
+                    continue
+                sender_nodes.append(node)
+                targets = active_neighbors[shipped]
+                sender_counts.append(int(targets.shape[0]))
+                target_chunks.append(targets)
+                length_chunks.append(set_sizes[shipped])
+                member_chunks.append(
+                    active_neighbors[np.nonzero(candidate[shipped])[1]]
+                )
+            if sender_nodes:
+                lengths = np.concatenate(length_chunks)
+                simulator.stage_columns(
+                    A3_S_SCHEMA,
+                    np.repeat(
+                        np.asarray(sender_nodes, dtype=np.int64),
+                        np.asarray(sender_counts, dtype=np.int64),
+                    ),
+                    np.concatenate(target_chunks),
+                    {
+                        "member": np.concatenate(member_chunks)
+                        if lengths.sum()
+                        else np.empty(0, dtype=np.int64)
+                    },
+                    lengths=lengths,
+                    bits=np.maximum(lengths * node_id_bits, 1),
+                )
+            withheld_j = withheld_k = None
+        delivered = simulator.exchange_phase("A(X,r):4.1-send-S")
+        s_channel = delivered.channel(A3_S_SCHEMA)
+
+        # Receivers list revealed triangles (step 4.2, fused).
+        _emit_revealed_triangles(simulator, csr, s_channel)
+
+        if withheld_j is None:
+            # Withholding sets V(j), fused: among the active→active
+            # directed edges (j, k), exactly those without a received
+            # (j ← k) S message were withheld.  Both sides reduce to
+            # sorted int64 key arrays.
+            pair_mask = in_u[broadcast_src] & in_u[indices]
+            pair_j = broadcast_src[pair_mask]
+            pair_k = indices[pair_mask]
+            if s_channel.count:
+                received_keys = np.sort(s_channel.dst * n64 + s_channel.src)
+                query_keys = pair_j * n64 + pair_k
+                positions = np.searchsorted(received_keys, query_keys)
+                received = np.zeros(query_keys.shape, dtype=bool)
+                in_range = positions < received_keys.shape[0]
+                received[in_range] = (
+                    received_keys[positions[in_range]] == query_keys[in_range]
+                )
+            else:
+                received = np.zeros(pair_j.shape, dtype=bool)
+            withheld_j = pair_j[~received]
+            withheld_k = pair_k[~received]
+        withheld_counts = np.bincount(withheld_j, minlength=num_nodes)
+        is_good = np.zeros(num_nodes, dtype=bool)
+        is_good[active_nodes] = withheld_counts[active_nodes] <= goodness_threshold
+
+        # Step 4.3 — r-good nodes ship V(j) to their active neighbours.
+        # ``withheld_j`` is ascending (CSR order), so the staged batch
+        # matches the pernode kernel's node-ascending build exactly.
+        sender_nodes = []
+        sender_counts = []
+        target_chunks = []
+        member_chunks = []
+        set_size_list: List[int] = []
+        if withheld_j.shape[0]:
+            group_starts = np.flatnonzero(
+                np.concatenate(([True], withheld_j[1:] != withheld_j[:-1]))
+            ).tolist()
+            group_bounds = group_starts[1:] + [int(withheld_j.shape[0])]
+            for which, start in enumerate(group_starts):
+                node = int(withheld_j[start])
+                if not is_good[node]:
+                    continue
+                withheld = withheld_k[start : group_bounds[which]]
+                active_neighbors = active_rows[node]
+                sender_nodes.append(node)
+                sender_counts.append(int(active_neighbors.shape[0]))
+                target_chunks.append(active_neighbors)
+                member_chunks.append(np.tile(withheld, active_neighbors.shape[0]))
+                set_size_list.append(int(withheld.shape[0]))
+        if sender_nodes:
+            counts = np.asarray(sender_counts, dtype=np.int64)
+            sizes = np.asarray(set_size_list, dtype=np.int64)
+            simulator.stage_columns(
+                A3_V_SCHEMA,
+                np.repeat(np.asarray(sender_nodes, dtype=np.int64), counts),
+                np.concatenate(target_chunks),
+                {"member": np.concatenate(member_chunks)},
+                lengths=np.repeat(sizes, counts),
+                bits=np.repeat(np.maximum(sizes * node_id_bits, 1), counts),
+            )
+        delivered = simulator.exchange_phase("A(X,r):4.3-send-V")
+        _emit_revealed_triangles(simulator, csr, delivered.channel(A3_V_SCHEMA))
+
+        # Steps 4.4 / 4.5 — good nodes retire; everyone announces membership.
+        retired_any = bool((in_u & is_good).any())
+        in_u = in_u & ~is_good
+        if broadcast_src.shape[0]:
+            simulator.stage_columns(
+                A3_IN_U_SCHEMA,
+                broadcast_src,
+                indices,
+                {"flag": in_u[broadcast_src].astype(np.int64)},
+            )
+        simulator.exchange_phase("A(X,r):4.5-announce-U")
+
+        if not retired_any:
+            # No node was r-good: the configuration is now static and more
+            # iterations cannot reveal anything new (the landmark set failed
+            # Lemma 3's guarantee).  Stop rather than loop until the budget.
+            truncated_by_progress = True
+            break
+
+    return truncated_by_progress
+
+
 class LightTrianglesLister(TriangleAlgorithm):
     """Algorithm A3 (Proposition 3): list every triangle that is not ε-heavy.
 
@@ -579,9 +962,10 @@ class LightTrianglesLister(TriangleAlgorithm):
         When ``False`` the round budget is not enforced (useful for studying
         the untruncated behaviour of unlucky runs).
     kernel:
-        ``"batched"`` (default) runs the vectorized ``A(X, r)`` kernel;
-        ``"reference"`` runs the per-node closures.  Identical executions
-        for the same seed.
+        ``"batched"`` (default) runs the direct-exchange fused ``A(X, r)``
+        kernel; ``"pernode"`` the previous per-node batched generation;
+        ``"reference"`` the per-node closures.  Identical executions for
+        the same seed.
     """
 
     name = "A3-light-listing"

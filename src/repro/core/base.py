@@ -28,10 +28,23 @@ from ..graphs.graph import Graph
 from .output import AlgorithmResult, TriangleOutput
 
 
-#: The two execution kernels every protocol offers: whole-network array
-#: programs over the typed columnar plane, or the paper-shaped per-node
-#: closures they are differentially tested against.
-VALID_KERNELS = ("batched", "reference")
+#: The execution kernels every protocol offers:
+#:
+#: * ``"batched"`` (default) — whole-network array programs on the
+#:   **direct-exchange** path: one columnar staging call per message kind
+#:   per phase, delivery consumed straight off the destination-grouped
+#:   channel arrays, receiver processing fused into whole-network
+#:   CSR-oracle calls.
+#: * ``"pernode"`` — the previous generation of batched kernels, kept as
+#:   the benchmark baseline for the direct-exchange path: staging is
+#:   columnar but each node still receives an inbox view and runs its own
+#:   receiver loop.
+#: * ``"reference"`` — the paper-shaped per-node closures over object
+#:   payloads, the semantic ground truth.
+#:
+#: All three produce identical executions for the same seed; the
+#: differential suite enforces this on every workload family.
+VALID_KERNELS = ("batched", "pernode", "reference")
 
 #: Memory ceiling for a precomputed n×n pair matrix (bool entries).
 DENSE_PAIR_MATRIX_MAX_BYTES = 1 << 28
@@ -61,7 +74,8 @@ def validate_kernel(kernel: str) -> str:
     Raises
     ------
     ValueError
-        For anything other than ``"batched"`` or ``"reference"``.
+        For anything other than ``"batched"``, ``"pernode"`` or
+        ``"reference"``.
     """
     if kernel not in VALID_KERNELS:
         raise ValueError(
@@ -114,7 +128,7 @@ class TriangleAlgorithm(abc.ABC):
         """Run the algorithm on ``graph`` and return the packaged result."""
         simulator = self._build_simulator(graph, seed)
         truncated = self._execute(simulator)
-        output = TriangleOutput.from_simulator_outputs(simulator.collect_outputs())
+        output = TriangleOutput.from_contexts(simulator.contexts, simulator.num_nodes)
         return AlgorithmResult(
             algorithm=self.name,
             model=simulator.model_name,

@@ -33,10 +33,12 @@ import numpy as np
 
 from ..congest.clique import CliqueSimulator
 from ..congest.metrics import AlgorithmCost
+from ..congest.node import emit_grouped_keys
 from ..congest.routing import LenzenRouter, RoutingRequest
 from ..congest.wire import RoutedEdgeSchema, edge_bits
+from ..graphs.csr import triangles_by_group
 from ..graphs.graph import Graph
-from ..types import Edge, Triangle, make_edge, make_triangle
+from ..types import Edge, Triangle, decode_triangle_keys, make_edge, make_triangle
 from .base import validate_kernel
 from .output import AlgorithmResult, TriangleOutput
 
@@ -88,10 +90,14 @@ class DolevCliqueListing:
         Constant-round factor of the Lenzen routing primitive.
     kernel:
         ``"batched"`` (default) builds the routing instance as array
-        programs over the canonical CSR edge arrays and routes it through
-        the typed columnar plane; ``"reference"`` builds per-message
+        programs over the canonical CSR edge arrays, routes it through the
+        typed columnar plane on the direct-exchange path, and lists every
+        responsible node's edges with one grouped oracle call over the
+        delivered channel columns; ``"pernode"`` keeps the previous
+        batched generation's per-node inbox views and listing loops;
+        ``"reference"`` builds per-message
         :class:`~repro.congest.routing.RoutingRequest` objects.  Identical
-        executions either way.
+        executions on every path.
     """
 
     name = "Dolev-clique-listing"
@@ -146,17 +152,21 @@ class DolevCliqueListing:
                         bucket.append(triple)
 
         if self._kernel == "batched":
-            self._route_batched(
+            self._execute_direct(
                 graph, simulator, router, groups, triples, triple_owner, pair_to_triples
             )
-            self._list_batched(simulator, groups, triples)
+        elif self._kernel == "pernode":
+            self._route_pernode(
+                graph, simulator, router, groups, triples, triple_owner, pair_to_triples
+            )
+            self._list_pernode(simulator, groups, triples)
         else:
             self._route_reference(
                 graph, simulator, router, groups, triple_owner, pair_to_triples
             )
             self._list_reference(simulator, groups)
 
-        output = TriangleOutput.from_simulator_outputs(simulator.collect_outputs())
+        output = TriangleOutput.from_contexts(simulator.contexts, simulator.num_nodes)
         return AlgorithmResult(
             algorithm=self.name,
             model=simulator.model_name,
@@ -215,7 +225,7 @@ class DolevCliqueListing:
                 ):
                     context.output_triangle(*triangle)
 
-    def _route_batched(
+    def _route_pernode(
         self, graph, simulator, router, groups, triples, triple_owner, pair_to_triples
     ) -> None:
         """Build and route the instance as arrays over the CSR edge lists.
@@ -288,8 +298,8 @@ class DolevCliqueListing:
         else:
             router.route([], name="dolev:route-edges")
 
-    def _list_batched(self, simulator, groups, triples) -> None:
-        """Local listing over the delivered routed-edge columns."""
+    def _list_pernode(self, simulator, groups, triples) -> None:
+        """Local listing over the delivered routed-edge columns, per node."""
         schema = RoutedEdgeSchema(triples)
         for context in simulator.contexts:
             edges_by_triple: Dict[Tuple[int, int, int], Set[Edge]] = {}
@@ -314,6 +324,140 @@ class DolevCliqueListing:
                     edge_set, groups, triple
                 ):
                     context.output_triangle(*triangle)
+
+    def _execute_direct(
+        self, graph, simulator, router, groups, triples, triple_owner, pair_to_triples
+    ) -> None:
+        """The direct-exchange kernel: grouped routing, fused listing.
+
+        Identical routed instance (and therefore identical Lenzen round
+        accounting) to the pernode kernel, but the delivery comes back as
+        destination-grouped channel arrays and the owners' local listing
+        runs as one grouped oracle call keyed by (owner, triple) — no
+        per-node inboxes, edge sets or Python listing walks.  The owners'
+        own incident edges, which skip routing in every kernel, ride along
+        as arrays instead of per-context state.
+        """
+        num_nodes = graph.num_nodes
+        csr = graph.csr()
+        edge_u, edge_v = csr.edges_array()
+        groups_arr = np.asarray(groups, dtype=np.int64)
+        pair_low = np.minimum(groups_arr[edge_u], groups_arr[edge_v])
+        pair_high = np.maximum(groups_arr[edge_u], groups_arr[edge_v])
+        triple_index = {triple: index for index, triple in enumerate(triples)}
+
+        src_chunks: List[np.ndarray] = []
+        owner_list: List[int] = []
+        owner_counts: List[int] = []
+        u_chunks: List[np.ndarray] = []
+        v_chunks: List[np.ndarray] = []
+        t_list: List[int] = []
+        own_owner: List[int] = []
+        own_triple: List[int] = []
+        own_counts: List[int] = []
+        own_u_chunks: List[np.ndarray] = []
+        own_v_chunks: List[np.ndarray] = []
+        for (low, high), bucket in pair_to_triples.items():
+            selected = np.flatnonzero((pair_low == low) & (pair_high == high))
+            if selected.shape[0] == 0:
+                continue
+            pair_u = edge_u[selected]
+            pair_v = edge_v[selected]
+            for triple in bucket:
+                owner = triple_owner[triple]
+                own = pair_u == owner
+                own_count = int(own.sum())
+                if own_count:
+                    # The owner already knows its incident edges; no routing
+                    # message is needed for them.
+                    own_owner.append(owner)
+                    own_triple.append(triple_index[triple])
+                    own_counts.append(own_count)
+                    own_u_chunks.append(pair_u[own])
+                    own_v_chunks.append(pair_v[own])
+                routed = ~own
+                count = int(routed.sum())
+                if count == 0:
+                    continue
+                src_chunks.append(pair_u[routed])
+                owner_list.append(owner)
+                owner_counts.append(count)
+                u_chunks.append(pair_u[routed])
+                v_chunks.append(pair_v[routed])
+                t_list.append(triple_index[triple])
+        schema = RoutedEdgeSchema(triples)
+        channel = None
+        if src_chunks:
+            counts = np.asarray(owner_counts, dtype=np.int64)
+            delivered = router.route_columns_direct(
+                schema,
+                np.concatenate(src_chunks),
+                np.repeat(np.asarray(owner_list, dtype=np.int64), counts),
+                {
+                    "u": np.concatenate(u_chunks),
+                    "v": np.concatenate(v_chunks),
+                    "triple": np.repeat(np.asarray(t_list, dtype=np.int64), counts),
+                },
+                bits=edge_bits(num_nodes),
+                name="dolev:route-edges",
+            )
+            channel = delivered.channel(schema)
+        else:
+            router.route([], name="dolev:route-edges")
+
+        # Fused listing: every (owner, triple) bucket is one group of the
+        # grouped oracle.  Composite group ids ``owner · |triples| + triple``
+        # keep buckets disjoint and owner-ascending.
+        num_triples = len(triples)
+        gid_pieces: List[np.ndarray] = []
+        gu_pieces: List[np.ndarray] = []
+        gv_pieces: List[np.ndarray] = []
+        if channel is not None and channel.count:
+            gid_pieces.append(
+                channel.dst * np.int64(num_triples) + channel.data["triple"]
+            )
+            gu_pieces.append(channel.data["u"])
+            gv_pieces.append(channel.data["v"])
+        if own_owner:
+            repeats = np.asarray(own_counts, dtype=np.int64)
+            gid_pieces.append(
+                np.repeat(
+                    np.asarray(own_owner, dtype=np.int64) * np.int64(num_triples)
+                    + np.asarray(own_triple, dtype=np.int64),
+                    repeats,
+                )
+            )
+            gu_pieces.append(np.concatenate(own_u_chunks))
+            gv_pieces.append(np.concatenate(own_v_chunks))
+        if not gid_pieces:
+            return
+        gid = np.concatenate(gid_pieces)
+        all_u = np.concatenate(gu_pieces)
+        all_v = np.concatenate(gv_pieces)
+        order = np.argsort(gid, kind="stable")
+        tri_gids, tri_keys = triangles_by_group(
+            gid[order], all_u[order], all_v[order], num_nodes
+        )
+        if tri_keys.shape[0] == 0:
+            return
+        # Keep only triangles whose vertex-group multiset equals the
+        # bucket's assigned triple (the signature rule that makes every
+        # triangle the responsibility of exactly one owner).
+        a, b, c = decode_triangle_keys(tri_keys, num_nodes)
+        signatures = np.stack(
+            (groups_arr[a], groups_arr[b], groups_arr[c]), axis=1
+        )
+        signatures.sort(axis=1)
+        triples_arr = np.asarray(triples, dtype=np.int64)
+        expected = triples_arr[tri_gids % num_triples]
+        keep = (signatures == expected).all(axis=1)
+        if not keep.any():
+            return
+        kept_gids = tri_gids[keep]
+        kept_keys = tri_keys[keep]
+        emit_grouped_keys(
+            simulator.contexts, kept_gids // num_triples, kept_keys
+        )
 
 
 def _triangles_with_group_signature(

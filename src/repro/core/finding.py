@@ -46,8 +46,10 @@ class TriangleFinding:
         ``False`` so measured costs reflect the worst-case composition the
         theorem describes.
     kernel:
-        Execution kernel for the A1/A3 passes (``"batched"`` by default;
-        ``"reference"`` selects the per-node closures).
+        Execution kernel for the A1/A3 passes: ``"batched"`` (default)
+        runs the direct-exchange fused kernels, ``"pernode"`` the previous
+        per-node batched generation, ``"reference"`` the per-node
+        closures.  Identical executions for the same seed.
     """
 
     name = "Theorem1-finding"

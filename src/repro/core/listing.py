@@ -40,8 +40,10 @@ class TriangleListing:
     budget_constant:
         Constant for A3's round budget.
     kernel:
-        Execution kernel for the A2/A3 passes (``"batched"`` by default;
-        ``"reference"`` selects the per-node closures).
+        Execution kernel for the A2/A3 passes: ``"batched"`` (default)
+        runs the direct-exchange fused kernels, ``"pernode"`` the previous
+        per-node batched generation, ``"reference"`` the per-node
+        closures.  Identical executions for the same seed.
     """
 
     name = "Theorem2-listing"

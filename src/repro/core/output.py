@@ -10,47 +10,205 @@ must actually be a triangle of ``G``.
 :class:`TriangleOutput` captures the tuple; :class:`AlgorithmResult` bundles
 it with the execution cost and parameters so experiments can report both
 correctness and round complexity from a single object.
+
+The output tuple is **columnar and lazy**: bulk-emitting kernels hand over
+per-node int64 triangle-key chunks (:func:`repro.types.triangle_keys`), and
+the per-node frozensets of canonical tuples — millions of Python objects on
+dense workloads — are only materialised for the nodes a consumer actually
+reads.  Counts, the union and node-wise merging all run as numpy key
+reductions, so an end-to-end run never builds a tuple it does not return.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
 
 from ..congest.metrics import AlgorithmCost, ExecutionMetrics
 from ..errors import VerificationError
 from ..graphs.graph import Graph
 from ..graphs.triangles import list_triangles
-from ..types import NodeId, Triangle
+from ..types import NodeId, Triangle, decode_triangle_keys, triangle_keys
+
+_EMPTY_KEYS = np.empty(0, dtype=np.int64)
 
 
-@dataclass(frozen=True)
+def _encode_triples(triples: Iterable[Triangle], num_nodes: int) -> np.ndarray:
+    """Encode an iterable of canonical tuples into sorted unique keys."""
+    rows = np.asarray(sorted(triples), dtype=np.int64)
+    if rows.shape[0] == 0:
+        return _EMPTY_KEYS
+    return triangle_keys(rows[:, 0], rows[:, 1], rows[:, 2], num_nodes)
+
+
+def _decode_keys(keys: np.ndarray, num_nodes: int) -> FrozenSet[Triangle]:
+    """Decode unique triangle keys into a frozenset of canonical tuples."""
+    a, b, c = decode_triangle_keys(keys, num_nodes)
+    return frozenset(zip(a.tolist(), b.tolist(), c.tolist()))
+
+
+class _LazyPerNode(Mapping):
+    """Read-only mapping view over a :class:`TriangleOutput`'s node sets.
+
+    Keeps the historical ``output.per_node`` contract (a mapping of node id
+    to frozenset) while materialising each node's tuple set only on access.
+    """
+
+    __slots__ = ("_output",)
+
+    def __init__(self, output: "TriangleOutput") -> None:
+        self._output = output
+
+    def __getitem__(self, node: NodeId) -> FrozenSet[Triangle]:
+        if node not in self._output._nodes:
+            raise KeyError(node)
+        return self._output.node_output(node)
+
+    def __iter__(self):
+        return iter(sorted(self._output._nodes))
+
+    def __len__(self) -> int:
+        return len(self._output._nodes)
+
+
 class TriangleOutput:
-    """The per-node output tuple ``(T_0, ..., T_{n-1})``."""
+    """The per-node output tuple ``(T_0, ..., T_{n-1})``.
 
-    per_node: Mapping[NodeId, FrozenSet[Triangle]]
+    Construct from a mapping of materialised frozensets (the historical
+    form, still used by hand-written tests and tiny runs) or through
+    :meth:`from_contexts` /  :meth:`from_simulator_outputs`, which capture
+    the simulator contexts' columnar key chunks without materialising
+    anything.
+    """
 
+    __slots__ = ("num_nodes", "_nodes", "_sets", "_chunks", "_node_keys", "_cache")
+
+    def __init__(
+        self, per_node: Optional[Mapping[NodeId, FrozenSet[Triangle]]] = None
+    ) -> None:
+        #: Network size used for key encoding (0 = derive from data).
+        self.num_nodes = 0
+        self._nodes: Set[NodeId] = set()
+        # Per-node materialised tuple sets (legacy form / scalar outputs).
+        self._sets: Dict[NodeId, FrozenSet[Triangle]] = {}
+        # Per-node lists of (possibly duplicated) int64 key chunks.
+        self._chunks: Dict[NodeId, List[np.ndarray]] = {}
+        # Per-node deduplicated key arrays (computed on demand).
+        self._node_keys: Dict[NodeId, np.ndarray] = {}
+        # Per-node materialised frozensets (computed on demand).
+        self._cache: Dict[NodeId, FrozenSet[Triangle]] = {}
+        if per_node:
+            for node, triples in per_node.items():
+                frozen = (
+                    triples if isinstance(triples, frozenset) else frozenset(triples)
+                )
+                self._nodes.add(node)
+                if frozen:
+                    self._sets[node] = frozen
+                    self._cache[node] = frozen
+            self.num_nodes = _key_space(self._sets.values())
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
     @classmethod
     def from_simulator_outputs(
         cls, outputs: Mapping[NodeId, Iterable[Triangle]]
     ) -> "TriangleOutput":
-        """Build an output tuple from the simulator's collected node outputs."""
-        return cls({node: frozenset(triples) for node, triples in outputs.items()})
+        """Build an output tuple from collected (materialised) node outputs."""
+        return cls(
+            {node: frozenset(triples) for node, triples in outputs.items()}
+        )
 
-    def union(self) -> FrozenSet[Triangle]:
-        """Return ``T``, the union of all per-node outputs."""
-        combined: set[Triangle] = set()
-        for triples in self.per_node.values():
-            combined.update(triples)
-        return frozenset(combined)
+    @classmethod
+    def from_contexts(cls, contexts: Sequence[Any], num_nodes: int) -> "TriangleOutput":
+        """Capture the contexts' output accumulators without materialising.
+
+        Each context contributes its scalar tuple set (frozen here — small
+        for the bulk-emitting kernels, exactly the old per-node copy for the
+        reference closures) and its raw key chunks (adopted by reference, no
+        copies, no decoding).
+        """
+        output = cls()
+        output.num_nodes = num_nodes
+        for context in contexts:
+            scalar, chunks = context.output_state()
+            node = context.node_id
+            output._nodes.add(node)
+            if scalar:
+                output._sets[node] = frozenset(scalar)
+            if chunks:
+                output._chunks[node] = list(chunks)
+        return output
+
+    # ------------------------------------------------------------------
+    # per-node access
+    # ------------------------------------------------------------------
+    @property
+    def per_node(self) -> Mapping[NodeId, FrozenSet[Triangle]]:
+        """Mapping view of the tuple (lazy per-node materialisation)."""
+        return _LazyPerNode(self)
+
+    def node_keys(self, node: NodeId) -> np.ndarray:
+        """Return ``T_i`` as a sorted, deduplicated int64 key array.
+
+        The fast comparison door: differential tests and benchmarks check
+        per-node equality over these arrays without building tuples.
+        """
+        keys = self._node_keys.get(node)
+        if keys is not None:
+            return keys
+        pieces = []
+        chunks = self._chunks.get(node)
+        if chunks:
+            pieces.extend(chunks)
+        triples = self._sets.get(node)
+        if triples:
+            pieces.append(_encode_triples(triples, self._key_space()))
+        keys = (
+            np.unique(np.concatenate(pieces)) if pieces else _EMPTY_KEYS
+        )
+        self._node_keys[node] = keys
+        return keys
 
     def node_output(self, node: NodeId) -> FrozenSet[Triangle]:
         """Return ``T_i`` for a single node (empty when the node output nothing)."""
-        return self.per_node.get(node, frozenset())
+        cached = self._cache.get(node)
+        if cached is not None:
+            return cached
+        if node in self._chunks:
+            result = _decode_keys(self.node_keys(node), self._key_space())
+        else:
+            result = self._sets.get(node, frozenset())
+        self._cache[node] = result
+        return result
+
+    def _key_space(self) -> int:
+        """The ``n`` used for key encoding (derived lazily for legacy data)."""
+        if self.num_nodes == 0:
+            self.num_nodes = _key_space(self._sets.values())
+        return self.num_nodes
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def union_keys(self) -> np.ndarray:
+        """Return the union ``T`` as a sorted unique int64 key array."""
+        pieces = [self.node_keys(node) for node in self._nodes]
+        pieces = [piece for piece in pieces if piece.shape[0]]
+        if not pieces:
+            return _EMPTY_KEYS
+        return np.unique(np.concatenate(pieces))
+
+    def union(self) -> FrozenSet[Triangle]:
+        """Return ``T``, the union of all per-node outputs."""
+        return _decode_keys(self.union_keys(), self._key_space())
 
     def total_reported(self) -> int:
         """Return the total number of (node, triple) report events."""
-        return sum(len(triples) for triples in self.per_node.values())
+        return sum(int(self.node_keys(node).shape[0]) for node in self._nodes)
 
     def busiest_node(self) -> Optional[NodeId]:
         """Return ``w(T)``: the node whose output set is largest (ties: lowest id).
@@ -60,8 +218,8 @@ class TriangleOutput:
         """
         best_node: Optional[NodeId] = None
         best_size = 0
-        for node in sorted(self.per_node):
-            size = len(self.per_node[node])
+        for node in sorted(self._nodes):
+            size = int(self.node_keys(node).shape[0])
             if size > best_size:
                 best_size = size
                 best_node = node
@@ -69,21 +227,64 @@ class TriangleOutput:
 
     def is_empty(self) -> bool:
         """Return ``True`` when no node output any triple."""
-        return all(not triples for triples in self.per_node.values())
+        return not self._sets and not self._chunks
+
+    def __eq__(self, other: Any) -> bool:
+        """Structural equality: same nodes, same per-node triple sets.
+
+        Preserves the semantics of the frozen-dataclass era (two outputs
+        compare equal iff their ``per_node`` mappings would) without
+        materialising tuples when both sides share a key encoding.
+        """
+        if not isinstance(other, TriangleOutput):
+            return NotImplemented
+        if self._nodes != other._nodes:
+            return False
+        same_key_space = self._key_space() == other._key_space()
+        for node in self._nodes:
+            if same_key_space:
+                if not np.array_equal(self.node_keys(node), other.node_keys(node)):
+                    return False
+            elif self.node_output(node) != other.node_output(node):
+                return False
+        return True
+
+    #: Lazily materialised and mutable under the hood, so not hashable.
+    __hash__ = None
 
     def merged_with(self, other: "TriangleOutput") -> "TriangleOutput":
         """Return the node-wise union of two output tuples.
 
         Used when an algorithm repeats a sub-algorithm several times and the
-        final output of each node is the union over repetitions.
+        final output of each node is the union over repetitions.  Chunk
+        lists concatenate by reference — no key array is copied or decoded
+        here.
         """
-        nodes = set(self.per_node) | set(other.per_node)
-        return TriangleOutput(
-            {
-                node: self.node_output(node) | other.node_output(node)
-                for node in nodes
-            }
-        )
+        merged = TriangleOutput()
+        merged.num_nodes = max(self._key_space(), other._key_space())
+        merged._nodes = self._nodes | other._nodes
+        for node in merged._nodes:
+            mine, theirs = self._sets.get(node), other._sets.get(node)
+            if mine and theirs:
+                merged._sets[node] = mine | theirs
+            elif mine or theirs:
+                merged._sets[node] = mine or theirs
+            chunk_lists = (self._chunks.get(node), other._chunks.get(node))
+            if chunk_lists[0] or chunk_lists[1]:
+                merged._chunks[node] = list(chunk_lists[0] or ()) + list(
+                    chunk_lists[1] or ()
+                )
+        return merged
+
+
+def _key_space(collections: Iterable[Iterable[Triangle]]) -> int:
+    """Smallest ``n`` whose key encoding covers every vertex seen (min 1)."""
+    largest = 0
+    for triples in collections:
+        for triple in triples:
+            if triple[2] > largest:
+                largest = triple[2]
+    return largest + 1
 
 
 @dataclass

@@ -173,6 +173,29 @@ class CSRGraph:
         position = int(np.searchsorted(row, v))
         return position < row.shape[0] and int(row[position]) == v
 
+    def has_edges(self, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Vectorized edge-membership test for arbitrary vertex pairs.
+
+        The whole-network membership oracle the fused phase kernels use in
+        place of per-node ``np.isin`` row scans: on graphs whose boolean
+        adjacency matrix is materialisable (the dense oracle strategy) the
+        batch is one cache-resident fancy gather; otherwise one binary
+        search of the sorted canonical edge keys answers it.  Pair order
+        does not matter and ``u == v`` pairs are ``False`` (simple graphs
+        carry no self-loops).
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if self._use_dense():
+            return self._bool_matrix()[u, v]
+        keys = np.minimum(u, v) * np.int64(max(self.num_nodes, 1)) + np.maximum(u, v)
+        edge_keys = self._edge_key_array()
+        positions = np.searchsorted(edge_keys, keys)
+        found = np.zeros(keys.shape, dtype=bool)
+        in_range = positions < edge_keys.shape[0]
+        found[in_range] = edge_keys[positions[in_range]] == keys[in_range]
+        return found
+
     def common_neighbors(self, u: int, v: int) -> np.ndarray:
         """Return ``N(u) ∩ N(v)`` as a sorted array."""
         return np.intersect1d(
@@ -466,6 +489,118 @@ class CSRGraph:
 
     def __repr__(self) -> str:
         return f"CSRGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+
+
+#: Largest vertex-id space for which :func:`triangles_by_group` keeps one
+#: shared n×n boolean scratch matrix; larger spaces remap each group onto
+#: its compact vertex set instead.
+GROUPED_DENSE_MAX_NODES = 4096
+
+
+def triangles_by_group(
+    group: np.ndarray, u: np.ndarray, v: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """List triangles independently inside each group's edge set.
+
+    The whole-network oracle call behind the direct-exchange receivers:
+    ``(group[i], u[i], v[i])`` says edge ``{u, v}`` belongs to group
+    ``group[i]`` (a receiver, or any composite id), and a triangle is
+    listed for a group exactly when all three of its edges appear among
+    that group's rows.  ``group`` must be non-decreasing — the natural
+    order of destination-grouped channel columns.  Edges may repeat (each
+    copy of a triangle's lexicographically smallest edge lists it again;
+    consumers dedup) and need not be ordered pairs; self-loops are
+    rejected.
+
+    Returns ``(tri_group, tri_keys)``: for each listed triangle its group
+    id and its canonical int64 key under
+    :func:`repro.types.triangle_keys`, ordered by group.
+
+    Within a group the listing is the dense forward enumeration of the
+    oracle (edge rows AND-ed over a packed adjacency bitset, common
+    neighbours restricted to ``w > v``), run over one scratch matrix whose
+    touched bits are cleared between groups — no per-group graph objects.
+    """
+    group = np.ascontiguousarray(group, dtype=np.int64)
+    count = int(group.shape[0])
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    if count == 0:
+        return empty
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    uu = np.minimum(u, v)
+    vv = np.maximum(u, v)
+    if (uu == vv).any():
+        raise ValueError("triangles_by_group got a self-loop edge")
+    starts = np.flatnonzero(np.concatenate(([True], group[1:] != group[:-1])))
+    bounds = np.append(starts[1:], count)
+    gids = group[starts]
+    start_list = starts.tolist()
+    bound_list = bounds.tolist()
+    out_groups: list = []
+    out_keys: list = []
+    n64 = np.int64(num_nodes)
+    if num_nodes <= GROUPED_DENSE_MAX_NODES:
+        width = (num_nodes + 7) // 8
+        cols = np.arange(num_nodes, dtype=np.int64)
+        greater_packed = np.packbits(cols[None, :] > cols[:, None], axis=1)
+        scratch = np.zeros((num_nodes, num_nodes), dtype=bool)
+        for which, start in enumerate(start_list):
+            end = bound_list[which]
+            us, vs = uu[start:end], vv[start:end]
+            scratch[us, vs] = True
+            scratch[vs, us] = True
+            if 2 * (end - start) < num_nodes:
+                # Small group: packing only the edge-indexed rows beats
+                # packing the whole n×n scratch.
+                both = np.packbits(scratch[us], axis=1)
+                both &= np.packbits(scratch[vs], axis=1)
+            else:
+                packed = np.packbits(scratch, axis=1)
+                both = packed[us] & packed[vs]
+            both &= greater_packed[vs]
+            flat = np.flatnonzero(both.ravel())
+            if flat.shape[0]:
+                rows = flat // width
+                byte_pos = flat - rows * width
+                bit_rows = np.unpackbits(
+                    both.ravel()[flat, None], axis=1
+                )
+                hits = np.flatnonzero(bit_rows.ravel())
+                rr = hits >> 3
+                w = byte_pos[rr] * 8 + (hits & 7)
+                keys = (us[rows[rr]] * n64 + vs[rows[rr]]) * n64 + w
+                out_groups.append(
+                    np.full(keys.shape[0], gids[which], dtype=np.int64)
+                )
+                out_keys.append(keys)
+            scratch[us, vs] = False
+            scratch[vs, us] = False
+    else:
+        for which, start in enumerate(start_list):
+            end = bound_list[which]
+            us, vs = uu[start:end], vv[start:end]
+            vertices = np.unique(np.concatenate((us, vs)))
+            size = int(vertices.shape[0])
+            cu = np.searchsorted(vertices, us)
+            cv = np.searchsorted(vertices, vs)
+            local = np.zeros((size, size), dtype=bool)
+            local[cu, cv] = True
+            local[cv, cu] = True
+            both = local[cu] & local[cv]
+            both &= np.arange(size, dtype=np.int64)[None, :] > cv[:, None]
+            flat = np.flatnonzero(both.ravel())
+            if flat.shape[0]:
+                rows = flat // size
+                w = vertices[flat - rows * size]
+                keys = (us[rows] * n64 + vs[rows]) * n64 + w
+                out_groups.append(
+                    np.full(keys.shape[0], gids[which], dtype=np.int64)
+                )
+                out_keys.append(keys)
+    if not out_keys:
+        return empty
+    return np.concatenate(out_groups), np.concatenate(out_keys)
 
 
 def _canonical_edges(

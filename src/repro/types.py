@@ -11,9 +11,41 @@ from __future__ import annotations
 
 from typing import Iterable, Tuple
 
+import numpy as np
+
 NodeId = int
 Edge = Tuple[int, int]
 Triangle = Tuple[int, int, int]
+
+#: Largest network size for which canonical triples fit losslessly into
+#: int64 triangle keys (``n³ < 2⁶³``).  Beyond it the columnar output plane
+#: falls back to Python tuple sets.
+TRIANGLE_KEY_MAX_NODES = 1 << 21
+
+
+def triangle_keys(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """Encode canonical triples ``a < b < c`` into int64 keys.
+
+    The key of ``(a, b, c)`` is ``(a·n + b)·n + c`` — a bijection onto
+    integers below ``n³``, so key equality is triple equality and sorted
+    keys enumerate triples in canonical lexicographic order.  Callers
+    guarantee canonical rows and ``num_nodes <=``
+    :data:`TRIANGLE_KEY_MAX_NODES`.
+    """
+    n = np.int64(num_nodes)
+    return (a * n + b) * n + c
+
+
+def decode_triangle_keys(
+    keys: np.ndarray, num_nodes: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode int64 triangle keys back into canonical vertex columns."""
+    n = np.int64(num_nodes)
+    c = keys % n
+    rest = keys // n
+    return rest // n, rest % n, c
 
 
 def make_edge(u: NodeId, v: NodeId) -> Edge:

@@ -209,3 +209,100 @@ class TestAggregation:
         assert description["num_triangles"] == 10
         assert description["max_degree"] == 4
         assert description["density"] == pytest.approx(1.0)
+
+
+class _CountingWorkload:
+    """Picklable graph factory that counts in-process invocations."""
+
+    calls = 0
+
+    def __init__(self, num_nodes):
+        self.num_nodes = num_nodes
+
+    def __call__(self, seed):
+        type(self).calls += 1
+        return gnp_random_graph(self.num_nodes, 0.4, seed=seed)
+
+    def __eq__(self, other):
+        return isinstance(other, _CountingWorkload) and other.num_nodes == self.num_nodes
+
+    def __reduce__(self):
+        return (_CountingWorkload, (self.num_nodes,))
+
+
+class TestPersistentRunner:
+    def test_pool_persists_across_sweeps_and_closes(self):
+        runner = SweepRunner(max_workers=2)
+        assert runner._pool is None
+        first = runner.run_repeated(
+            "persist", _naive_algorithm, functools.partial(_gnp_workload, 12), [1, 2]
+        )
+        pool = runner._pool
+        assert pool is not None
+        second = runner.run_repeated(
+            "persist", _naive_algorithm, functools.partial(_gnp_workload, 12), [1, 2]
+        )
+        assert runner._pool is pool
+        assert first == second
+        runner.close()
+        assert runner._pool is None
+        # The runner stays usable after close.
+        third = runner.run_repeated(
+            "persist", _naive_algorithm, functools.partial(_gnp_workload, 12), [1, 2]
+        )
+        assert third == first
+        runner.close()
+
+    def test_context_manager_closes_pool(self):
+        with SweepRunner(max_workers=2) as runner:
+            runner.run_repeated(
+                "ctx", _naive_algorithm, functools.partial(_gnp_workload, 10), [1, 2]
+            )
+            assert runner._pool is not None
+        assert runner._pool is None
+
+    def test_worker_graph_cache_reuses_workloads(self):
+        _CountingWorkload.calls = 0
+        factory = _CountingWorkload(12)
+        runner = SweepRunner()  # serial: cache observable in-process
+        first = runner.run_repeated("cache", _naive_algorithm, factory, [5, 6])
+        assert _CountingWorkload.calls == 2
+        second = runner.run_repeated("cache", _naive_algorithm, factory, [5, 6])
+        # Same (factory, seed) cells: graphs come from the cache.
+        assert _CountingWorkload.calls == 2
+        assert first == second
+
+    def test_run_grid_shares_workloads_across_algorithms(self):
+        _CountingWorkload.calls = 0
+        factory = _CountingWorkload(14)
+        runner = SweepRunner()
+        grid = runner.run_grid(
+            "grid",
+            {"naive": _naive_algorithm, "listing": _listing_algorithm},
+            factory,
+            seeds=[3, 4],
+        )
+        # Two algorithms x two seeds, but each workload built once per seed
+        # (the grid is workload-major, so cached graphs are shared).
+        assert _CountingWorkload.calls == 2
+        assert sorted(grid) == ["listing", "naive"]
+        expected = SweepRunner().run_repeated("grid", _naive_algorithm, factory, [3, 4])
+        assert grid["naive"] == expected
+
+    def test_run_grid_parallel_matches_serial(self):
+        factory = functools.partial(_gnp_workload, 12)
+        serial = SweepRunner().run_grid(
+            "grid", {"naive": _naive_algorithm}, factory, seeds=[1, 2]
+        )
+        with SweepRunner(max_workers=2) as runner:
+            parallel = runner.run_grid(
+                "grid", {"naive": _naive_algorithm}, factory, seeds=[1, 2]
+            )
+        assert parallel == serial
+
+    def test_run_grid_validation(self):
+        runner = SweepRunner()
+        with pytest.raises(AnalysisError):
+            runner.run_grid("grid", {"a": _naive_algorithm}, _CountingWorkload(8), [])
+        with pytest.raises(AnalysisError):
+            runner.run_grid("grid", {}, _CountingWorkload(8), [1])

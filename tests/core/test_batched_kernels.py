@@ -2,10 +2,12 @@
 
 The CONGEST accounting discipline must not drift when a protocol's message
 production moves from per-node Python closures to whole-network array
-programs over the typed columnar plane.  These tests pin the two kernels
-together on every workload family: identical per-phase round counts,
-link-bit maxima, message counts and bit totals, and identical per-node
-triangle output sets, for the same seed.
+programs over the typed columnar plane.  These tests pin all three kernels
+together on every workload family — ``reference`` (per-node closures),
+``pernode`` (columnar staging, per-node inbox views) and ``batched`` (the
+direct-exchange path with fused whole-network receivers) — asserting
+identical per-phase round counts, link-bit maxima, message counts and bit
+totals, and identical per-node triangle output sets, for the same seed.
 """
 
 import pytest
@@ -49,27 +51,36 @@ WORKLOADS = [
 ]
 
 
-def assert_identical_execution(make_algorithm, graph, seeds=(0, 3)):
-    """Run both kernels and assert the executions are indistinguishable."""
+def assert_identical_execution(
+    make_algorithm, graph, seeds=(0, 3), kernels=("batched", "pernode")
+):
+    """Run every kernel and assert the executions are indistinguishable."""
     for seed in seeds:
         reference = make_algorithm("reference").run(graph, seed=seed)
-        batched = make_algorithm("batched").run(graph, seed=seed)
-        assert batched.cost == reference.cost
-        assert batched.truncated == reference.truncated
         reference_phases = [
             (phase.name, phase.rounds, phase.max_link_bits, phase.bits, phase.messages)
             for phase in reference.metrics.phases
         ]
-        batched_phases = [
-            (phase.name, phase.rounds, phase.max_link_bits, phase.bits, phase.messages)
-            for phase in batched.metrics.phases
-        ]
-        assert batched_phases == reference_phases
-        assert batched.output.union() == reference.output.union()
-        for node in range(graph.num_nodes):
-            assert batched.output.node_output(node) == reference.output.node_output(
-                node
-            )
+        for kernel in kernels:
+            run = make_algorithm(kernel).run(graph, seed=seed)
+            assert run.cost == reference.cost, kernel
+            assert run.truncated == reference.truncated, kernel
+            run_phases = [
+                (
+                    phase.name,
+                    phase.rounds,
+                    phase.max_link_bits,
+                    phase.bits,
+                    phase.messages,
+                )
+                for phase in run.metrics.phases
+            ]
+            assert run_phases == reference_phases, kernel
+            assert run.output.union() == reference.output.union(), kernel
+            for node in range(graph.num_nodes):
+                assert run.output.node_output(node) == reference.output.node_output(
+                    node
+                ), kernel
 
 
 @pytest.mark.parametrize("make_graph", WORKLOADS)
@@ -158,3 +169,38 @@ class TestCompositionsAndEdgeCases:
             HeavyHashingLister(epsilon=0.4, kernel="vectorised")
         with pytest.raises(ValueError):
             TriangleListing(kernel="fast")
+
+    def test_axr_pernode_explicit_landmarks_identical(self):
+        # Drive A(X, r) with a fixed landmark set on all three kernels.
+        graph = gnp_random_graph(24, 0.35, seed=8)
+        results = {}
+        for kernel in ("reference", "pernode", "batched"):
+            simulator = CongestSimulator(graph, seed=5)
+            for context in simulator.contexts:
+                context.state["in_X"] = context.node_id in {0, 3, 7}
+            stopped = run_axr(simulator, goodness_threshold=6.0, kernel=kernel)
+            results[kernel] = (
+                stopped,
+                simulator.total_rounds,
+                simulator.collect_outputs(),
+            )
+        assert results["batched"] == results["reference"]
+        assert results["pernode"] == results["reference"]
+
+    def test_a3_sparse_fallback_matches_reference(self):
+        # A workload sparse enough that the direct kernel takes the
+        # sender-major (no dense matrices) step-4.1 path.
+        graph = gnp_random_graph(120, 0.03, seed=9)
+        assert_identical_execution(
+            lambda kernel: LightTrianglesLister(epsilon=0.2, kernel=kernel),
+            graph,
+            seeds=(0,),
+        )
+
+    def test_a2_sparse_fallback_matches_reference(self):
+        graph = gnp_random_graph(120, 0.03, seed=10)
+        assert_identical_execution(
+            lambda kernel: HeavyHashingLister(epsilon=0.2, kernel=kernel),
+            graph,
+            seeds=(0,),
+        )

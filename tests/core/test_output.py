@@ -111,3 +111,28 @@ class TestAlgorithmResult:
         result = make_result({0: set()})
         result.truncated = True
         assert "truncated" in result.summary()
+
+
+class TestOutputEquality:
+    def test_structural_equality_across_representations(self):
+        from repro.core import TriangleListing
+        from repro.graphs import gnp_random_graph
+
+        graph = gnp_random_graph(24, 0.4, seed=1)
+        columnar = TriangleListing(repetitions=1, epsilon=0.5).run(graph, seed=3)
+        materialised = TriangleListing(
+            repetitions=1, epsilon=0.5, kernel="reference"
+        ).run(graph, seed=3)
+        assert columnar.output == materialised.output
+        assert columnar.cost == materialised.cost
+
+    def test_legacy_mapping_equality_semantics(self):
+        assert TriangleOutput({0: frozenset({(0, 1, 2)})}) == TriangleOutput(
+            {0: frozenset({(0, 1, 2)})}
+        )
+        assert TriangleOutput({0: frozenset({(0, 1, 2)})}) != TriangleOutput(
+            {0: frozenset({(0, 1, 3)})}
+        )
+        # A node that reported nothing is still part of the tuple.
+        assert TriangleOutput({0: frozenset()}) != TriangleOutput({})
+        assert TriangleOutput({}) != "not-an-output"

@@ -315,3 +315,131 @@ class TestBulkBuilder:
         graph = Graph.from_edge_arrays(6, [0, 2], [1, 3])
         assert graph._csr_cache is not None
         assert graph.csr().num_edges == 2
+
+
+class TestBulkEdgeMembership:
+    def test_has_edges_matches_scalar_oracle(self):
+        graph = gnp_random_graph(50, 0.2, seed=1)
+        csr = graph.csr()
+        rng = np.random.default_rng(5)
+        u = rng.integers(0, 50, size=400)
+        v = rng.integers(0, 50, size=400)
+        expected = np.array(
+            [csr.has_edge(int(a), int(b)) for a, b in zip(u, v)]
+        )
+        assert np.array_equal(csr.has_edges(u, v), expected)
+
+    def test_has_edges_sparse_path_matches_dense(self):
+        # Force the sorted-key search branch by shrinking the dense budget.
+        from repro.graphs import csr as csr_module
+
+        graph = gnp_random_graph(60, 0.15, seed=2)
+        dense_view = graph.csr()
+        rng = np.random.default_rng(6)
+        u = rng.integers(0, 60, size=300)
+        v = rng.integers(0, 60, size=300)
+        dense_answer = dense_view.has_edges(u, v)
+        sparse_view = graph.copy().csr()
+        original = csr_module.DENSE_ADJACENCY_MAX_BYTES
+        csr_module.DENSE_ADJACENCY_MAX_BYTES = 0
+        try:
+            assert not sparse_view._use_dense()
+            assert np.array_equal(sparse_view.has_edges(u, v), dense_answer)
+        finally:
+            csr_module.DENSE_ADJACENCY_MAX_BYTES = original
+
+    def test_self_pairs_are_false(self):
+        csr = gnp_random_graph(6, 1.0, seed=0).csr()
+        nodes = np.arange(6)
+        assert not csr.has_edges(nodes, nodes).any()
+
+
+class TestTrianglesByGroup:
+    def _reference(self, group, u, v, num_nodes):
+        from repro.types import decode_triangle_keys
+
+        expected = set()
+        for g in np.unique(group).tolist():
+            member = group == g
+            uu = np.minimum(u[member], v[member])
+            vv = np.maximum(u[member], v[member])
+            keys = np.unique(uu * num_nodes + vv)
+            eu, ev = keys // num_nodes, keys % num_nodes
+            vertices = np.unique(np.concatenate((eu, ev)))
+            local = CSRGraph.from_edge_arrays(
+                int(vertices.shape[0]),
+                np.searchsorted(vertices, eu),
+                np.searchsorted(vertices, ev),
+            )
+            for row in local.triangles():
+                expected.add(
+                    (g, int(vertices[row[0]]), int(vertices[row[1]]), int(vertices[row[2]]))
+                )
+        return expected
+
+    def _listed(self, group, u, v, num_nodes):
+        from repro.graphs.csr import triangles_by_group
+        from repro.types import decode_triangle_keys
+
+        tri_group, tri_keys = triangles_by_group(group, u, v, num_nodes)
+        assert np.all(tri_group[:-1] <= tri_group[1:])
+        a, b, c = decode_triangle_keys(tri_keys, num_nodes)
+        return set(zip(tri_group.tolist(), a.tolist(), b.tolist(), c.tolist()))
+
+    def _random_instance(self, rng, num_nodes):
+        groups = []
+        us = []
+        vs = []
+        for g in sorted(rng.integers(0, 5, size=int(rng.integers(1, 5))).tolist()):
+            k = int(rng.integers(1, 80))
+            a = rng.integers(0, num_nodes, size=k)
+            b = rng.integers(0, num_nodes, size=k)
+            keep = a != b
+            groups.extend([g] * int(keep.sum()))
+            us.append(a[keep])
+            vs.append(b[keep])
+        return (
+            np.asarray(groups, dtype=np.int64),
+            np.concatenate(us) if us else np.empty(0, dtype=np.int64),
+            np.concatenate(vs) if vs else np.empty(0, dtype=np.int64),
+        )
+
+    def test_differential_against_per_group_oracle(self):
+        rng = np.random.default_rng(12)
+        for _ in range(15):
+            num_nodes = int(rng.integers(5, 40))
+            group, u, v = self._random_instance(rng, num_nodes)
+            assert self._listed(group, u, v, num_nodes) == self._reference(
+                group, u, v, num_nodes
+            )
+
+    def test_compact_fallback_matches_dense_scratch(self):
+        from repro.graphs import csr as csr_module
+
+        rng = np.random.default_rng(13)
+        num_nodes = 60
+        group, u, v = self._random_instance(rng, num_nodes)
+        dense = self._listed(group, u, v, num_nodes)
+        original = csr_module.GROUPED_DENSE_MAX_NODES
+        csr_module.GROUPED_DENSE_MAX_NODES = 0
+        try:
+            compact = self._listed(group, u, v, num_nodes)
+        finally:
+            csr_module.GROUPED_DENSE_MAX_NODES = original
+        assert compact == dense
+
+    def test_rejects_self_loops(self):
+        from repro.graphs.csr import triangles_by_group
+
+        with pytest.raises(ValueError):
+            triangles_by_group(
+                np.array([0]), np.array([2]), np.array([2]), num_nodes=4
+            )
+
+    def test_empty_input(self):
+        from repro.graphs.csr import triangles_by_group
+
+        empty = np.empty(0, dtype=np.int64)
+        tri_group, tri_keys = triangles_by_group(empty, empty, empty, 5)
+        assert tri_group.shape[0] == 0
+        assert tri_keys.shape[0] == 0
