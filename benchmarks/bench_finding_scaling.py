@@ -4,10 +4,12 @@ Sweeps the network size on dense ``G(n, 0.5)`` workloads, measures the round
 complexity of one (A1, A3) finding pass, and compares the measured curve
 against the Theorem-1 reference bound ``n^{2/3} (log n)^{2/3}``.
 
-The sweep grid runs on :class:`repro.analysis.SweepRunner`: each
-(algorithm × size) cell is an independent verified record, fanned out over a
-process pool — the records (and therefore every assertion below) are
-identical to the serial loop, only wall-clock changes.
+The sweep grid is declared as :class:`repro.api.RunSpec` documents (one per
+size) resolved through the algorithm/workload registries and runs on
+:class:`repro.analysis.SweepRunner`: each (algorithm × size) cell is an
+independent verified record, fanned out over a process pool — the records
+(and therefore every assertion below) are identical to the serial loop and
+to the pre-registry hand-wired cells, only wall-clock changes.
 
 Shape criteria (what "reproducing the result" means at simulator scale):
 
@@ -21,18 +23,12 @@ Shape criteria (what "reproducing the result" means at simulator scale):
 
 from __future__ import annotations
 
-import functools
 import os
 from typing import List
 
 from repro.analysis import SweepCell, SweepRunner, fit_power_law, render_scaling_table
-from repro.core import (
-    NaiveTwoHopListing,
-    TriangleFinding,
-    finding_epsilon_asymptotic,
-    theorem1_round_bound,
-)
-from repro.graphs import gnp_random_graph
+from repro.api import AlgorithmSpec, RunSpec, WorkloadSpec, run_specs_to_cells
+from repro.core import finding_epsilon_asymptotic, theorem1_round_bound
 
 from _bench_utils import record_json, record_table, run_once
 
@@ -44,30 +40,45 @@ SHAPE_CONSTANT = 6.0
 #: Worker processes for the sweep grid.
 SWEEP_WORKERS = min(4, os.cpu_count() or 1)
 
-
-def _workload(num_nodes: int, _seed: int):
-    """The fixed-per-size dense workload (the cell seed drives the algorithm)."""
-    return gnp_random_graph(num_nodes, EDGE_PROBABILITY, seed=1000 + num_nodes)
-
-
-def _finding_algorithm():
-    return TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic())
+FINDING_ALGORITHM = AlgorithmSpec(
+    "theorem1-finding",
+    {"repetitions": 1, "epsilon": finding_epsilon_asymptotic()},
+)
+NAIVE_ALGORITHM = AlgorithmSpec("naive-two-hop")
 
 
-def _naive_algorithm():
-    return NaiveTwoHopListing()
+def _workload_spec(num_nodes: int) -> WorkloadSpec:
+    """The fixed-per-size dense workload (the cell seed drives the algorithm).
+
+    Pinning ``seed`` inside the workload parameters holds the graph fixed
+    per size while the cell seed still drives the algorithm's coins.
+    """
+    return WorkloadSpec(
+        "gnp",
+        {
+            "num_nodes": num_nodes,
+            "edge_probability": EDGE_PROBABILITY,
+            "seed": 1000 + num_nodes,
+        },
+    )
 
 
-def _sweep_cells(experiment: str, algorithm_factory) -> List[SweepCell]:
-    return [
-        SweepCell(
-            experiment=experiment,
-            algorithm_factory=algorithm_factory,
-            graph_factory=functools.partial(_workload, num_nodes),
-            seed=num_nodes,
-        )
-        for num_nodes in SIZES
-    ]
+def _workload(num_nodes: int, _seed: int = 0):
+    return _workload_spec(num_nodes).build()
+
+
+def _sweep_cells(experiment: str, algorithm: AlgorithmSpec) -> List[SweepCell]:
+    return run_specs_to_cells(
+        [
+            RunSpec(
+                algorithm=algorithm,
+                workload=_workload_spec(num_nodes),
+                seed=num_nodes,
+                experiment=experiment,
+            )
+            for num_nodes in SIZES
+        ]
+    )
 
 
 def test_finding_scaling_against_theorem1_bound(benchmark):
@@ -76,10 +87,10 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
     def sweep():
         with SweepRunner(max_workers=SWEEP_WORKERS) as runner:
             finding_records = runner.run_cells(
-                _sweep_cells("S-THM1", _finding_algorithm)
+                _sweep_cells("S-THM1", FINDING_ALGORITHM)
             )
             naive_records = runner.run_cells(
-                _sweep_cells("S-THM1-naive", _naive_algorithm)
+                _sweep_cells("S-THM1-naive", NAIVE_ALGORITHM)
             )
         return finding_records, naive_records
 
@@ -130,12 +141,8 @@ def test_finding_cost_grows_with_size(benchmark):
     """Monotonicity sanity: more nodes cannot make the measured cost collapse."""
 
     def endpoints():
-        small = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic()).run(
-            _workload(SIZES[0], 0), seed=7
-        )
-        large = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic()).run(
-            _workload(SIZES[-1], 0), seed=7
-        )
+        small = FINDING_ALGORITHM.build().run(_workload(SIZES[0]), seed=7)
+        large = FINDING_ALGORITHM.build().run(_workload(SIZES[-1]), seed=7)
         return small.rounds, large.rounds
 
     small_rounds, large_rounds = run_once(benchmark, endpoints)

@@ -4,8 +4,10 @@ Sweeps the network size on dense ``G(n, 0.5)`` workloads, measures the round
 complexity of one (A2, A3) listing pass, and compares the measured curve
 against the Theorem-2 reference bound ``n^{3/4} log n``.
 
-The sweep grid runs on :class:`repro.analysis.SweepRunner` (process-pool
-fan-out, identical records to the serial loop — see S-THM1).
+The sweep grid is declared as :class:`repro.api.RunSpec` documents resolved
+through the algorithm/workload registries and runs on
+:class:`repro.analysis.SweepRunner` (process-pool fan-out, identical records
+to the serial loop and to the pre-registry hand-wired cells — see S-THM1).
 
 A single pass is measured (rather than the full ``⌈c log n⌉`` repetitions)
 so that the per-pass shape is visible; the repetition factor is a known
@@ -23,19 +25,16 @@ Shape criteria:
 
 from __future__ import annotations
 
-import functools
 import os
 from typing import List
 
 from repro.analysis import SweepCell, SweepRunner, fit_power_law, render_scaling_table
+from repro.api import AlgorithmSpec, RunSpec, WorkloadSpec, run_specs_to_cells
 from repro.core import (
-    TriangleFinding,
-    TriangleListing,
     finding_epsilon_asymptotic,
     listing_epsilon_asymptotic,
     theorem2_round_bound,
 )
-from repro.graphs import gnp_random_graph
 
 from _bench_utils import record_json, record_table, run_once
 
@@ -45,26 +44,44 @@ SHAPE_CONSTANT = 6.0
 #: Worker processes for the sweep grid.
 SWEEP_WORKERS = min(4, os.cpu_count() or 1)
 
+LISTING_ALGORITHM = AlgorithmSpec(
+    "theorem2-listing",
+    {"repetitions": 1, "epsilon": listing_epsilon_asymptotic()},
+)
+FINDING_ALGORITHM = AlgorithmSpec(
+    "theorem1-finding",
+    {"repetitions": 1, "epsilon": finding_epsilon_asymptotic()},
+)
 
-def _workload(num_nodes: int, _seed: int):
+
+def _workload_spec(num_nodes: int) -> WorkloadSpec:
     """The fixed-per-size dense workload (the cell seed drives the algorithm)."""
-    return gnp_random_graph(num_nodes, EDGE_PROBABILITY, seed=2000 + num_nodes)
+    return WorkloadSpec(
+        "gnp",
+        {
+            "num_nodes": num_nodes,
+            "edge_probability": EDGE_PROBABILITY,
+            "seed": 2000 + num_nodes,
+        },
+    )
 
 
-def _listing_algorithm():
-    return TriangleListing(repetitions=1, epsilon=listing_epsilon_asymptotic())
+def _workload(num_nodes: int, _seed: int = 0):
+    return _workload_spec(num_nodes).build()
 
 
 def _sweep_cells() -> List[SweepCell]:
-    return [
-        SweepCell(
-            experiment="S-THM2",
-            algorithm_factory=_listing_algorithm,
-            graph_factory=functools.partial(_workload, num_nodes),
-            seed=num_nodes,
-        )
-        for num_nodes in SIZES
-    ]
+    return run_specs_to_cells(
+        [
+            RunSpec(
+                algorithm=LISTING_ALGORITHM,
+                workload=_workload_spec(num_nodes),
+                seed=num_nodes,
+                experiment="S-THM2",
+            )
+            for num_nodes in SIZES
+        ]
+    )
 
 
 def test_listing_scaling_against_theorem2_bound(benchmark):
@@ -118,13 +135,9 @@ def test_listing_costs_at_least_finding(benchmark):
     def compare():
         pairs = []
         for num_nodes in (SIZES[0], SIZES[-1]):
-            graph = _workload(num_nodes, 0)
-            listing = TriangleListing(
-                repetitions=1, epsilon=listing_epsilon_asymptotic()
-            ).run(graph, seed=3)
-            finding = TriangleFinding(
-                repetitions=1, epsilon=finding_epsilon_asymptotic()
-            ).run(graph, seed=3)
+            graph = _workload(num_nodes)
+            listing = LISTING_ALGORITHM.build().run(graph, seed=3)
+            finding = FINDING_ALGORITHM.build().run(graph, seed=3)
             pairs.append((listing.rounds, finding.rounds))
         return pairs
 
@@ -137,8 +150,10 @@ def test_full_listing_recall_with_amplification(benchmark):
     """With the paper's ⌈log n⌉ repetitions the listing recall reaches 1.0."""
 
     def amplified():
-        graph = _workload(80, 0)
-        result = TriangleListing(epsilon=listing_epsilon_asymptotic()).run(graph, seed=9)
+        graph = _workload(80)
+        result = AlgorithmSpec(
+            "theorem2-listing", {"epsilon": listing_epsilon_asymptotic()}
+        ).build().run(graph, seed=9)
         return result.listing_recall(graph), result.rounds
 
     recall, _ = run_once(benchmark, amplified)

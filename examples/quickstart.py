@@ -5,10 +5,12 @@ Run with::
 
     python examples/quickstart.py
 
-The script builds a random graph, runs the paper's Theorem-1 finding and
-Theorem-2 listing algorithms on the CONGEST simulator, verifies the outputs
-against the centralized ground truth, and prints the measured round
-complexities next to the closed-form bounds.
+The script declares both experiments as :mod:`repro.api` run specs — the
+registry-resolved, JSON-serializable front door — runs them, and prints the
+measured round complexities next to the closed-form bounds.  Each spec is
+also shown as the JSON document you could save and replay with the CLI::
+
+    python -m repro run --spec finding.json
 """
 
 from __future__ import annotations
@@ -18,15 +20,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.api import AlgorithmSpec, RunSpec, WorkloadSpec
 from repro.core import (
-    TriangleFinding,
-    TriangleListing,
     finding_epsilon_asymptotic,
     listing_epsilon_asymptotic,
     theorem1_round_bound,
     theorem2_round_bound,
 )
-from repro.graphs import count_triangles, gnp_random_graph
+from repro.graphs import count_triangles
 
 
 def main() -> None:
@@ -34,35 +35,54 @@ def main() -> None:
     edge_probability = 0.4
     seed = 7
 
+    workload = WorkloadSpec(
+        "gnp", {"num_nodes": num_nodes, "edge_probability": edge_probability}
+    )
     print(f"Workload: G(n={num_nodes}, p={edge_probability}), seed={seed}")
-    graph = gnp_random_graph(num_nodes, edge_probability, seed=seed)
+    graph = workload.build(seed=seed)
     ground_truth = count_triangles(graph)
     print(f"  {graph.num_edges} edges, {ground_truth} triangles, d_max = {graph.max_degree()}\n")
 
+    finding_spec = RunSpec(
+        algorithm=AlgorithmSpec(
+            "theorem1-finding",
+            {"repetitions": 1, "epsilon": finding_epsilon_asymptotic()},
+        ),
+        workload=workload,
+        seed=seed,
+        experiment="quickstart-finding",
+    )
     print("Triangle finding (Theorem 1, one repetition):")
-    finding = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic())
-    finding_result = finding.run(graph, seed=seed)
+    print("  spec: " + finding_spec.to_json())
+    finding_result = finding_spec.run_raw()
     finding_result.check_soundness(graph)
     some_triangle = next(iter(finding_result.triangles_found()), None)
     print(f"  found a triangle: {some_triangle}")
     print(f"  measured rounds:  {finding_result.rounds}")
     print(f"  reference bound:  n^(2/3) (log n)^(2/3) = {theorem1_round_bound(num_nodes):.0f}\n")
 
+    listing_spec = RunSpec(
+        algorithm=AlgorithmSpec(
+            "theorem2-listing", {"epsilon": listing_epsilon_asymptotic()}
+        ),
+        workload=workload,
+        seed=seed,
+        experiment="quickstart-listing",
+    )
     print("Triangle listing (Theorem 2, ceil(log2 n) repetitions):")
-    listing = TriangleListing(epsilon=listing_epsilon_asymptotic())
-    listing_result = listing.run(graph, seed=seed)
-    listing_result.check_soundness(graph)
-    recall = listing_result.listing_recall(graph)
-    print(f"  distinct triangles listed: {len(listing_result.triangles_found())} / {ground_truth}")
-    print(f"  recall:                    {recall:.3f}")
-    print(f"  measured rounds:           {listing_result.rounds}")
+    print("  spec: " + listing_spec.to_json())
+    record = listing_spec.run()  # verified ExperimentRecord, ready for JSONL
+    print(f"  distinct triangles listed: recall = {record.recall:.3f} "
+          f"(sound = {record.sound})")
+    print(f"  measured rounds:           {record.rounds}")
     print(f"  reference bound:           n^(3/4) log n = {theorem2_round_bound(num_nodes):.0f}")
 
-    if recall == 1.0:
+    if record.sound and record.recall == 1.0:
         print("\nAll triangles of the network were listed. ✓")
+    elif not record.sound:
+        print("\nUnsound output: a reported triple is not a triangle!")
     else:
-        missed = listing_result.missed_triangles(graph)
-        print(f"\nMissed {len(missed)} triangles (increase repetitions to amplify).")
+        print("\nSome triangles were missed (increase repetitions to amplify).")
 
 
 if __name__ == "__main__":

@@ -21,16 +21,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.analysis import fit_power_law, render_table
-from repro.core import (
-    DolevCliqueListing,
-    NaiveTwoHopListing,
-    TriangleFinding,
-    TriangleListing,
-    finding_epsilon_asymptotic,
-    listing_epsilon_asymptotic,
-)
-from repro.graphs import gnp_random_graph
+from repro.analysis import SweepRunner, fit_power_law, render_table
+from repro.api import AlgorithmSpec, RunSpec, WorkloadSpec, run_specs_to_cells
+from repro.core import finding_epsilon_asymptotic, listing_epsilon_asymptotic
 
 
 def parse_args() -> argparse.Namespace:
@@ -50,23 +43,52 @@ def main() -> None:
     sizes = sorted({smallest + i * (args.max_nodes - smallest) // (args.points - 1)
                     for i in range(args.points)})
 
+    # One declarative run spec per (algorithm, size) cell; the registry
+    # resolves the names to the same constructors the hand-wired loop used.
+    algorithms = {
+        "naive": AlgorithmSpec("naive-two-hop"),
+        "finding": AlgorithmSpec(
+            "theorem1-finding",
+            {"repetitions": 1, "epsilon": finding_epsilon_asymptotic()},
+        ),
+        "listing": AlgorithmSpec(
+            "theorem2-listing",
+            {"repetitions": 1, "epsilon": listing_epsilon_asymptotic()},
+        ),
+        "clique": AlgorithmSpec("dolev-clique-listing"),
+    }
+    runs = [
+        RunSpec(
+            algorithm=spec,
+            workload=WorkloadSpec(
+                "gnp",
+                {
+                    "num_nodes": num_nodes,
+                    "edge_probability": args.probability,
+                    "seed": 7000 + num_nodes,  # pinned: same graph per size
+                },
+            ),
+            seed=1,
+            experiment="scaling-study",
+        )
+        for num_nodes in sizes
+        for spec in algorithms.values()
+    ]
     rows = []
-    series = {"naive": [], "finding": [], "listing": [], "clique": []}
+    series = {name: [] for name in algorithms}
+    names = list(algorithms)
+    # Stream records in cell order so each size prints as it completes
+    # (this script is for interactive exploration).
+    stream = SweepRunner().iter_cells(run_specs_to_cells(runs))
     for num_nodes in sizes:
-        graph = gnp_random_graph(num_nodes, args.probability, seed=7000 + num_nodes)
-        naive = NaiveTwoHopListing().run(graph, seed=1).rounds
-        finding = TriangleFinding(repetitions=1, epsilon=finding_epsilon_asymptotic()).run(
-            graph, seed=1).rounds
-        listing = TriangleListing(repetitions=1, epsilon=listing_epsilon_asymptotic()).run(
-            graph, seed=1).rounds
-        clique = DolevCliqueListing().run(graph, seed=1).rounds
-        series["naive"].append(naive)
-        series["finding"].append(finding)
-        series["listing"].append(listing)
-        series["clique"].append(clique)
-        rows.append([str(num_nodes), str(naive), str(finding), str(listing), str(clique)])
-        print(f"  measured n={num_nodes}: naive={naive} finding={finding} "
-              f"listing={listing} clique={clique}")
+        cell_records = [next(stream) for _ in names]
+        measured = dict(zip(names, (record.rounds for record in cell_records)))
+        for name in names:
+            series[name].append(measured[name])
+        rows.append([str(num_nodes)] + [str(measured[name]) for name in names])
+        print(f"  measured n={num_nodes}: naive={measured['naive']} "
+              f"finding={measured['finding']} listing={measured['listing']} "
+              f"clique={measured['clique']}")
 
     print()
     print(render_table(

@@ -11,7 +11,10 @@ experiments of Izumi & Le Gall (PODC 2017):
 * :mod:`repro.core` — the paper's algorithms (A1, A2, A3, Theorem 1 finding,
   Theorem 2 listing), the baselines and the lower-bound accounting,
 * :mod:`repro.analysis` — complexity predictions, output verification, the
-  experiment harness and the Table-1 renderer.
+  experiment harness and the Table-1 renderer,
+* :mod:`repro.api` — the declarative front door: algorithm/workload
+  registries, JSON run/sweep specs, the JSONL experiment store, and the
+  ``repro`` command line (``python -m repro``).
 
 Quickstart::
 
@@ -22,9 +25,21 @@ Quickstart::
     result = TriangleListing().run(graph, seed=7)
     print(result.summary())
     print(f"recall = {result.listing_recall(graph):.2f}")
+
+or, declaratively (the same run, pinned by test to the constructor path)::
+
+    from repro.api import AlgorithmSpec, RunSpec, WorkloadSpec
+
+    spec = RunSpec(
+        algorithm=AlgorithmSpec("theorem2-listing"),
+        workload=WorkloadSpec("gnp", {"num_nodes": 60, "edge_probability": 0.3}),
+        seed=7,
+    )
+    print(spec.run())
 """
 
 from ._version import __version__
+from . import api
 from .errors import (
     AnalysisError,
     BandwidthExceededError,
@@ -49,6 +64,7 @@ from .types import (
 
 __all__ = [
     "__version__",
+    "api",
     "AnalysisError",
     "BandwidthExceededError",
     "GraphError",

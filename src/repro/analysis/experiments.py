@@ -39,7 +39,18 @@ import weakref
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Protocol, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+)
 
 import numpy as np
 
@@ -83,25 +94,51 @@ class ExperimentRecord:
 
     def as_dict(self) -> Dict[str, Any]:
         """Return a flat dictionary (for CSV-style dumps)."""
-        base = {
-            "experiment": self.experiment,
-            "algorithm": self.algorithm,
-            "model": self.model,
-            "num_nodes": self.num_nodes,
-            "num_edges": self.num_edges,
-            "num_triangles": self.num_triangles,
-            "seed": self.seed,
-            "rounds": self.rounds,
-            "messages": self.messages,
-            "bits": self.bits,
-            "recall": self.recall,
-            "sound": self.sound,
-            "solves_finding": self.solves_finding,
-            "solves_listing": self.solves_listing,
-            "truncated": self.truncated,
-        }
+        base = {name: getattr(self, name) for name in _EXPERIMENT_RECORD_FIELD_ORDER}
         base.update(self.extra)
         return base
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a lossless JSON-ready dictionary (``extra`` kept nested).
+
+        Unlike :meth:`as_dict`, which flattens ``extra`` into the row for
+        CSV-style dumps, this form round-trips through
+        :meth:`from_dict` without ambiguity and is what the JSONL
+        experiment store (:mod:`repro.api.store`) writes.  All three
+        methods (and :meth:`as_dict`) derive the field set from the
+        dataclass itself, so adding a field cannot desynchronise writer
+        and reader.
+        """
+        payload: Dict[str, Any] = {
+            name: getattr(self, name) for name in _EXPERIMENT_RECORD_FIELD_ORDER
+        }
+        payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        fields = dict(payload)
+        extra = dict(fields.pop("extra", {}))
+        unknown = set(fields) - _EXPERIMENT_RECORD_FIELDS
+        if unknown:
+            raise AnalysisError(
+                f"unknown ExperimentRecord fields: {sorted(unknown)}"
+            )
+        missing = _EXPERIMENT_RECORD_FIELDS - set(fields)
+        if missing:
+            raise AnalysisError(
+                f"missing ExperimentRecord fields: {sorted(missing)}"
+            )
+        return cls(extra=extra, **fields)
+
+
+#: The scalar fields of :class:`ExperimentRecord` (everything but ``extra``),
+#: in declaration order.
+_EXPERIMENT_RECORD_FIELD_ORDER = tuple(
+    name for name in ExperimentRecord.__dataclass_fields__ if name != "extra"
+)
+_EXPERIMENT_RECORD_FIELDS = frozenset(_EXPERIMENT_RECORD_FIELD_ORDER)
 
 
 def run_single(
@@ -346,14 +383,48 @@ class SweepRunner:
         children = np.random.SeedSequence(base_seed).spawn(count)
         return [int(child.generate_state(1, dtype=np.uint64)[0] >> 1) for child in children]
 
-    def run_cells(self, cells: Sequence[SweepCell]) -> List[ExperimentRecord]:
-        """Execute ``cells`` and return their records in cell order."""
+    @staticmethod
+    def _require_picklable(cells: Sequence[SweepCell]) -> None:
+        """Check every cell pickles before any of them reach the pool.
+
+        The process pool pickles cells lazily, task by task, so an
+        unpicklable factory (a lambda, a closure) would otherwise surface
+        as a raw pickle traceback from inside the executor after part of
+        the sweep has already run.  Failing eagerly names the offending
+        cell instead.
+        """
+        for index, cell in enumerate(cells):
+            try:
+                pickle.dumps(cell, protocol=4)
+            except Exception as exc:
+                raise AnalysisError(
+                    f"sweep cell {index} (experiment={cell.experiment!r}, "
+                    f"seed={cell.seed}) is not picklable for the process "
+                    f"pool: {exc}.  Cell factories must be module-level "
+                    "callables or functools.partial objects over "
+                    "module-level callables (lambdas and closures are "
+                    "not); alternatively run the sweep serially "
+                    "(max_workers=None)."
+                ) from exc
+
+    def iter_cells(self, cells: Sequence[SweepCell]) -> "Iterator[ExperimentRecord]":
+        """Yield the records of ``cells`` in cell order as they complete.
+
+        The streaming counterpart of :meth:`run_cells`: records arrive in
+        deterministic cell order (never completion order), so a consumer
+        that appends each record to a durable store — the JSONL experiment
+        store of :mod:`repro.api.store` — leaves a clean, resumable prefix
+        behind if the sweep is interrupted.
+        """
         cells = list(cells)
         if not self.parallel or len(cells) < 2:
-            return [_execute_cell(cell) for cell in cells]
+            for cell in cells:
+                yield _execute_cell(cell)
+            return
+        self._require_picklable(cells)
         pool = self._executor()
         try:
-            return list(pool.map(_execute_cell, cells, chunksize=self._chunk_size))
+            yield from pool.map(_execute_cell, cells, chunksize=self._chunk_size)
         except BrokenExecutor:
             # A crashed worker (OOM kill, segfault) breaks the executor for
             # good; drop it so the next sweep gets a fresh pool instead of
@@ -362,6 +433,10 @@ class SweepRunner:
             pool.shutdown(wait=False)
             self._pool = None
             raise
+
+    def run_cells(self, cells: Sequence[SweepCell]) -> List[ExperimentRecord]:
+        """Execute ``cells`` and return their records in cell order."""
+        return list(self.iter_cells(cells))
 
     def run_grid(
         self,

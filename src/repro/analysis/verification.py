@@ -27,7 +27,7 @@ from ..graphs.triangles import (
     list_triangles,
     triangles_through_node,
 )
-from ..types import Triangle
+from ..types import Triangle, make_triangle
 
 
 @dataclass(frozen=True)
@@ -51,6 +51,44 @@ class VerificationReport:
             f"({self.total_reported}/{self.total_truth}) "
             f"finding={'yes' if self.solves_finding else 'no'} "
             f"listing={'yes' if self.solves_listing else 'no'}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        Triangle sets are rendered as sorted lists of 3-element lists so
+        the representation is deterministic (two equal reports serialize
+        to the same bytes).
+        """
+        return {
+            "algorithm": self.algorithm,
+            "sound": self.sound,
+            "total_truth": self.total_truth,
+            "total_reported": self.total_reported,
+            "recall": self.recall,
+            "missed": sorted(list(triangle) for triangle in self.missed),
+            "spurious": sorted(list(triangle) for triangle in self.spurious),
+            "solves_finding": self.solves_finding,
+            "solves_listing": self.solves_listing,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "VerificationReport":
+        """Rebuild a verification report from :meth:`to_dict` output."""
+        return cls(
+            algorithm=str(payload["algorithm"]),
+            sound=bool(payload["sound"]),
+            total_truth=int(payload["total_truth"]),  # type: ignore[arg-type]
+            total_reported=int(payload["total_reported"]),  # type: ignore[arg-type]
+            recall=float(payload["recall"]),  # type: ignore[arg-type]
+            missed=frozenset(
+                make_triangle(*triangle) for triangle in payload["missed"]  # type: ignore[union-attr]
+            ),
+            spurious=frozenset(
+                make_triangle(*triangle) for triangle in payload["spurious"]  # type: ignore[union-attr]
+            ),
+            solves_finding=bool(payload["solves_finding"]),
+            solves_listing=bool(payload["solves_listing"]),
         )
 
 

@@ -1,0 +1,103 @@
+"""Public front door: registries, declarative specs, records, store, CLI.
+
+This package is the repository's layer-4 surface for *driving* the
+reproduction without writing wiring code:
+
+* :mod:`repro.api.registry` — named algorithms and workloads with
+  parameter schemas (``list_algorithms`` / ``list_workloads``, the
+  ``register_*`` decorators for extensions),
+* :mod:`repro.api.specs` — frozen ``AlgorithmSpec`` / ``WorkloadSpec`` /
+  ``RunSpec`` / ``SweepSpec`` documents that round-trip through JSON and
+  resolve to the existing public constructors (zero behavior change:
+  a spec-driven run is pinned by test to the direct-constructor run),
+* :mod:`repro.api.records` — the durable record types and the canonical
+  JSON encoding,
+* :mod:`repro.api.store` — the append-only JSONL experiment store with
+  interrupted-sweep resume,
+* :mod:`repro.api.cli` — the ``repro`` command line (``list`` / ``run``
+  / ``sweep`` / ``table1``).
+
+Quickstart::
+
+    from repro.api import AlgorithmSpec, RunSpec, WorkloadSpec
+
+    spec = RunSpec(
+        algorithm=AlgorithmSpec("theorem2-listing", {"repetitions": 1}),
+        workload=WorkloadSpec("gnp", {"num_nodes": 60, "edge_probability": 0.3}),
+        seed=7,
+    )
+    record = spec.run()          # same result as TriangleListing(...).run(...)
+    print(spec.to_json(indent=2))  # ... and the whole run is one JSON document
+"""
+
+from .records import (
+    AlgorithmCost,
+    CountingResult,
+    ExecutionMetrics,
+    ExperimentRecord,
+    PhaseReport,
+    VerificationReport,
+    canonical_json,
+)
+from .registry import (
+    AlgorithmEntry,
+    ParameterSchema,
+    WorkloadEntry,
+    get_algorithm,
+    get_workload,
+    list_algorithms,
+    list_workloads,
+    register_algorithm,
+    register_workload,
+    unregister_algorithm,
+    unregister_workload,
+)
+from .specs import (
+    SPEC_SCHEMA_VERSION,
+    AlgorithmFactory,
+    AlgorithmSpec,
+    RunSpec,
+    SweepSpec,
+    WorkloadFactory,
+    WorkloadSpec,
+    load_spec,
+    run_specs_to_cells,
+)
+from .store import RecordStore, StoredSweep, load_sweep, run_sweep
+from .cli import build_parser, main
+
+__all__ = [
+    "AlgorithmCost",
+    "CountingResult",
+    "ExecutionMetrics",
+    "ExperimentRecord",
+    "PhaseReport",
+    "VerificationReport",
+    "canonical_json",
+    "AlgorithmEntry",
+    "ParameterSchema",
+    "WorkloadEntry",
+    "get_algorithm",
+    "get_workload",
+    "list_algorithms",
+    "list_workloads",
+    "register_algorithm",
+    "register_workload",
+    "unregister_algorithm",
+    "unregister_workload",
+    "SPEC_SCHEMA_VERSION",
+    "AlgorithmFactory",
+    "AlgorithmSpec",
+    "RunSpec",
+    "SweepSpec",
+    "WorkloadFactory",
+    "WorkloadSpec",
+    "load_spec",
+    "run_specs_to_cells",
+    "RecordStore",
+    "StoredSweep",
+    "load_sweep",
+    "run_sweep",
+    "build_parser",
+    "main",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.api`` — same entry point as the ``repro`` script."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

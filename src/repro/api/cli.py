@@ -1,0 +1,377 @@
+"""The ``repro`` command line: list, run, sweep, table1.
+
+Installed as the ``repro`` console script (and reachable as
+``python -m repro``).  Four subcommands cover the reproduction workflow:
+
+* ``repro list`` — registered algorithms and workloads with their
+  parameter schemas,
+* ``repro run`` — one (algorithm, workload, seed) execution, either from
+  a JSON run-spec document or assembled from flags,
+* ``repro sweep`` — an (algorithms × seeds) grid from a JSON sweep-spec
+  document, recorded to an append-only JSONL store with ``--resume``,
+* ``repro table1`` — the paper's Table-1 predictions at a given ``n``.
+
+Every subcommand accepts ``--json`` and then emits a single JSON
+document on stdout, so the CLI scripts as cleanly as the Python API.
+Exit codes: 0 on success, 2 on any :class:`~repro.errors.ReproError`
+(bad spec, unknown name, invalid parameters).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..analysis.complexity import predicted_round_complexities
+from ..analysis.experiments import SweepRunner
+from ..analysis.tables import render_records_table, render_table, render_table1
+from .._version import __version__
+from ..errors import AnalysisError, ReproError
+from .registry import (
+    AlgorithmEntry,
+    WorkloadEntry,
+    list_algorithms,
+    list_workloads,
+)
+from .specs import AlgorithmSpec, RunSpec, SweepSpec, WorkloadSpec, load_spec
+from .store import RecordStore, run_sweep
+
+__all__ = ["main", "build_parser"]
+
+
+def _emit_json(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _parse_params(text: Optional[str], what: str) -> Dict[str, Any]:
+    if not text:
+        return {}
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"{what} must be a JSON object: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise AnalysisError(f"{what} must be a JSON object, got {payload!r}")
+    return payload
+
+
+def _format_parameters(entry: "AlgorithmEntry | WorkloadEntry") -> str:
+    parts = []
+    for parameter in entry.parameters:
+        if parameter.required:
+            parts.append(f"{parameter.name}*")
+        else:
+            parts.append(f"{parameter.name}={parameter.default!r}")
+    return ", ".join(parts)
+
+
+def _read_spec(path: str) -> "RunSpec | SweepSpec":
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"cannot read spec file {path!r}: {exc}") from exc
+    return load_spec(text)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    show_algorithms = args.what in ("algorithms", "all")
+    show_workloads = args.what in ("workloads", "all")
+    if args.json:
+        payload: Dict[str, Any] = {}
+        if show_algorithms:
+            payload["algorithms"] = [entry.describe() for entry in list_algorithms()]
+        if show_workloads:
+            payload["workloads"] = [entry.describe() for entry in list_workloads()]
+        _emit_json(payload)
+        return 0
+    if show_algorithms:
+        print("Registered algorithms:")
+        print(
+            render_table(
+                ["name", "kind", "model", "parameters"],
+                [
+                    [entry.name, entry.kind, entry.model, _format_parameters(entry)]
+                    for entry in list_algorithms()
+                ],
+            )
+        )
+    if show_algorithms and show_workloads:
+        print()
+    if show_workloads:
+        print("Registered workloads:")
+        print(
+            render_table(
+                ["name", "seeded", "parameters"],
+                [
+                    [
+                        entry.name,
+                        "yes" if entry.takes_seed else "no",
+                        _format_parameters(entry),
+                    ]
+                    for entry in list_workloads()
+                ],
+            )
+        )
+    return 0
+
+
+def _run_spec_from_args(args: argparse.Namespace) -> RunSpec:
+    assemble_flags = {
+        "--algorithm": args.algorithm,
+        "--algorithm-params": args.algorithm_params,
+        "--workload": args.workload,
+        "--workload-params": args.workload_params,
+        "--seed": args.seed,
+        "--experiment": args.experiment,
+    }
+    if args.spec:
+        conflicting = [flag for flag, value in assemble_flags.items() if value is not None]
+        if conflicting:
+            raise AnalysisError(
+                f"--spec cannot be combined with {', '.join(conflicting)}; "
+                "a spec document pins the whole run (edit the file to "
+                "change it)"
+            )
+        spec = _read_spec(args.spec)
+        if not isinstance(spec, RunSpec):
+            raise AnalysisError(
+                f"{args.spec} is a sweep spec; use `repro sweep {args.spec}`"
+            )
+        return spec
+    if not args.algorithm or not args.workload:
+        raise AnalysisError(
+            "repro run needs either --spec FILE or both --algorithm and "
+            "--workload"
+        )
+    return RunSpec(
+        algorithm=AlgorithmSpec(
+            name=args.algorithm,
+            params=_parse_params(args.algorithm_params, "--algorithm-params"),
+        ),
+        workload=WorkloadSpec(
+            name=args.workload,
+            params=_parse_params(args.workload_params, "--workload-params"),
+        ),
+        seed=args.seed if args.seed is not None else 0,
+        experiment=args.experiment if args.experiment is not None else "run",
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _run_spec_from_args(args)
+    entry = spec.algorithm.entry()
+    if not entry.sweepable:
+        result = spec.run_raw()
+        if args.out:
+            RecordStore(args.out).append(
+                {"kind": "result", "result": result.to_dict()}
+            )
+        if args.json:
+            _emit_json({"spec": spec.to_dict(), "result": result.to_dict()})
+        else:
+            print(result.summary())
+        return 0
+    record = spec.run()
+    if args.out:
+        RecordStore(args.out).append({"kind": "record", "record": record.to_dict()})
+    if args.json:
+        _emit_json({"spec": spec.to_dict(), "record": record.to_dict()})
+    else:
+        print(render_records_table(f"experiment {record.experiment!r}", [record]))
+        print(
+            f"\nseed={record.seed} messages={record.messages} "
+            f"bits={record.bits} truncated={record.truncated}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _read_spec(args.spec)
+    if not isinstance(spec, SweepSpec):
+        raise AnalysisError(
+            f"{args.spec} is a run spec; use `repro run --spec {args.spec}`"
+        )
+    out = args.out or str(Path(args.spec).with_suffix(".records.jsonl"))
+    runner = SweepRunner(max_workers=args.workers)
+    with runner:
+        stored = run_sweep(
+            spec,
+            out,
+            runner=runner,
+            resume=args.resume,
+            max_cells=args.max_cells,
+        )
+    total = len(spec.cells())
+    completed = len(stored.completed_cells())
+    if args.json:
+        _emit_json(
+            {
+                "spec": spec.to_dict(),
+                "out": out,
+                "cells_total": total,
+                "cells_completed": completed,
+                "records": [
+                    {"cell": cell, "label": label, "record": record.to_dict()}
+                    for cell, label, record in stored.entries
+                ],
+            }
+        )
+        return 0
+    print(render_records_table(f"sweep {spec.experiment!r}", stored.records()))
+    print(f"\n{completed}/{total} cells recorded in {out}")
+    if completed < total:
+        print(f"resume with: repro sweep {args.spec} --out {out} --resume")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    if args.json:
+        _emit_json(
+            {
+                "num_nodes": args.num_nodes,
+                "predicted_rounds": predicted_round_complexities(args.num_nodes),
+            }
+        )
+        return 0
+    print(render_table1(args.num_nodes))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Izumi & Le Gall (PODC 2017): declarative "
+            "runs and sweeps of the CONGEST triangle algorithms."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list registered algorithms and workloads"
+    )
+    list_parser.add_argument(
+        "what",
+        nargs="?",
+        choices=["algorithms", "workloads", "all"],
+        default="all",
+        help="what to list (default: all)",
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one (algorithm, workload, seed) spec"
+    )
+    run_parser.add_argument("--spec", help="path to a JSON run-spec document")
+    run_parser.add_argument("--algorithm", help="registered algorithm name")
+    run_parser.add_argument(
+        "--algorithm-params",
+        help='constructor parameters as a JSON object, e.g. \'{"epsilon": 0.5}\'',
+    )
+    run_parser.add_argument("--workload", help="registered workload name")
+    run_parser.add_argument(
+        "--workload-params",
+        help='generator parameters as a JSON object, e.g. \'{"num_nodes": 60}\'',
+    )
+    run_parser.add_argument(
+        "--seed", type=int, default=None, help="run seed (default 0)"
+    )
+    run_parser.add_argument(
+        "--experiment", default=None, help="experiment label on the record"
+    )
+    run_parser.add_argument(
+        "--out", help="append the record to this JSONL file"
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run an (algorithms × seeds) sweep from a JSON spec"
+    )
+    sweep_parser.add_argument("spec", help="path to a JSON sweep-spec document")
+    sweep_parser.add_argument(
+        "--out",
+        help="JSONL record store (default: the spec path with a "
+        ".records.jsonl suffix)",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep, skipping recorded cells",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool workers (default: serial)",
+    )
+    sweep_parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="stop after this many new cells (checkpointing/testing)",
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    table1_parser = subparsers.add_parser(
+        "table1", help="render the paper's Table-1 predictions"
+    )
+    table1_parser.add_argument(
+        "--num-nodes", type=int, default=1000, help="network size n (default 1000)"
+    )
+    table1_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    table1_parser.set_defaults(handler=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``repro`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; that is not an error.
+        # (Must precede the OSError clause below — it is a subclass.)
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+    except (ReproError, ValueError, OSError) as error:
+        # ReproError covers the library's own validation; ValueError covers
+        # constructor-level checks that predate the error hierarchy (e.g.
+        # validate_kernel) reached through an otherwise schema-valid spec;
+        # OSError covers unreadable spec files and unwritable --out paths.
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,272 @@
+"""Append-only JSONL store for sweep records, with resume.
+
+A sweep's durable artifact is one JSONL file:
+
+* line 1 — the sweep header: ``{"kind": "sweep-header", "schema": 1,
+  "spec": <SweepSpec document>}``,
+* every further line — one completed cell: ``{"kind": "record",
+  "cell": <index>, "label": <algorithm label>, "record":
+  <ExperimentRecord document>}``.
+
+Lines are written in deterministic cell order as records complete (the
+sweep scheduler streams them in order — see
+:meth:`repro.analysis.SweepRunner.iter_cells`) and each line is flushed
+on write, so an interrupted sweep leaves a valid prefix behind.
+:func:`run_sweep` with ``resume=True`` reads that prefix, skips every
+cell whose record already exists, reruns only the remainder with the
+cells' original explicit seeds, and therefore reproduces the one-shot
+file byte for byte — the acceptance test compares the files with
+``filecmp``.
+
+The store refuses to resume against a file whose header spec differs
+from the requested spec: silently mixing two sweeps' records would
+poison both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..analysis.experiments import ExperimentRecord, SweepRunner
+from ..errors import AnalysisError
+from .records import canonical_json
+from .specs import SPEC_SCHEMA_VERSION, SweepSpec
+
+__all__ = [
+    "RecordStore",
+    "StoredSweep",
+    "run_sweep",
+    "load_sweep",
+]
+
+_HEADER_KIND = "sweep-header"
+_RECORD_KIND = "record"
+
+
+class RecordStore:
+    """Line-oriented JSONL file with canonical encoding and append."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """``True`` when the file exists and is non-empty."""
+        return self.path.exists() and self.path.stat().st_size > 0
+
+    def append(self, payload: Dict[str, Any]) -> None:
+        """Append one canonical JSON line and flush it to disk."""
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(canonical_json(payload) + "\n")
+            handle.flush()
+
+    def discard_partial_tail(self) -> None:
+        """Drop a trailing partial line left behind by a crash mid-write.
+
+        Truncating back to the last complete line restores the invariant
+        that the file is a clean prefix of the sweep — which is what
+        makes the resumed file byte-identical to a one-shot run.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        with self.path.open("r+b") as handle:
+            handle.truncate(data.rfind(b"\n") + 1)
+
+    def read_all(self) -> List[Dict[str, Any]]:
+        """Return every parsed line (ignoring a trailing partial line).
+
+        A crash can truncate the final line mid-write; a resumed sweep
+        must not choke on it.  Anything before the last newline must
+        parse, though — corruption there is an error, not noise.
+        """
+        if not self.path.exists():
+            return []
+        text = self.path.read_text(encoding="utf-8")
+        complete, _, partial = text.rpartition("\n")
+        if not complete:
+            return []
+        entries = []
+        for number, line in enumerate(complete.split("\n"), start=1):
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(
+                    f"{self.path}: line {number} is not valid JSON: {exc}"
+                ) from exc
+        return entries
+
+
+@dataclass(frozen=True)
+class StoredSweep:
+    """The parsed contents of a sweep's JSONL file."""
+
+    spec: SweepSpec
+    #: Completed cells as (cell index, algorithm label, record), in file order.
+    entries: Tuple[Tuple[int, str, ExperimentRecord], ...]
+
+    def completed_cells(self) -> Set[int]:
+        """Return the set of cell indices with a stored record."""
+        return {cell for cell, _, _ in self.entries}
+
+    def records_by_label(self) -> Dict[str, List[ExperimentRecord]]:
+        """Return records grouped by algorithm label, in cell order.
+
+        Matches :meth:`repro.analysis.SweepRunner.run_grid` output for a
+        complete sweep.
+        """
+        grouped: Dict[str, List[ExperimentRecord]] = {
+            label: [] for label in self.spec.labels()
+        }
+        for _, label, record in sorted(self.entries, key=lambda entry: entry[0]):
+            grouped.setdefault(label, []).append(record)
+        return grouped
+
+    def records(self) -> List[ExperimentRecord]:
+        """Return all records in cell order."""
+        return [
+            record
+            for _, _, record in sorted(self.entries, key=lambda entry: entry[0])
+        ]
+
+
+def _parse_store(store: RecordStore, num_cells: Optional[int] = None) -> StoredSweep:
+    entries = store.read_all()
+    if not entries:
+        raise AnalysisError(f"{store.path}: empty or missing sweep store")
+    header = entries[0]
+    if header.get("kind") != _HEADER_KIND or "spec" not in header:
+        raise AnalysisError(
+            f"{store.path}: first line is not a sweep header; this file "
+            "was not written by run_sweep"
+        )
+    spec = SweepSpec.from_dict(header["spec"])
+    cells: List[Tuple[int, str, ExperimentRecord]] = []
+    seen_cells: Set[int] = set()
+    for entry in entries[1:]:
+        if entry.get("kind") != _RECORD_KIND:
+            raise AnalysisError(
+                f"{store.path}: unexpected line kind {entry.get('kind')!r}"
+            )
+        missing = {"cell", "label", "record"} - set(entry)
+        if missing:
+            raise AnalysisError(
+                f"{store.path}: record line is missing {sorted(missing)}"
+            )
+        cell = int(entry["cell"])
+        if num_cells is not None and not 0 <= cell < num_cells:
+            raise AnalysisError(
+                f"{store.path}: record for cell {cell} is outside the "
+                f"spec's {num_cells}-cell grid"
+            )
+        if cell in seen_cells:
+            raise AnalysisError(
+                f"{store.path}: duplicate record for cell {cell} (were two "
+                "sweeps racing on this file?)"
+            )
+        seen_cells.add(cell)
+        cells.append(
+            (cell, str(entry["label"]), ExperimentRecord.from_dict(entry["record"]))
+        )
+    return StoredSweep(spec=spec, entries=tuple(cells))
+
+
+def load_sweep(path: "str | Path") -> StoredSweep:
+    """Load a sweep store written by :func:`run_sweep`."""
+    return _parse_store(RecordStore(path))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    path: "str | Path",
+    runner: Optional[SweepRunner] = None,
+    resume: bool = False,
+    max_cells: Optional[int] = None,
+) -> StoredSweep:
+    """Execute ``spec``, appending each record to the JSONL file at ``path``.
+
+    Parameters
+    ----------
+    runner:
+        Sweep scheduler to execute cells on (serial by default).  Records
+        are consumed in cell order via the streaming
+        :meth:`~repro.analysis.SweepRunner.iter_cells`, so each is
+        appended — and flushed — as soon as it completes.
+    resume:
+        Allow ``path`` to already contain a prefix of this sweep; cells
+        with stored records are skipped and only the remainder runs.
+        Without ``resume``, an existing non-empty file is an error.
+    max_cells:
+        Stop after executing this many *new* cells (the store keeps its
+        valid prefix).  This is the deterministic stand-in for an
+        interrupted sweep, used by the resume tests and the CI smoke leg.
+
+    Returns the complete (or, with ``max_cells``, partial) stored sweep.
+    """
+    spec.require_sweepable()
+    store = RecordStore(path)
+    cells = spec.cells()
+    labels = spec.cell_labels()
+    done: Set[int] = set()
+    entries: List[Tuple[int, str, ExperimentRecord]] = []
+    if store.exists():
+        if not resume:
+            raise AnalysisError(
+                f"{store.path} already exists; pass resume=True (CLI: "
+                "--resume) to continue an interrupted sweep, or choose a "
+                "fresh output path"
+            )
+        store.discard_partial_tail()
+    if store.exists():
+        # (still) non-empty after healing: a real prefix to resume from.
+        stored = _parse_store(store, num_cells=len(cells))
+        if stored.spec.to_dict() != spec.to_dict():
+            raise AnalysisError(
+                f"{store.path} was written for a different sweep spec; "
+                "refusing to mix records from two sweeps in one file"
+            )
+        done = stored.completed_cells()
+        entries = list(stored.entries)
+    else:
+        # Fresh file — or a crash landed mid-header-write and healing
+        # emptied it; either way the sweep starts from the beginning.
+        store.append(
+            {
+                "kind": _HEADER_KIND,
+                "schema": SPEC_SCHEMA_VERSION,
+                "spec": spec.to_dict(),
+            }
+        )
+
+    pending = [index for index in range(len(cells)) if index not in done]
+    if max_cells is not None:
+        if max_cells < 0:
+            raise AnalysisError(f"max_cells must be non-negative, got {max_cells}")
+        pending = pending[:max_cells]
+    if pending:
+        own_runner = runner is None
+        runner = runner if runner is not None else SweepRunner()
+        try:
+            stream = runner.iter_cells([cells[index] for index in pending])
+            for index, record in zip(pending, stream):
+                store.append(
+                    {
+                        "kind": _RECORD_KIND,
+                        "cell": index,
+                        "label": labels[index],
+                        "record": record.to_dict(),
+                    }
+                )
+                entries.append((index, labels[index], record))
+        finally:
+            if own_runner:
+                runner.close()
+    # The parsed prefix plus the records just appended is exactly the
+    # file's contents — no need to re-read and re-parse it from disk.
+    return StoredSweep(spec=spec, entries=tuple(entries))

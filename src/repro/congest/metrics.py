@@ -30,6 +30,20 @@ class PhaseReport:
             f"bits={self.bits} max_link_bits={self.max_link_bits}"
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        The field set is derived from the dataclass itself (as is
+        :meth:`from_dict`'s), so adding a field cannot desynchronise
+        writer and reader.
+        """
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "PhaseReport":
+        """Rebuild a phase report from :meth:`to_dict` output."""
+        return cls(**{name: payload[name] for name in cls.__dataclass_fields__})
+
 
 @dataclass
 class ExecutionMetrics:
@@ -110,6 +124,54 @@ class ExecutionMetrics:
                 self.messages_received_per_node.get(node, 0) + count
             )
 
+    def to_dict(self) -> Dict[str, object]:
+        """Return a JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        Per-node maps are keyed by the node identifier rendered as a
+        string (JSON objects only allow string keys); :meth:`from_dict`
+        converts them back to integers.
+        """
+        return {
+            "total_rounds": self.total_rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "phases": [phase.to_dict() for phase in self.phases],
+            "bits_received_per_node": {
+                str(node): bits
+                for node, bits in sorted(self.bits_received_per_node.items())
+            },
+            "messages_received_per_node": {
+                str(node): count
+                for node, count in sorted(self.messages_received_per_node.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExecutionMetrics":
+        """Rebuild execution metrics from :meth:`to_dict` output.
+
+        Every field written by :meth:`to_dict` is required — a payload
+        missing one raises ``KeyError`` instead of silently defaulting,
+        preserving the store's lossless round-trip contract.
+        """
+        return cls(
+            total_rounds=int(payload["total_rounds"]),  # type: ignore[arg-type]
+            total_messages=int(payload["total_messages"]),  # type: ignore[arg-type]
+            total_bits=int(payload["total_bits"]),  # type: ignore[arg-type]
+            phases=[
+                PhaseReport.from_dict(phase)
+                for phase in payload["phases"]  # type: ignore[union-attr]
+            ],
+            bits_received_per_node={
+                int(node): int(bits)
+                for node, bits in payload["bits_received_per_node"].items()  # type: ignore[union-attr]
+            },
+            messages_received_per_node={
+                int(node): int(count)
+                for node, count in payload["messages_received_per_node"].items()  # type: ignore[union-attr]
+            },
+        )
+
     def summary(self) -> str:
         """Return a human-readable multi-line summary."""
         lines = [
@@ -147,3 +209,17 @@ class AlgorithmCost:
             f"rounds={self.rounds} messages={self.messages} "
             f"bits={self.bits} max_bits_received={self.max_bits_received}"
         )
+
+    def to_dict(self) -> Dict[str, int]:
+        """Return a JSON-ready dictionary (inverse of :meth:`from_dict`).
+
+        The field set is derived from the dataclass itself (as is
+        :meth:`from_dict`'s), so adding a field cannot desynchronise
+        writer and reader.
+        """
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, int]) -> "AlgorithmCost":
+        """Rebuild a cost record from :meth:`to_dict` output."""
+        return cls(**{name: int(payload[name]) for name in cls.__dataclass_fields__})

@@ -36,6 +36,7 @@ from ..congest.metrics import AlgorithmCost
 from ..congest.node import emit_grouped_keys
 from ..congest.routing import LenzenRouter, RoutingRequest
 from ..congest.wire import RoutedEdgeSchema, edge_bits
+from ..errors import ProtocolError
 from ..graphs.csr import triangles_by_group
 from ..graphs.graph import Graph
 from ..types import Edge, Triangle, decode_triangle_keys, make_edge, make_triangle
@@ -109,6 +110,15 @@ class DolevCliqueListing:
         routing_constant: int = 2,
         kernel: str = "batched",
     ) -> None:
+        if group_count is not None and group_count < 1:
+            raise ProtocolError(
+                f"group_count must be at least 1 (or None for the "
+                f"⌈n^(1/3)⌉ choice), got {group_count}"
+            )
+        if routing_constant < 1:
+            raise ProtocolError(
+                f"routing_constant must be at least 1, got {routing_constant}"
+            )
         self._group_count = group_count
         self._routing_constant = routing_constant
         self._kernel = validate_kernel(kernel)

@@ -60,6 +60,33 @@ class CountingResult:
             + (", disseminated" if self.disseminated else "")
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a JSON-ready dictionary (inverse of :meth:`from_dict`)."""
+        return {
+            "total_triangles": self.total_triangles,
+            "per_node_counts": {
+                str(node): count
+                for node, count in sorted(self.per_node_counts.items())
+            },
+            "cost": self.cost.to_dict(),
+            "root": self.root,
+            "disseminated": self.disseminated,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CountingResult":
+        """Rebuild a counting result from :meth:`to_dict` output."""
+        return cls(
+            total_triangles=int(payload["total_triangles"]),
+            per_node_counts={
+                int(node): int(count)
+                for node, count in payload["per_node_counts"].items()
+            },
+            cost=AlgorithmCost.from_dict(payload["cost"]),
+            root=int(payload["root"]),
+            disseminated=bool(payload["disseminated"]),
+        )
+
 
 class TriangleCounting:
     """Exact distributed triangle counting via 2-hop counts + convergecast.

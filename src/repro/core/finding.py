@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..errors import ProtocolError
 from ..graphs.graph import Graph
 from .a1_sampling import HeavySamplingFinder
 from .a3_light import LightTrianglesLister
@@ -63,6 +64,20 @@ class TriangleFinding:
         epsilon: Optional[float] = None,
         kernel: str = "batched",
     ) -> None:
+        if repetitions is not None and repetitions < 1:
+            raise ProtocolError(
+                f"repetitions must be at least 1 (or None for the "
+                f"theorem's constant), got {repetitions}"
+            )
+        if budget_constant <= 0:
+            raise ProtocolError(
+                f"budget_constant must be positive, got {budget_constant}"
+            )
+        if epsilon is not None and not 0.0 <= epsilon <= 1.0:
+            raise ProtocolError(
+                f"epsilon must lie in [0, 1] (or None for the theorem's "
+                f"choice), got {epsilon}"
+            )
         self._repetitions = repetitions
         self._budget_constant = budget_constant
         self._stop_on_success = stop_on_success

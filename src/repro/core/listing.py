@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from ..errors import ProtocolError
 from ..graphs.graph import Graph
 from .a2_heavy import HeavyHashingLister
 from .a3_light import LightTrianglesLister
@@ -57,6 +58,24 @@ class TriangleListing:
         epsilon: Optional[float] = None,
         kernel: str = "batched",
     ) -> None:
+        if repetitions is not None and repetitions < 1:
+            raise ProtocolError(
+                f"repetitions must be at least 1 (or None for the "
+                f"theorem's ⌈c log n⌉ choice), got {repetitions}"
+            )
+        if repetition_constant <= 0:
+            raise ProtocolError(
+                f"repetition_constant must be positive, got {repetition_constant}"
+            )
+        if budget_constant <= 0:
+            raise ProtocolError(
+                f"budget_constant must be positive, got {budget_constant}"
+            )
+        if epsilon is not None and not 0.0 <= epsilon <= 1.0:
+            raise ProtocolError(
+                f"epsilon must lie in [0, 1] (or None for the theorem's "
+                f"choice), got {epsilon}"
+            )
         self._repetitions = repetitions
         self._repetition_constant = repetition_constant
         self._budget_constant = budget_constant

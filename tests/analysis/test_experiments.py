@@ -6,6 +6,7 @@ import pickle
 import pytest
 
 from repro.analysis import (
+    ExperimentRecord,
     SweepCell,
     SweepRunner,
     all_sound,
@@ -306,3 +307,104 @@ class TestPersistentRunner:
             runner.run_grid("grid", {"a": _naive_algorithm}, _CountingWorkload(8), [])
         with pytest.raises(AnalysisError):
             runner.run_grid("grid", {}, _CountingWorkload(8), [1])
+
+
+class TestPicklabilityValidation:
+    """Unpicklable cells fail eagerly with a named cell, not a pool traceback."""
+
+    def test_parallel_lambda_cell_raises_analysis_error(self):
+        cells = [
+            SweepCell(
+                experiment="bad",
+                algorithm_factory=_naive_algorithm,
+                graph_factory=functools.partial(_gnp_workload, 10),
+                seed=1,
+            ),
+            SweepCell(
+                experiment="bad",
+                algorithm_factory=lambda: NaiveTwoHopListing(),  # unpicklable
+                graph_factory=functools.partial(_gnp_workload, 10),
+                seed=2,
+            ),
+        ]
+        with SweepRunner(max_workers=2) as runner:
+            with pytest.raises(AnalysisError, match=r"cell 1 .*seed=2.* not picklable"):
+                runner.run_cells(cells)
+
+    def test_serial_lambda_cells_still_run(self):
+        cells = [
+            SweepCell(
+                experiment="ok",
+                algorithm_factory=lambda: NaiveTwoHopListing(),
+                graph_factory=lambda seed: complete_graph(5),
+                seed=1,
+            )
+        ]
+        records = SweepRunner().run_cells(cells)
+        assert len(records) == 1 and records[0].sound
+
+
+class TestIterCells:
+    def test_streaming_order_matches_run_cells(self):
+        cells = [
+            SweepCell(
+                experiment="stream",
+                algorithm_factory=_naive_algorithm,
+                graph_factory=functools.partial(_gnp_workload, 10),
+                seed=seed,
+            )
+            for seed in (1, 2, 3)
+        ]
+        runner = SweepRunner()
+        streamed = list(runner.iter_cells(cells))
+        assert streamed == runner.run_cells(cells)
+        assert [record.seed for record in streamed] == [1, 2, 3]
+
+    def test_parallel_streaming_matches_serial(self):
+        cells = [
+            SweepCell(
+                experiment="stream",
+                algorithm_factory=_naive_algorithm,
+                graph_factory=functools.partial(_gnp_workload, 10),
+                seed=seed,
+            )
+            for seed in (1, 2, 3)
+        ]
+        serial = SweepRunner().run_cells(cells)
+        with SweepRunner(max_workers=2) as runner:
+            assert list(runner.iter_cells(cells)) == serial
+
+
+class TestRecordSerialization:
+    def test_to_dict_round_trips(self):
+        record = run_single(
+            "serde",
+            _naive_algorithm(),
+            _gnp_workload(10, 3),
+            seed=3,
+            extra={"note": "x"},
+        )
+        clone = ExperimentRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_as_dict_still_flattens_extra(self):
+        record = run_single(
+            "serde", _naive_algorithm(), _gnp_workload(10, 3), seed=3,
+            extra={"note": "x"},
+        )
+        flat = record.as_dict()
+        assert flat["note"] == "x"
+        assert "extra" not in flat
+        nested = record.to_dict()
+        assert nested["extra"] == {"note": "x"}
+
+    def test_from_dict_rejects_unknown_and_missing_fields(self):
+        record = run_single("serde", _naive_algorithm(), _gnp_workload(10, 3), seed=3)
+        payload = record.to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(AnalysisError, match="unknown"):
+            ExperimentRecord.from_dict(payload)
+        del payload["bogus"]
+        del payload["rounds"]
+        with pytest.raises(AnalysisError, match="missing"):
+            ExperimentRecord.from_dict(payload)

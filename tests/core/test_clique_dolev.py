@@ -117,3 +117,27 @@ class TestDolevCost:
         graph = gnp_random_graph(10, 0.4, seed=0)
         with pytest.raises(SimulationError):
             DolevCliqueListing(routing_constant=0).run(graph, seed=0)
+
+
+class TestConstructorValidation:
+    """Bad public-API arguments fail at construction with ProtocolError."""
+
+    def test_non_positive_group_count_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="group_count"):
+            DolevCliqueListing(group_count=0)
+
+    def test_non_positive_routing_constant_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="routing_constant"):
+            DolevCliqueListing(routing_constant=0)
+
+    def test_unknown_kernel_still_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            DolevCliqueListing(kernel="turbo")
+
+    def test_valid_arguments_accepted(self):
+        DolevCliqueListing(group_count=2, routing_constant=1)
+        DolevCliqueListing()

@@ -83,3 +83,37 @@ class TestFindingCost:
         phase_names = {report.name for report in result.metrics.phases}
         assert any(name.startswith("A1:") for name in phase_names)
         assert any(name.startswith("A(X,r):") for name in phase_names)
+
+
+class TestConstructorValidation:
+    """Bad public-API arguments fail at construction with ProtocolError."""
+
+    def test_zero_or_negative_repetitions_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="repetitions"):
+            TriangleFinding(repetitions=0)
+        with pytest.raises(ProtocolError, match="repetitions"):
+            TriangleFinding(repetitions=-3)
+
+    def test_out_of_range_epsilon_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="epsilon"):
+            TriangleFinding(epsilon=-0.1)
+        with pytest.raises(ProtocolError, match="epsilon"):
+            TriangleFinding(epsilon=1.5)
+
+    def test_non_positive_budget_constant_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="budget_constant"):
+            TriangleFinding(budget_constant=0)
+
+    def test_unknown_kernel_still_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            TriangleFinding(kernel="turbo")
+
+    def test_valid_arguments_accepted(self):
+        TriangleFinding(repetitions=1, epsilon=0.0)
+        TriangleFinding(repetitions=2, epsilon=1.0, budget_constant=0.5)

@@ -90,3 +90,35 @@ class TestListingParametersAndCost:
         result = TriangleListing().run(graph, seed=9)
         assert result.solves_listing(graph)
         assert result.solves_finding(graph)
+
+
+class TestConstructorValidation:
+    """Bad public-API arguments fail at construction with ProtocolError."""
+
+    def test_zero_or_negative_repetitions_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="repetitions"):
+            TriangleListing(repetitions=0)
+
+    def test_out_of_range_epsilon_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="epsilon"):
+            TriangleListing(epsilon=2.0)
+
+    def test_non_positive_constants_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError, match="repetition_constant"):
+            TriangleListing(repetition_constant=0)
+        with pytest.raises(ProtocolError, match="budget_constant"):
+            TriangleListing(budget_constant=-1)
+
+    def test_unknown_kernel_still_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            TriangleListing(kernel="turbo")
+
+    def test_valid_arguments_accepted(self):
+        TriangleListing(repetitions=1, epsilon=0.5)
+        TriangleListing(repetition_constant=2.0, budget_constant=1.0)
