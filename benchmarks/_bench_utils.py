@@ -3,10 +3,34 @@
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Return this process's peak resident set size in bytes, if knowable.
+
+    Uses ``resource.getrusage`` where available (``ru_maxrss`` is kilobytes
+    on Linux, bytes on macOS); falls back to the tracemalloc high-water
+    mark when a tracemalloc trace is running, and ``None`` otherwise (the
+    caller omits the metric rather than recording a lie).
+    """
+    try:
+        import resource
+    except ImportError:
+        resource = None
+    if resource is not None:
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if peak > 0:
+            return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        return tracemalloc.get_traced_memory()[1]
+    return None
 
 
 def run_once(benchmark, function):
@@ -32,9 +56,15 @@ def record_json(name: str, payload: Dict[str, Any]) -> None:
     Emitted next to the rendered ``results/<name>.txt`` tables so the perf
     trajectory can be tracked across PRs by tooling instead of by reading
     text tables.  Values must be JSON-serialisable (numpy scalars are
-    coerced via their ``item()``).
+    coerced via their ``item()``).  Every record additionally carries the
+    process's ``peak_rss_bytes`` so memory regressions join the trajectory
+    gate alongside wall-clock.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
+    if "peak_rss_bytes" not in payload:
+        peak = peak_rss_bytes()
+        if peak is not None:
+            payload = {**payload, "peak_rss_bytes": peak}
 
     def coerce(value: Any) -> Any:
         item = getattr(value, "item", None)

@@ -1,15 +1,27 @@
 """Experiment S-THM1: scaling of Theorem-1 triangle finding with n.
 
-Sweeps the network size on dense ``G(n, 0.5)`` workloads, measures the round
+Sweeps the network size up to **10 000 nodes**, measures the round
 complexity of one (A1, A3) finding pass, and compares the measured curve
 against the Theorem-1 reference bound ``n^{2/3} (log n)^{2/3}``.
 
+The workload follows a ``√n`` **degree schedule**: ``G(n, p(n))`` with
+``p(n) = min(1/2, √n / n)``, i.e. expected degree ``√n``.  Dense ``p = 1/2``
+graphs are quadratic in memory and make n=10k sweeps infeasible, while a
+constant-degree schedule starves the protocols of triangles; ``d(n) = √n``
+keeps the expected per-edge triangle support ``≈ d²/n = Θ(1)``, so every
+size has work to do and the asymptotic shape of the round curve is visible.
+(The fitted exponent on this schedule is *below* the reference ``2/3`` —
+the bound is a worst-case upper bound, and these sweeps only assert the
+measured curve stays under it.)
+
 The sweep grid is declared as :class:`repro.api.RunSpec` documents (one per
 size) resolved through the algorithm/workload registries and runs on
-:class:`repro.analysis.SweepRunner`: each (algorithm × size) cell is an
-independent verified record, fanned out over a process pool — the records
-(and therefore every assertion below) are identical to the serial loop and
-to the pre-registry hand-wired cells, only wall-clock changes.
+:class:`repro.analysis.SweepRunner`.  The kernel backend and chunk budget
+are threaded through the same registry parameters — set ``REPRO_BACKEND=numba``
+and/or ``REPRO_CHUNK_BYTES=<n>`` to sweep under a different backend (the
+records must not change; that is the backends' differential contract).
+
+Set ``SCALING_QUICK=1`` (CI does) to drop the two largest sizes.
 
 Shape criteria (what "reproducing the result" means at simulator scale):
 
@@ -17,13 +29,15 @@ Shape criteria (what "reproducing the result" means at simulator scale):
 * the measured cost stays below the reference bound times a fixed constant
   across the whole sweep (the bound is an upper bound, and the constant,
   once calibrated, is size-independent),
-* the measured cost grows strictly slower than the naive baseline's
-  ``d_max = Θ(n)`` on the same workloads.
+* the measured cost must not grow faster than the naive baseline's
+  ``d_max``-driven cost on the same workloads.
 """
 
 from __future__ import annotations
 
+import math
 import os
+import time
 from typing import List
 
 from repro.analysis import SweepCell, SweepRunner, fit_power_law, render_scaling_table
@@ -32,23 +46,41 @@ from repro.core import finding_epsilon_asymptotic, theorem1_round_bound
 
 from _bench_utils import record_json, record_table, run_once
 
-SIZES = [40, 60, 80, 100, 120]
-EDGE_PROBABILITY = 0.5
+QUICK = os.environ.get("SCALING_QUICK", "") not in ("", "0")
+SIZES = [600, 1500] if QUICK else [600, 1500, 4000, 10000]
 #: Calibrated once on the smallest size and then held fixed: the measured
 #: cost divided by the reference bound must not grow with n.
 SHAPE_CONSTANT = 6.0
 #: Worker processes for the sweep grid.
 SWEEP_WORKERS = min(4, os.cpu_count() or 1)
+#: Kernel backend / chunk budget for every cell (differentially pinned:
+#: any backend must reproduce the numpy records byte-identically).
+BACKEND = os.environ.get("REPRO_BACKEND", "numpy")
+CHUNK_BYTES = (
+    int(os.environ["REPRO_CHUNK_BYTES"])
+    if os.environ.get("REPRO_CHUNK_BYTES")
+    else None
+)
 
 FINDING_ALGORITHM = AlgorithmSpec(
     "theorem1-finding",
-    {"repetitions": 1, "epsilon": finding_epsilon_asymptotic()},
+    {
+        "repetitions": 1,
+        "epsilon": finding_epsilon_asymptotic(),
+        "backend": BACKEND,
+        "chunk_bytes": CHUNK_BYTES,
+    },
 )
 NAIVE_ALGORITHM = AlgorithmSpec("naive-two-hop")
 
 
+def edge_probability(num_nodes: int) -> float:
+    """The √n degree schedule: ``p(n) = min(1/2, √n / n)``."""
+    return min(0.5, math.sqrt(num_nodes) / num_nodes)
+
+
 def _workload_spec(num_nodes: int) -> WorkloadSpec:
-    """The fixed-per-size dense workload (the cell seed drives the algorithm).
+    """The fixed-per-size workload (the cell seed drives the algorithm).
 
     Pinning ``seed`` inside the workload parameters holds the graph fixed
     per size while the cell seed still drives the algorithm's coins.
@@ -57,7 +89,7 @@ def _workload_spec(num_nodes: int) -> WorkloadSpec:
         "gnp",
         {
             "num_nodes": num_nodes,
-            "edge_probability": EDGE_PROBABILITY,
+            "edge_probability": edge_probability(num_nodes),
             "seed": 1000 + num_nodes,
         },
     )
@@ -85,6 +117,7 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
     """S-THM1: measured finding rounds vs the Theorem-1 reference curve."""
 
     def sweep():
+        start = time.perf_counter()
         with SweepRunner(max_workers=SWEEP_WORKERS) as runner:
             finding_records = runner.run_cells(
                 _sweep_cells("S-THM1", FINDING_ALGORITHM)
@@ -92,9 +125,9 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
             naive_records = runner.run_cells(
                 _sweep_cells("S-THM1-naive", NAIVE_ALGORITHM)
             )
-        return finding_records, naive_records
+        return finding_records, naive_records, time.perf_counter() - start
 
-    finding_records, naive_records = run_once(benchmark, sweep)
+    finding_records, naive_records, sweep_seconds = run_once(benchmark, sweep)
     for record in finding_records:
         assert record.sound
         assert record.solves_finding
@@ -104,7 +137,8 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
 
     fit = fit_power_law([float(n) for n in SIZES], [float(r) for r in measured])
     table = render_scaling_table(
-        "S-THM1: Theorem 1 finding on G(n, 0.5), 1 repetition",
+        "S-THM1: Theorem 1 finding on G(n, √n/n) "
+        f"(√n degree schedule, backend={BACKEND}, quick={QUICK}), 1 repetition",
         SIZES,
         [float(r) for r in measured],
         reference,
@@ -116,12 +150,17 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
         "finding_scaling",
         {
             "benchmark": "finding_scaling",
+            "quick": QUICK,
+            "backend": BACKEND,
+            "chunk_bytes": CHUNK_BYTES,
             "sizes": SIZES,
+            "edge_probabilities": [edge_probability(n) for n in SIZES],
             "measured_rounds": [float(r) for r in measured],
             "naive_baseline_rounds": [float(r) for r in baseline],
             "reference_bound": reference,
             "fit_exponent": fit.exponent,
             "expected_exponent": 2.0 / 3.0,
+            "sweep_seconds": sweep_seconds,
         },
     )
 
@@ -130,7 +169,7 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
         assert rounds <= SHAPE_CONSTANT * bound
 
     # The algorithm's cost must not grow faster than the naive baseline's
-    # linear d_max cost: the ratio measured/naive must not increase from the
+    # d_max-driven cost: the ratio measured/naive must not increase from the
     # smallest to the largest size by more than measurement noise.
     first_ratio = measured[0] / baseline[0]
     last_ratio = measured[-1] / baseline[-1]
@@ -139,10 +178,14 @@ def test_finding_scaling_against_theorem1_bound(benchmark):
 
 def test_finding_cost_grows_with_size(benchmark):
     """Monotonicity sanity: more nodes cannot make the measured cost collapse."""
+    # The endpoint pair re-runs outside the sweep, so the large size is
+    # capped at 4000 to keep this sanity check a small fraction of the
+    # sweep's budget (the 10k point is covered by the sweep itself).
+    large_size = min(SIZES[-1], 4000)
 
     def endpoints():
         small = FINDING_ALGORITHM.build().run(_workload(SIZES[0]), seed=7)
-        large = FINDING_ALGORITHM.build().run(_workload(SIZES[-1]), seed=7)
+        large = FINDING_ALGORITHM.build().run(_workload(large_size), seed=7)
         return small.rounds, large.rounds
 
     small_rounds, large_rounds = run_once(benchmark, endpoints)

@@ -8,6 +8,9 @@ by more than the tolerance (default 20%).  Speedup keys are also checked —
 a drop is a regression too, and being a ratio it is robust to machine
 differences — but at twice the tolerance, since a ratio with a sub-second
 numerator amplifies timing jitter that the wall-clock gate absorbs.
+``peak_rss_bytes`` (recorded by every benchmark) is gated too, at a
+deliberately generous ceiling: RSS is allocator- and machine-shaped, so
+only structural memory blow-ups should fail the trajectory.
 
 Usage::
 
@@ -67,6 +70,16 @@ def compare_record(
             # wall-clock tolerance so only structural drops fail.
             floor = 1 - min(2 * tolerance, 0.95)
             regressed = base_value > 0 and this_value < base_value * floor
+            yield key, base_value, this_value, regressed
+        elif key == "peak_rss_bytes":
+            # Peak RSS is machine-dependent (allocator, page size, python
+            # build) and ratchet-shaped, so gate it generously — only a
+            # structural blow-up (well past the wall-clock tolerance, and
+            # at least +50%) should fail, and never in ratio-only CI mode.
+            if ratio_only:
+                continue
+            ceiling = 1 + max(2 * tolerance, 0.5)
+            regressed = base_value > 0 and this_value > base_value * ceiling
             yield key, base_value, this_value, regressed
 
 

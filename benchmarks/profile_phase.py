@@ -11,6 +11,12 @@ Usage::
     python benchmarks/profile_phase.py --protocol theorem2 --nodes 300
     python benchmarks/profile_phase.py --protocol a2 --nodes 600 --top 40
     python benchmarks/profile_phase.py --protocol dolev --kernel pernode
+    python benchmarks/profile_phase.py --protocol a3 --top-allocs 10
+
+``--top-allocs N`` additionally snapshots tracemalloc at every phase
+boundary and reports each phase's N largest allocation sites (by net bytes
+allocated during the phase) — the tool that verified the arena actually
+removed the plane's steady-state allocations.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import io
 import pstats
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -39,16 +46,24 @@ from repro.graphs import gnp_random_graph
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+def _tuning(args) -> dict:
+    return {
+        "kernel": args.kernel,
+        "backend": args.backend,
+        "chunk_bytes": args.chunk_bytes,
+    }
+
+
 PROTOCOLS = {
-    "a1": lambda args: HeavySamplingFinder(epsilon=args.epsilon, kernel=args.kernel),
-    "a2": lambda args: HeavyHashingLister(epsilon=args.epsilon, kernel=args.kernel),
-    "a3": lambda args: LightTrianglesLister(epsilon=args.epsilon, kernel=args.kernel),
-    "dolev": lambda args: DolevCliqueListing(kernel=args.kernel),
+    "a1": lambda args: HeavySamplingFinder(epsilon=args.epsilon, **_tuning(args)),
+    "a2": lambda args: HeavyHashingLister(epsilon=args.epsilon, **_tuning(args)),
+    "a3": lambda args: LightTrianglesLister(epsilon=args.epsilon, **_tuning(args)),
+    "dolev": lambda args: DolevCliqueListing(**_tuning(args)),
     "theorem1": lambda args: TriangleFinding(
-        repetitions=1, epsilon=args.epsilon, kernel=args.kernel
+        repetitions=1, epsilon=args.epsilon, **_tuning(args)
     ),
     "theorem2": lambda args: TriangleListing(
-        repetitions=1, epsilon=args.epsilon, kernel=args.kernel
+        repetitions=1, epsilon=args.epsilon, **_tuning(args)
     ),
 }
 
@@ -56,15 +71,30 @@ PROTOCOLS = {
 class _PhaseClock:
     """Accumulate wall-clock per phase name by wrapping the phase doors."""
 
-    def __init__(self) -> None:
+    def __init__(self, trace_allocs: bool = False) -> None:
         self.totals: dict[str, float] = {}
+        #: phase name -> {"file:line": net bytes allocated} (tracemalloc).
+        self.alloc_sites: dict[str, dict[str, int]] = {}
+        self._trace_allocs = trace_allocs
+        self._last_snapshot = None
         self._last_mark = time.perf_counter()
         self._patches: list[tuple[type, str, object]] = []
 
     def _record(self, name: str) -> None:
         now = time.perf_counter()
         self.totals[name] = self.totals.get(name, 0.0) + (now - self._last_mark)
-        self._last_mark = now
+        if self._trace_allocs:
+            snapshot = tracemalloc.take_snapshot()
+            if self._last_snapshot is not None:
+                bucket = self.alloc_sites.setdefault(name, {})
+                for diff in snapshot.compare_to(self._last_snapshot, "lineno"):
+                    if diff.size_diff <= 0:
+                        continue
+                    frame = diff.traceback[0]
+                    site = f"{frame.filename}:{frame.lineno}"
+                    bucket[site] = bucket.get(site, 0) + diff.size_diff
+            self._last_snapshot = snapshot
+        self._last_mark = time.perf_counter()
 
     def _wrap(self, owner: type, attribute: str) -> None:
         clock = self
@@ -81,6 +111,9 @@ class _PhaseClock:
     def __enter__(self) -> "_PhaseClock":
         self._wrap(CongestSimulator, "run_phase")
         self._wrap(CongestSimulator, "exchange_phase")
+        if self._trace_allocs:
+            tracemalloc.start()
+            self._last_snapshot = tracemalloc.take_snapshot()
         self._last_mark = time.perf_counter()
         return self
 
@@ -90,6 +123,8 @@ class _PhaseClock:
         # Whatever ran after the last phase (output collection, result
         # packaging) is attributed to a synthetic tail entry.
         self._record("<post-phase / result packaging>")
+        if self._trace_allocs:
+            tracemalloc.stop()
 
 
 def main(argv=None) -> int:
@@ -103,6 +138,13 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--top", type=int, default=25,
                         help="cProfile rows to report (by cumulative time)")
+    parser.add_argument("--backend", default="numpy", choices=("numpy", "numba"),
+                        help="kernel backend for the hot inner loops")
+    parser.add_argument("--chunk-bytes", type=int, default=None,
+                        help="chunked-evaluation budget (bytes per block)")
+    parser.add_argument("--top-allocs", type=int, default=0,
+                        help="per-phase tracemalloc: report the N largest "
+                             "allocation sites per phase (0 = off)")
     args = parser.parse_args(argv)
 
     graph = gnp_random_graph(args.nodes, args.probability, seed=42)
@@ -111,7 +153,7 @@ def main(argv=None) -> int:
 
     profiler = cProfile.Profile()
     start = time.perf_counter()
-    with _PhaseClock() as clock:
+    with _PhaseClock(trace_allocs=args.top_allocs > 0) as clock:
         profiler.enable()
         result = algorithm.run(graph, seed=args.seed)
         profiler.disable()
@@ -127,6 +169,17 @@ def main(argv=None) -> int:
     ]
     for name, seconds in sorted(clock.totals.items(), key=lambda kv: -kv[1]):
         lines.append(f"  {seconds:8.3f} s  {name}")
+    if args.top_allocs > 0:
+        lines += ["", f"per-phase top {args.top_allocs} allocation sites "
+                      "(net bytes allocated during the phase, tracemalloc):"]
+        for name, _ in sorted(clock.totals.items(), key=lambda kv: -kv[1]):
+            sites = clock.alloc_sites.get(name)
+            if not sites:
+                continue
+            lines.append(f"  {name}:")
+            ranked = sorted(sites.items(), key=lambda kv: -kv[1])
+            for site, size in ranked[: args.top_allocs]:
+                lines.append(f"    {size / 1024:10.1f} KiB  {site}")
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream).sort_stats("cumulative")
     stats.print_stats(args.top)

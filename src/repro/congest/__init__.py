@@ -27,11 +27,27 @@ from .engine import NodeProgram, RoundContext, RoundEngine
 from .metrics import AlgorithmCost, ExecutionMetrics, PhaseReport
 from .node import NodeContext
 from .routing import LenzenRouter, RoutingRequest
+from .backends import (
+    DEFAULT_CHUNK_BYTES,
+    VALID_BACKENDS,
+    KernelBackend,
+    active_backend,
+    active_chunk_bytes,
+    available_backends,
+    chunk_rows,
+    get_backend,
+    numba_available,
+    register_backend,
+    use_backend,
+    validate_backend,
+    validate_chunk_bytes,
+)
 from .runtime import (
     CongestRuntime,
     DeliveredChannel,
     DeliveredPhase,
     MessagePlane,
+    PhaseArena,
     PhaseTraffic,
     TypedChannel,
     TypedInboxView,
@@ -73,10 +89,24 @@ __all__ = [
     "NodeContext",
     "LenzenRouter",
     "RoutingRequest",
+    "DEFAULT_CHUNK_BYTES",
+    "VALID_BACKENDS",
+    "KernelBackend",
+    "active_backend",
+    "active_chunk_bytes",
+    "available_backends",
+    "chunk_rows",
+    "get_backend",
+    "numba_available",
+    "register_backend",
+    "use_backend",
+    "validate_backend",
+    "validate_chunk_bytes",
     "CongestRuntime",
     "DeliveredChannel",
     "DeliveredPhase",
     "MessagePlane",
+    "PhaseArena",
     "PhaseTraffic",
     "TypedChannel",
     "TypedInboxView",

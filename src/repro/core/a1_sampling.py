@@ -28,6 +28,7 @@ from ..congest.node import NodeContext, emit_grouped_keys
 from ..congest.simulator import CongestSimulator
 from ..congest.wire import A1_SAMPLE_SCHEMA, id_bits
 from ..types import triangle_keys
+from .a3_light import _fused_chunk_elements
 from .base import TriangleAlgorithm, validate_kernel
 from .parameters import a1_sample_cap, a1_sampling_probability
 
@@ -61,6 +62,8 @@ class HeavySamplingFinder(TriangleAlgorithm):
         epsilon: float,
         sample_cap_constant: float = 4.0,
         kernel: str = "batched",
+        backend: str = "numpy",
+        chunk_bytes: Optional[int] = None,
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
@@ -71,12 +74,15 @@ class HeavySamplingFinder(TriangleAlgorithm):
         self._epsilon = epsilon
         self._sample_cap_constant = sample_cap_constant
         self._kernel = validate_kernel(kernel)
+        self._set_tuning(backend, chunk_bytes)
 
     def describe_parameters(self) -> Dict[str, Any]:
         return {
             "epsilon": self._epsilon,
             "sample_cap_constant": self._sample_cap_constant,
             "kernel": self._kernel,
+            "backend": self.backend,
+            "chunk_bytes": self.chunk_bytes,
         }
 
     # ------------------------------------------------------------------
@@ -227,32 +233,62 @@ class HeavySamplingFinder(TriangleAlgorithm):
 
         Same staged traffic as :meth:`_execute_pernode`; delivery comes
         back as destination-grouped channel arrays and the ``N(k) ∩ S_j``
-        test runs as one vectorized edge-membership query over every
-        (receiver, candidate) element at once — no per-node inboxes or
-        loops, only a per-receiver output emit over the grouped hits.
+        test runs as a vectorized edge-membership query over the
+        (receiver, candidate) elements — no per-node inboxes or loops,
+        only a per-receiver output emit over the grouped hits.  The sweep
+        streams message-aligned element blocks bounded by the active
+        ``chunk_bytes`` budget, so peak memory stays flat however large
+        the phase's traffic is.
         """
+        num_nodes = simulator.num_nodes
         csr = simulator.graph.csr()
         contexts = simulator.contexts
         self._stage_samples(simulator, probability, cap)
         delivered = simulator.exchange_phase("A1:send-samples")
         channel = delivered.channel(A1_SAMPLE_SCHEMA)
-        if channel.count:
-            candidates = channel.data["member"]
-            receivers = channel.element_receivers()
-            mask = (candidates != receivers) & csr.has_edges(receivers, candidates)
-            if mask.any():
-                hits = np.flatnonzero(mask)
-                messages = np.searchsorted(channel.offsets, hits, side="right") - 1
-                hit_receivers = receivers[hits]
-                hit_senders = channel.src[messages]
-                hit_candidates = candidates[hits]
+        if channel.count == 0:
+            return False
+        candidates = channel.data["member"]
+        offsets = channel.offsets
+        dst = channel.dst
+        src = channel.src
+        lengths = channel.lengths
+        message_count = channel.count
+        chunk_elements = _fused_chunk_elements()
+        message_start = 0
+        while message_start < message_count:
+            element_start = int(offsets[message_start])
+            message_end = int(
+                np.searchsorted(offsets, element_start + chunk_elements, side="left")
+            )
+            message_end = max(message_end, message_start + 1)
+            message_end = min(message_end, message_count)
+            element_end = int(offsets[message_end])
+            if element_end == element_start:
+                message_start = message_end
+                continue
+            block_lengths = lengths[message_start:message_end]
+            block_candidates = candidates[element_start:element_end]
+            block_receivers = np.repeat(dst[message_start:message_end], block_lengths)
+            mask = (block_candidates != block_receivers) & csr.has_edges(
+                block_receivers, block_candidates
+            )
+            hits = np.flatnonzero(mask)
+            if hits.shape[0]:
+                block_senders = np.repeat(
+                    src[message_start:message_end], block_lengths
+                )
+                hit_receivers = block_receivers[hits]
+                hit_senders = block_senders[hits]
+                hit_candidates = block_candidates[hits]
                 low = np.minimum(hit_senders, hit_candidates)
                 high = np.maximum(hit_senders, hit_candidates)
                 lo = np.minimum(low, hit_receivers)
                 hi = np.maximum(high, hit_receivers)
                 mid = hit_receivers + hit_senders + hit_candidates - lo - hi
-                keys = triangle_keys(lo, mid, hi, simulator.num_nodes)
+                keys = triangle_keys(lo, mid, hi, num_nodes)
                 emit_grouped_keys(contexts, hit_receivers, keys)
+            message_start = message_end
         return False
 
 

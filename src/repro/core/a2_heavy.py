@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..congest.backends import active_backend, chunk_rows
 from ..congest.node import NodeContext, emit_grouped_keys
 from ..congest.simulator import CongestSimulator
 from ..congest.wire import A2_EDGE_SCHEMA, HashDescriptorSchema, edge_bits
@@ -83,7 +84,12 @@ class HeavyHashingLister(TriangleAlgorithm):
     model = "CONGEST"
 
     def __init__(
-        self, epsilon: float, independence: int = 3, kernel: str = "batched"
+        self,
+        epsilon: float,
+        independence: int = 3,
+        kernel: str = "batched",
+        backend: str = "numpy",
+        chunk_bytes: Optional[int] = None,
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
@@ -92,12 +98,15 @@ class HeavyHashingLister(TriangleAlgorithm):
         self._epsilon = epsilon
         self._independence = independence
         self._kernel = validate_kernel(kernel)
+        self._set_tuning(backend, chunk_bytes)
 
     def describe_parameters(self) -> Dict[str, Any]:
         return {
             "epsilon": self._epsilon,
             "independence": self._independence,
             "kernel": self._kernel,
+            "backend": self.backend,
+            "chunk_bytes": self.chunk_bytes,
         }
 
     # ------------------------------------------------------------------
@@ -424,9 +433,9 @@ class HeavyHashingLister(TriangleAlgorithm):
         adjacency = simulator.graph.csr()._bool_matrix()
         shipped = np.zeros((num_nodes, num_nodes), dtype=bool)
         shipped[targets, senders] = True
-        # Zero-pair chunks keep the (pairs × n) row intersections
-        # cache-resident; one bulk key append per chunk.
-        pair_chunk = max(1, (1 << 20) // max(num_nodes, 1))
+        # Zero-pair chunks keep the (pairs × n) row intersections within
+        # the active chunk_bytes budget; one bulk key append per chunk.
+        pair_chunk = chunk_rows(num_nodes)
         for receiver in np.unique(targets).tolist():
             z_row = zero_mask[receiver]
             s_row = shipped[receiver]
@@ -500,17 +509,12 @@ def _hash_zero_block(
 
     One Horner pass per coefficient, vectorized over the whole block.
     Intermediate products stay below ``prime²`` (< 2⁶³ for every realistic
-    ``n``), so plain int64 arithmetic is exact.
+    ``n``), so plain int64 arithmetic is exact.  Dispatches to the active
+    kernel backend (numpy reference or the numba twin).
     """
-    reduced_points = (points % prime)[None, :]
-    accumulator = np.zeros(
-        (coefficient_rows.shape[0], points.shape[0]), dtype=np.int64
+    return active_backend().hash_zero_block(
+        coefficient_rows, points, int(prime), int(range_size)
     )
-    for index in range(coefficient_rows.shape[1] - 1, -1, -1):
-        accumulator *= reduced_points
-        accumulator += coefficient_rows[:, index : index + 1]
-        accumulator %= prime
-    return (accumulator % range_size) == 0
 
 
 def _hash_zero_matrix(
@@ -518,13 +522,14 @@ def _hash_zero_matrix(
 ) -> np.ndarray:
     """Return the boolean matrix ``Z[a, l] = (h_a(l) == 0)`` for all pairs.
 
-    Rows are chunked so the int64 work matrix stays within a fixed memory
-    budget; used when :func:`repro.core.base.dense_pair_matrix_worthwhile`
-    says the all-pairs precompute amortises (dense graphs).
+    Rows are chunked so the int64 work matrix stays within the active
+    ``chunk_bytes`` budget; used when
+    :func:`repro.core.base.dense_pair_matrix_worthwhile` says the all-pairs
+    precompute amortises (dense graphs).
     """
     points = np.arange(num_nodes, dtype=np.int64)
     zero = np.empty((num_nodes, num_nodes), dtype=bool)
-    row_chunk = max(1, (8 << 20) // max(8 * num_nodes, 1))
+    row_chunk = chunk_rows(8 * num_nodes)
     for start in range(0, num_nodes, row_chunk):
         end = min(num_nodes, start + row_chunk)
         zero[start:end] = _hash_zero_block(

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Set
 
 import numpy as np
 
+from ..congest.backends import active_backend, chunk_rows
 from ..congest.node import NodeContext, emit_grouped_keys
 from ..congest.simulator import CongestSimulator
 from ..congest.wire import (
@@ -302,10 +303,9 @@ def _landmark_incidence(
     landmarks = np.flatnonzero(in_x)
     if landmarks.shape[0] == 0:
         return None
-    incidence = np.zeros((num_nodes, landmarks.shape[0]), dtype=np.int64)
-    for column, landmark in enumerate(landmarks.tolist()):
-        incidence[indices[indptr[landmark] : indptr[landmark + 1]], column] = 1
-    return incidence
+    return active_backend().landmark_incidence(
+        indptr, indices, landmarks, num_nodes
+    )
 
 
 def _make_disjointness(
@@ -330,7 +330,16 @@ def _make_disjointness(
         if incidence is None:
             disjoint = np.ones((num_nodes, num_nodes), dtype=bool)
         else:
-            disjoint = (incidence @ incidence.T) == 0
+            # Stream the B·Bᵀ product in bounded row blocks: the boolean
+            # result is n² bytes, but the int64 product intermediate is 8×
+            # that — chunking keeps it within the active chunk_bytes budget
+            # instead of materialising the full n×n int64 matrix.
+            disjoint = np.empty((num_nodes, num_nodes), dtype=bool)
+            transposed = incidence.T
+            row_block = chunk_rows(8 * num_nodes)
+            for start in range(0, num_nodes, row_block):
+                end = min(num_nodes, start + row_block)
+                disjoint[start:end] = (incidence[start:end] @ transposed) == 0
 
         def block(vertices: np.ndarray) -> np.ndarray:
             return disjoint[np.ix_(vertices, vertices)]
@@ -578,12 +587,18 @@ def _run_axr_pernode(
     return truncated_by_progress
 
 
-#: Element-block size for the fused receiver sweeps.  Chunks keep every
-#: intermediate array cache-resident — on the dense workloads a phase
-#: carries tens of millions of elements, and streaming ten full-size
-#: temporaries through DRAM measures ~5x slower than the same arithmetic
-#: over ~1 MB blocks.
-_FUSED_CHUNK_ELEMENTS = 131072
+#: Approximate bytes of intermediates per element in the fused receiver
+#: sweeps (receivers/senders/thirds/keys int64 plus the hit masks): the
+#: per-block element budget is the active ``chunk_bytes`` divided by this.
+#: Chunks keep every intermediate array cache-resident — on the dense
+#: workloads a phase carries tens of millions of elements, and streaming
+#: ten full-size temporaries through DRAM measures ~5x slower than the
+#: same arithmetic over cache-sized blocks.
+_FUSED_SWEEP_BYTES_PER_ELEMENT = 16
+
+
+def _fused_chunk_elements() -> int:
+    return chunk_rows(_FUSED_SWEEP_BYTES_PER_ELEMENT, minimum=4096)
 
 
 def _emit_revealed_triangles(simulator, csr, channel) -> None:
@@ -612,11 +627,12 @@ def _emit_revealed_triangles(simulator, csr, channel) -> None:
     lengths = channel.lengths
     message_count = channel.count
     message_start = 0
+    chunk_elements = _fused_chunk_elements()
     while message_start < message_count:
         element_start = int(offsets[message_start])
         message_end = int(
             np.searchsorted(
-                offsets, element_start + _FUSED_CHUNK_ELEMENTS, side="left"
+                offsets, element_start + chunk_elements, side="left"
             )
         )
         message_end = max(message_end, message_start + 1)
@@ -979,6 +995,8 @@ class LightTrianglesLister(TriangleAlgorithm):
         goodness_threshold: Optional[float] = None,
         enforce_budget: bool = True,
         kernel: str = "batched",
+        backend: str = "numpy",
+        chunk_bytes: Optional[int] = None,
     ) -> None:
         if not 0.0 <= epsilon <= 1.0:
             raise ValueError(f"epsilon must lie in [0, 1], got {epsilon}")
@@ -988,6 +1006,7 @@ class LightTrianglesLister(TriangleAlgorithm):
         self._goodness_threshold = goodness_threshold
         self._enforce_budget = enforce_budget
         self._kernel = validate_kernel(kernel)
+        self._set_tuning(backend, chunk_bytes)
         self._num_nodes_hint: Optional[int] = None
 
     def describe_parameters(self) -> Dict[str, Any]:
@@ -998,6 +1017,8 @@ class LightTrianglesLister(TriangleAlgorithm):
             "goodness_threshold": self._goodness_threshold,
             "enforce_budget": self._enforce_budget,
             "kernel": self._kernel,
+            "backend": self.backend,
+            "chunk_bytes": self.chunk_bytes,
         }
 
     def _build_simulator(self, graph, seed):  # type: ignore[override]

@@ -22,6 +22,12 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..congest.backends import (
+    VALID_BACKENDS,
+    use_backend,
+    validate_backend,
+    validate_chunk_bytes,
+)
 from ..congest.metrics import AlgorithmCost, ExecutionMetrics
 from ..congest.simulator import CongestSimulator
 from ..graphs.graph import Graph
@@ -96,6 +102,24 @@ class TriangleAlgorithm(abc.ABC):
     name: str = "abstract"
     #: The communication model the algorithm runs in.
     model: str = "CONGEST"
+    #: Inner-loop backend (``"numpy"`` or ``"numba"``); constructors that
+    #: accept ``backend=`` overwrite this with the validated value.
+    backend: str = "numpy"
+    #: Bound on chunked-evaluation working sets; ``None`` keeps the
+    #: process-wide default (:data:`repro.congest.backends.DEFAULT_CHUNK_BYTES`).
+    chunk_bytes: Optional[int] = None
+
+    def _set_tuning(
+        self, backend: str = "numpy", chunk_bytes: Optional[int] = None
+    ) -> None:
+        """Validate and store the ``backend=``/``chunk_bytes=`` knobs.
+
+        Called from subclass constructors, mirroring ``validate_kernel`` for
+        the ``kernel=`` knob.  :meth:`run` activates the stored settings for
+        the duration of the execution.
+        """
+        self.backend = validate_backend(backend)
+        self.chunk_bytes = validate_chunk_bytes(chunk_bytes)
 
     @abc.abstractmethod
     def _execute(self, simulator: CongestSimulator) -> bool:
@@ -126,8 +150,9 @@ class TriangleAlgorithm(abc.ABC):
         self, graph: Graph, seed: Optional[int | np.random.Generator] = None
     ) -> AlgorithmResult:
         """Run the algorithm on ``graph`` and return the packaged result."""
-        simulator = self._build_simulator(graph, seed)
-        truncated = self._execute(simulator)
+        with use_backend(self.backend, self.chunk_bytes):
+            simulator = self._build_simulator(graph, seed)
+            truncated = self._execute(simulator)
         output = TriangleOutput.from_contexts(simulator.contexts, simulator.num_nodes)
         return AlgorithmResult(
             algorithm=self.name,

@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..congest.backends import use_backend, validate_backend, validate_chunk_bytes
 from ..congest.clique import CliqueSimulator
 from ..congest.metrics import AlgorithmCost
 from ..congest.node import emit_grouped_keys
@@ -109,6 +110,8 @@ class DolevCliqueListing:
         group_count: Optional[int] = None,
         routing_constant: int = 2,
         kernel: str = "batched",
+        backend: str = "numpy",
+        chunk_bytes: Optional[int] = None,
     ) -> None:
         if group_count is not None and group_count < 1:
             raise ProtocolError(
@@ -122,18 +125,28 @@ class DolevCliqueListing:
         self._group_count = group_count
         self._routing_constant = routing_constant
         self._kernel = validate_kernel(kernel)
+        self._backend = validate_backend(backend)
+        self._chunk_bytes = validate_chunk_bytes(chunk_bytes)
 
     def describe_parameters(self) -> Dict[str, Any]:
         return {
             "group_count": self._group_count,
             "routing_constant": self._routing_constant,
             "kernel": self._kernel,
+            "backend": self._backend,
+            "chunk_bytes": self._chunk_bytes,
         }
 
     def run(
         self, graph: Graph, seed: Optional[int | np.random.Generator] = None
     ) -> AlgorithmResult:
         """Run the clique listing algorithm and return the packaged result."""
+        with use_backend(self._backend, self._chunk_bytes):
+            return self._run(graph, seed)
+
+    def _run(
+        self, graph: Graph, seed: Optional[int | np.random.Generator] = None
+    ) -> AlgorithmResult:
         num_nodes = graph.num_nodes
         simulator = CliqueSimulator(graph, seed=seed)
         router = LenzenRouter(simulator, constant_rounds=self._routing_constant)

@@ -26,6 +26,7 @@ from ..errors import ProtocolError
 from ..graphs.graph import Graph
 from .a1_sampling import HeavySamplingFinder
 from .a3_light import LightTrianglesLister
+from ..congest.backends import validate_backend, validate_chunk_bytes
 from .base import combine_results, validate_kernel
 from .output import AlgorithmResult
 from .parameters import FindingParameters
@@ -63,6 +64,8 @@ class TriangleFinding:
         stop_on_success: bool = False,
         epsilon: Optional[float] = None,
         kernel: str = "batched",
+        backend: str = "numpy",
+        chunk_bytes: Optional[int] = None,
     ) -> None:
         if repetitions is not None and repetitions < 1:
             raise ProtocolError(
@@ -83,6 +86,8 @@ class TriangleFinding:
         self._stop_on_success = stop_on_success
         self._epsilon = epsilon
         self._kernel = validate_kernel(kernel)
+        self._backend = validate_backend(backend)
+        self._chunk_bytes = validate_chunk_bytes(chunk_bytes)
 
     def parameters_for(self, graph: Graph) -> FindingParameters:
         """Return the concrete Theorem-1 parameters used on ``graph``.
@@ -110,12 +115,17 @@ class TriangleFinding:
         sub_results: List[AlgorithmResult] = []
         for _ in range(parameters.repetitions):
             heavy_pass = HeavySamplingFinder(
-                epsilon=parameters.epsilon, kernel=self._kernel
+                epsilon=parameters.epsilon,
+                kernel=self._kernel,
+                backend=self._backend,
+                chunk_bytes=self._chunk_bytes,
             )
             light_pass = LightTrianglesLister(
                 epsilon=parameters.epsilon,
                 budget_constant=self._budget_constant,
                 kernel=self._kernel,
+                backend=self._backend,
+                chunk_bytes=self._chunk_bytes,
             )
             heavy_result = heavy_pass.run(graph, seed=rng)
             light_result = light_pass.run(graph, seed=rng)
@@ -141,6 +151,8 @@ class TriangleFinding:
             "round_budget_per_pass": parameters.round_budget,
             "stop_on_success": self._stop_on_success,
             "kernel": self._kernel,
+            "backend": self._backend,
+            "chunk_bytes": self._chunk_bytes,
         }
 
 

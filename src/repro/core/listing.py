@@ -23,6 +23,7 @@ from ..errors import ProtocolError
 from ..graphs.graph import Graph
 from .a2_heavy import HeavyHashingLister
 from .a3_light import LightTrianglesLister
+from ..congest.backends import validate_backend, validate_chunk_bytes
 from .base import combine_results, validate_kernel
 from .output import AlgorithmResult
 from .parameters import ListingParameters
@@ -57,6 +58,8 @@ class TriangleListing:
         budget_constant: float = 8.0,
         epsilon: Optional[float] = None,
         kernel: str = "batched",
+        backend: str = "numpy",
+        chunk_bytes: Optional[int] = None,
     ) -> None:
         if repetitions is not None and repetitions < 1:
             raise ProtocolError(
@@ -81,6 +84,8 @@ class TriangleListing:
         self._budget_constant = budget_constant
         self._epsilon = epsilon
         self._kernel = validate_kernel(kernel)
+        self._backend = validate_backend(backend)
+        self._chunk_bytes = validate_chunk_bytes(chunk_bytes)
 
     def parameters_for(self, graph: Graph) -> ListingParameters:
         """Return the concrete Theorem-2 parameters used on ``graph``.
@@ -109,12 +114,17 @@ class TriangleListing:
         sub_results: List[AlgorithmResult] = []
         for _ in range(parameters.repetitions):
             heavy_pass = HeavyHashingLister(
-                epsilon=parameters.epsilon, kernel=self._kernel
+                epsilon=parameters.epsilon,
+                kernel=self._kernel,
+                backend=self._backend,
+                chunk_bytes=self._chunk_bytes,
             )
             light_pass = LightTrianglesLister(
                 epsilon=parameters.epsilon,
                 budget_constant=self._budget_constant,
                 kernel=self._kernel,
+                backend=self._backend,
+                chunk_bytes=self._chunk_bytes,
             )
             sub_results.append(heavy_pass.run(graph, seed=rng))
             sub_results.append(light_pass.run(graph, seed=rng))
@@ -134,6 +144,8 @@ class TriangleListing:
             "repetitions": parameters.repetitions,
             "round_budget_per_pass": parameters.round_budget,
             "kernel": self._kernel,
+            "backend": self._backend,
+            "chunk_bytes": self._chunk_bytes,
         }
 
 

@@ -47,12 +47,36 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: for the dense bitset strategy.  Above this the sorted-merge path is used.
 DENSE_ADJACENCY_MAX_BYTES = 256 * 1024 * 1024
 
-#: Edges per chunk for the chunked dense reductions; bounds peak memory of
-#: the per-chunk ``(chunk, n)`` intermediates to a few megabytes.
-_EDGE_CHUNK = 8192
+#: Minimum edge fill for the dense strategy: the bitset rows cost O(n) each
+#: regardless of sparsity, so the dense path must also see at least
+#: ``n² / DENSE_MIN_FILL_DIVISOR`` edges (average degree ``>= n/32``) before
+#: its O(n²) build amortises.  A 10k-node sparse graph (m ~ n^{3/2}) stays
+#: on the sorted-merge path instead of materialising a 100 MB matrix.
+DENSE_MIN_FILL_DIVISOR = 64
+
+#: Floor on rows per chunk for the chunked dense reductions (the
+#: ``chunk_bytes`` knob in :mod:`repro.congest.backends` sets the ceiling).
+_MIN_EDGE_CHUNK = 256
 
 #: Popcount lookup table for packed-``uint8`` rows.
 _POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+
+def _backend():
+    """The active kernel backend (imported lazily: :mod:`repro.congest`
+    imports this module at package-init time, so a module-level import of
+    ``repro.congest.backends`` here would be circular)."""
+    from ..congest.backends import active_backend
+
+    return active_backend()
+
+
+def _edge_chunk(row_bytes: int) -> int:
+    """Edges per block so one ``(chunk, row_bytes)`` intermediate stays
+    within the active ``chunk_bytes`` bound."""
+    from ..congest.backends import chunk_rows
+
+    return chunk_rows(row_bytes, minimum=_MIN_EDGE_CHUNK)
 
 _EMPTY_INT64 = np.empty(0, dtype=np.int64)
 _EMPTY_INT64.setflags(write=False)
@@ -189,12 +213,7 @@ class CSRGraph:
         if self._use_dense():
             return self._bool_matrix()[u, v]
         keys = np.minimum(u, v) * np.int64(max(self.num_nodes, 1)) + np.maximum(u, v)
-        edge_keys = self._edge_key_array()
-        positions = np.searchsorted(edge_keys, keys)
-        found = np.zeros(keys.shape, dtype=bool)
-        in_range = positions < edge_keys.shape[0]
-        found[in_range] = edge_keys[positions[in_range]] == keys[in_range]
-        return found
+        return _backend().sorted_membership(self._edge_key_array(), keys)
 
     def common_neighbors(self, u: int, v: int) -> np.ndarray:
         """Return ``N(u) ∩ N(v)`` as a sorted array."""
@@ -210,11 +229,15 @@ class CSRGraph:
     # dense-strategy internals
     # ------------------------------------------------------------------
     def _use_dense(self) -> bool:
-        return (
-            0 < self.num_nodes
-            and self.num_nodes * self.num_nodes <= DENSE_ADJACENCY_MAX_BYTES
-            and self.num_edges > 0
-        )
+        if self.num_nodes <= 0 or self.num_edges == 0:
+            return False
+        matrix_bytes = self.num_nodes * self.num_nodes
+        if matrix_bytes > DENSE_ADJACENCY_MAX_BYTES:
+            return False
+        # Each bitset row is O(n) regardless of how many of its bits are
+        # set: demand a minimum edge fill so sparse large-n graphs use the
+        # sorted-merge path instead of an O(n²) matrix build.
+        return self.num_edges * DENSE_MIN_FILL_DIVISOR >= matrix_bytes
 
     def _bool_matrix(self) -> np.ndarray:
         """The full boolean adjacency matrix (dense strategy only)."""
@@ -255,13 +278,13 @@ class CSRGraph:
         if m:
             if self._use_dense():
                 packed = self._packed_matrix()
-                for start in range(0, m, _EDGE_CHUNK):
-                    end = min(start + _EDGE_CHUNK, m)
-                    both = (
-                        packed[self.edge_u[start:end]]
-                        & packed[self.edge_v[start:end]]
+                backend = _backend()
+                chunk = _edge_chunk(packed.shape[1])
+                for start in range(0, m, chunk):
+                    end = min(start + chunk, m)
+                    support[start:end] = backend.edge_support_chunk(
+                        packed, self.edge_u[start:end], self.edge_v[start:end]
                     )
-                    support[start:end] = _POPCOUNT[both].sum(axis=1)
             else:
                 indptr, indices = self.indptr, self.indices
                 u_list = self.edge_u.tolist()
@@ -296,8 +319,9 @@ class CSRGraph:
             return bool((self._support > 0).any())
         if self._use_dense():
             packed = self._packed_matrix()
-            for start in range(0, m, _EDGE_CHUNK):
-                end = min(start + _EDGE_CHUNK, m)
+            chunk = _edge_chunk(packed.shape[1])
+            for start in range(0, m, chunk):
+                end = min(start + chunk, m)
                 both = packed[self.edge_u[start:end]] & packed[self.edge_v[start:end]]
                 if both.any():
                     return True
@@ -332,8 +356,9 @@ class CSRGraph:
         if self._use_dense():
             matrix = self._bool_matrix()
             columns = np.arange(self.num_nodes, dtype=np.int64)
-            for start in range(0, m, _EDGE_CHUNK):
-                end = min(start + _EDGE_CHUNK, m)
+            chunk = _edge_chunk(self.num_nodes)
+            for start in range(0, m, chunk):
+                end = min(start + chunk, m)
                 u_chunk = self.edge_u[start:end]
                 v_chunk = self.edge_v[start:end]
                 both = matrix[u_chunk] & matrix[v_chunk]
@@ -467,8 +492,9 @@ class CSRGraph:
             landmark_flags = np.zeros(self.num_nodes, dtype=bool)
             landmark_flags[landmark_array] = True
             matrix = self._bool_matrix()
-            for start in range(0, m, _EDGE_CHUNK):
-                end = min(start + _EDGE_CHUNK, m)
+            chunk = _edge_chunk(self.num_nodes)
+            for start in range(0, m, chunk):
+                end = min(start + chunk, m)
                 both = matrix[self.edge_u[start:end]] & matrix[self.edge_v[start:end]]
                 mask[start:end] = ~(both & landmark_flags[None, :]).any(axis=1)
         else:

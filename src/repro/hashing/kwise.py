@@ -154,6 +154,34 @@ class KWiseIndependentFamily:
         )
         return HashFunction(coefficients, self._prime, self._range_size)
 
+    def zero_block(
+        self, coefficient_rows: np.ndarray, points: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized bucket-zero test: ``Z[i, j] = (h_i(points[j]) == 0)``.
+
+        ``coefficient_rows`` holds one transmitted descriptor per row (shape
+        ``(functions, independence)``).  The Horner evaluation over GF(p)
+        dispatches to the active kernel backend
+        (:func:`repro.congest.backends.active_backend`), so the same call
+        runs the numpy reference or the numba twin — byte-identical results
+        either way.  This is the batch form of ``h(x) == 0`` that A2's
+        fused receivers consume.
+        """
+        from ..congest.backends import active_backend
+
+        rows = np.ascontiguousarray(coefficient_rows, dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] != self._independence:
+            raise HashingError(
+                f"expected descriptor rows of {self._independence} "
+                f"coefficients, got shape {rows.shape}"
+            )
+        return active_backend().hash_zero_block(
+            rows,
+            np.ascontiguousarray(points, dtype=np.int64),
+            self._prime,
+            self._range_size,
+        )
+
     def decode(self, coefficients: Sequence[int]) -> HashFunction:
         """Reconstruct a member of this family from its transmitted description.
 

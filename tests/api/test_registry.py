@@ -72,7 +72,13 @@ class TestSchemas:
     def test_algorithm_schema_matches_constructor(self):
         entry = get_algorithm("a1-heavy-sampling")
         names = [parameter.name for parameter in entry.parameters]
-        assert names == ["epsilon", "sample_cap_constant", "kernel"]
+        assert names == [
+            "epsilon",
+            "sample_cap_constant",
+            "kernel",
+            "backend",
+            "chunk_bytes",
+        ]
         required = [p.name for p in entry.parameters if p.required]
         assert required == ["epsilon"]
 

@@ -33,6 +33,8 @@ class TestA2Basics:
             "epsilon": 0.5,
             "independence": 3,
             "kernel": "batched",
+            "backend": "numpy",
+            "chunk_bytes": None,
         }
 
     def test_name_and_model(self):

@@ -443,3 +443,41 @@ class TestTrianglesByGroup:
         tri_group, tri_keys = triangles_by_group(empty, empty, empty, 5)
         assert tri_group.shape[0] == 0
         assert tri_keys.shape[0] == 0
+
+
+class TestDenseCrossover:
+    """The dense-oracle strategy must weigh fill, not just the byte cap.
+
+    A 10k-node sparse graph's bool matrix (100 MB) squeezes under
+    ``DENSE_ADJACENCY_MAX_BYTES``, but building O(n²) state for a graph
+    with ~1 edge per thousand slots is strictly worse than the sorted-merge
+    membership path — the regression that motivated the density floor."""
+
+    def _sparse_10k(self):
+        # A 10 000-node path plus one chord: 10 000 edges, one triangle.
+        edges = [(i, i + 1) for i in range(9_999)] + [(0, 2)]
+        return Graph(10_000, edges).csr()
+
+    def test_sparse_10k_stays_on_merge_path(self):
+        csr = self._sparse_10k()
+        assert csr.num_nodes * csr.num_nodes <= csr_module.DENSE_ADJACENCY_MAX_BYTES
+        assert csr._use_dense() is False
+        hits = csr.has_edges(
+            np.array([0, 0, 5, 9_998], dtype=np.int64),
+            np.array([2, 3, 500, 9_999], dtype=np.int64),
+        )
+        assert hits.tolist() == [True, False, False, True]
+        # No dense state was materialised along the way.
+        assert csr._dense_bool is None
+        assert csr._dense_packed is None
+        assert csr.edge_support().sum() == 3  # the single triangle's edges
+        assert csr._dense_bool is None
+
+    def test_dense_fill_floor_scales_with_size(self):
+        # Same byte budget, adequate fill: a small dense graph still takes
+        # the dense path.
+        dense = gnp_random_graph(64, 0.5, seed=1).csr()
+        assert dense._use_dense() is True
+        # An equally small but near-empty graph does not.
+        sparse = Graph(64, [(0, 1), (2, 3)]).csr()
+        assert sparse._use_dense() is False
