@@ -34,11 +34,12 @@ Two properties keep large sweeps cheap:
 
 from __future__ import annotations
 
+import os
 import pickle
 import weakref
 from collections import OrderedDict
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -57,8 +58,20 @@ import numpy as np
 from ..core.output import AlgorithmResult
 from ..errors import AnalysisError
 from ..graphs.graph import Graph
+from ..graphs.shm import SharedGraphHandle, SharedGraphOwner, share_csr, shm_available
 from ..graphs.triangles import count_triangles
 from .verification import VerificationReport, verify_result
+
+#: Environment knob selecting the workload transport for parallel sweeps:
+#: ``auto`` (default) uses shared memory where available and falls back to
+#: pickling cells, ``shm`` *requires* shared memory (raising when the
+#: platform or the workloads cannot support it), ``pickle`` forces the
+#: fallback path — the knob CI uses to keep the fallback differentially
+#: tested.  Read at :class:`SweepRunner` construction; the ``plane``
+#: constructor argument overrides it.
+SWEEP_PLANE_ENV = "REPRO_SWEEP_PLANE"
+
+_PLANE_MODES = ("auto", "shm", "pickle")
 
 
 class RunnableAlgorithm(Protocol):
@@ -236,6 +249,12 @@ class SweepCell:
     graph_factory: Callable[[int], Graph]
     seed: int
     extra: Optional[Dict[str, Any]] = None
+    #: Optional content-addressable identity of this cell (duck-typed to
+    #: avoid an analysis → api import cycle: anything with a
+    #: ``content_hash()`` — in practice :class:`repro.api.specs.RunSpec`).
+    #: Cells carrying one can be served from (and recorded into) a
+    #: :class:`repro.api.store.ResultCache` by :meth:`SweepRunner.iter_cells`.
+    run_spec: Optional[Any] = None
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -295,6 +314,79 @@ def _execute_cell(cell: SweepCell) -> ExperimentRecord:
     )
 
 
+@dataclass(frozen=True, eq=False)
+class PrebuiltGraphFactory:
+    """Picklable ``seed -> Graph`` factory closing over a built graph.
+
+    The escape hatch for workloads that are not regenerable from a seed —
+    real-world graphs loaded from disk, hand-constructed gadgets.  On the
+    pickle plane a cell carrying one ships the *whole graph* to every
+    worker (that is the cost the shared-memory plane exists to remove);
+    on the shm plane only a segment handle travels.  The seed argument is
+    ignored: the workload is the same graph for every cell.
+
+    Equality is identity (two factories are interchangeable exactly when
+    they wrap the same object), which is also what :meth:`workload_cache_key`
+    exposes so the sweep scheduler can group cells sharing the graph
+    without pickling it once per cell.
+    """
+
+    graph: Graph
+
+    def __call__(self, seed: int) -> Graph:
+        return self.graph
+
+    def workload_cache_key(self) -> int:
+        """Cheap grouping token: the wrapped graph's identity."""
+        return id(self.graph)
+
+
+@dataclass(frozen=True)
+class _SharedWorkloadFactory:
+    """Worker-side factory attaching a shared-memory workload, zero-copy.
+
+    The sweep scheduler substitutes one of these for the original
+    ``graph_factory`` of every cell whose workload it materialised into
+    shared memory: the cell then pickles in O(handle bytes) and the
+    worker's per-process graph cache keys on those same bytes, so each
+    worker attaches a given segment once no matter how many cells use it.
+    """
+
+    handle: SharedGraphHandle
+
+    def __call__(self, seed: int) -> Graph:
+        return Graph.from_shared(self.handle)
+
+
+def _workload_group_key(cell: SweepCell) -> Optional[tuple]:
+    """Identity under which cells share one materialised workload.
+
+    Prefers a factory-provided ``workload_cache_key()`` (qualified by the
+    factory type, so two factory classes can never collide) over pickling
+    the factory — :class:`PrebuiltGraphFactory` would otherwise serialise
+    its whole graph just to be grouped.  Falls back to the pickled
+    ``(factory, seed)`` bytes, the exact identity of the worker-side graph
+    cache; returns ``None`` (not shareable) when even that fails.
+    """
+    factory = cell.graph_factory
+    token = getattr(factory, "workload_cache_key", None)
+    if token is not None:
+        try:
+            return (
+                "key",
+                type(factory).__module__,
+                type(factory).__qualname__,
+                token(),
+                cell.seed,
+            )
+        except Exception:
+            pass
+    try:
+        return ("pickle", pickle.dumps((factory, cell.seed), protocol=4))
+    except Exception:
+        return None
+
+
 class SweepRunner:
     """Schedule experiment sweeps, serially or over a process pool.
 
@@ -307,6 +399,15 @@ class SweepRunner:
     chunk_size:
         Cells per pool task (``chunksize`` of :meth:`Executor.map`).  Raise
         it for sweeps of many cheap cells to amortise pickling overhead.
+    plane:
+        Workload transport for parallel sweeps: ``"auto"`` (materialise
+        each distinct workload once in the parent and ship shared-memory
+        handles, falling back to pickled cells where shm or a workload
+        does not support it), ``"shm"`` (require the shared plane, raise
+        otherwise), or ``"pickle"`` (force the fallback).  ``None`` reads
+        the :data:`SWEEP_PLANE_ENV` environment knob, defaulting to
+        ``"auto"``.  The plane changes transport cost only — records are
+        byte-identical across serial, pickle and shm execution.
 
     The pool is created lazily on the first parallel sweep and **persists**
     across ``run_*`` calls on the same runner; use the runner as a context
@@ -314,28 +415,55 @@ class SweepRunner:
     Workers memoise workload construction per process (see
     :func:`_cell_graph`), so grids that revisit the same (workload, seed)
     cells — e.g. several algorithms over one workload list via
-    :meth:`run_grid` — rebuild each graph at most once per worker.
+    :meth:`run_grid` — rebuild each graph at most once per worker.  On the
+    shm plane even that per-worker rebuild collapses to a zero-copy
+    segment attach, with the triangle oracle pre-computed by the parent.
 
     Because every cell carries its own explicit seed and cells share no
     state, the parallel path reproduces the serial path exactly: same
     records, same order.  The acceptance test pickles both record lists and
     compares the bytes.
+
+    After every ``iter_cells``/``run_*`` call, :attr:`last_plane` holds a
+    small diagnostics dict (plane used, cells served from cache, workloads
+    shared, average pickled bytes per shipped cell) — the sweep-plane
+    benchmark reads it instead of re-instrumenting the scheduler.
     """
 
-    def __init__(self, max_workers: Optional[int] = None, chunk_size: int = 1) -> None:
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        chunk_size: int = 1,
+        plane: Optional[str] = None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise AnalysisError(f"max_workers must be positive, got {max_workers}")
         if chunk_size < 1:
             raise AnalysisError(f"chunk_size must be positive, got {chunk_size}")
+        if plane is None:
+            plane = os.environ.get(SWEEP_PLANE_ENV) or "auto"
+        if plane not in _PLANE_MODES:
+            raise AnalysisError(
+                f"plane must be one of {_PLANE_MODES}, got {plane!r} "
+                f"(check the {SWEEP_PLANE_ENV} environment variable)"
+            )
         self._max_workers = max_workers
         self._chunk_size = chunk_size
+        self._plane = plane
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_finalizer: Optional[weakref.finalize] = None
+        #: Diagnostics of the most recent sweep (see class docstring).
+        self.last_plane: Optional[Dict[str, Any]] = None
 
     @property
     def parallel(self) -> bool:
         """``True`` when sweeps run on a process pool."""
         return self._max_workers is not None and self._max_workers > 1
+
+    @property
+    def plane(self) -> str:
+        """The configured workload transport (``auto`` / ``shm`` / ``pickle``)."""
+        return self._plane
 
     def _executor(self) -> ProcessPoolExecutor:
         """Return the persistent pool, creating it on first use.
@@ -384,18 +512,21 @@ class SweepRunner:
         return [int(child.generate_state(1, dtype=np.uint64)[0] >> 1) for child in children]
 
     @staticmethod
-    def _require_picklable(cells: Sequence[SweepCell]) -> None:
+    def _require_picklable(cells: Sequence[SweepCell]) -> int:
         """Check every cell pickles before any of them reach the pool.
 
         The process pool pickles cells lazily, task by task, so an
         unpicklable factory (a lambda, a closure) would otherwise surface
         as a raw pickle traceback from inside the executor after part of
         the sweep has already run.  Failing eagerly names the offending
-        cell instead.
+        cell instead.  Returns the total pickled size in bytes — the
+        per-cell transport cost the sweep-plane benchmark reports (and
+        the shm plane exists to flatten).
         """
+        total_bytes = 0
         for index, cell in enumerate(cells):
             try:
-                pickle.dumps(cell, protocol=4)
+                total_bytes += len(pickle.dumps(cell, protocol=4))
             except Exception as exc:
                 raise AnalysisError(
                     f"sweep cell {index} (experiment={cell.experiment!r}, "
@@ -406,8 +537,80 @@ class SweepRunner:
                     "not); alternatively run the sweep serially "
                     "(max_workers=None)."
                 ) from exc
+        return total_bytes
 
-    def iter_cells(self, cells: Sequence[SweepCell]) -> "Iterator[ExperimentRecord]":
+    def _plan_plane(
+        self, cells: List[SweepCell], info: Dict[str, Any]
+    ) -> "tuple[List[SweepCell], List[SharedGraphOwner]]":
+        """Choose the workload transport for one parallel sweep.
+
+        On the shm plane, each distinct workload among ``cells`` is built
+        (through the same per-process cache workers use) and materialised
+        **once** in the parent — triangle oracle included, since
+        verification needs it for every cell — and the cells are rewritten
+        to carry segment handles instead of their original factories.
+        Rewriting happens before the picklability check, so a prebuilt
+        graph shipped over shm is never pickled at all.  Returns the cells
+        to execute plus the segment owners the caller must close when the
+        sweep finishes (normally, by interruption, or through the
+        broken-pool path alike).
+
+        Fallback matrix: ``plane="pickle"`` — or unavailable shared
+        memory, or a workload that cannot be grouped/materialised/shared —
+        leaves the affected cells on the pickle path; ``plane="shm"``
+        turns those silent fallbacks into errors (the CI leg that pins the
+        shm plane uses it).
+        """
+        mode = self._plane
+        if mode != "pickle" and not shm_available():
+            if mode == "shm":
+                raise AnalysisError(
+                    "plane='shm' was requested but shared memory is not "
+                    "usable on this platform; use plane='auto' to fall "
+                    "back to pickled workloads"
+                )
+            mode = "pickle"
+        if mode == "pickle":
+            info["plane"] = "pickle"
+            return list(cells), []
+        groups: Dict[Any, List[int]] = {}
+        for index, cell in enumerate(cells):
+            key = _workload_group_key(cell)
+            if key is not None:
+                groups.setdefault(key, []).append(index)
+        new_cells = list(cells)
+        owners: List[SharedGraphOwner] = []
+        try:
+            for indices in groups.values():
+                first = cells[indices[0]]
+                try:
+                    graph = _cell_graph(first)
+                    owner = share_csr(graph.csr(), oracle="materialize")
+                except Exception as exc:
+                    if mode == "shm":
+                        raise AnalysisError(
+                            f"plane='shm' cannot share the workload of cell "
+                            f"(experiment={first.experiment!r}, "
+                            f"seed={first.seed}): {exc}"
+                        ) from exc
+                    continue  # non-CSR or unshareable workload: pickle path
+                owners.append(owner)
+                factory = _SharedWorkloadFactory(handle=owner.handle)
+                for index in indices:
+                    new_cells[index] = replace(
+                        cells[index], graph_factory=factory
+                    )
+        except BaseException:
+            for owner in owners:
+                owner.close()
+            raise
+        info["plane"] = "shm" if owners else "pickle"
+        info["workloads_shared"] = len(owners)
+        return new_cells, owners
+
+    def iter_cells(
+        self, cells: Sequence[SweepCell], cache: Optional[Any] = None
+    ) -> "Iterator[ExperimentRecord]":
         """Yield the records of ``cells`` in cell order as they complete.
 
         The streaming counterpart of :meth:`run_cells`: records arrive in
@@ -415,28 +618,86 @@ class SweepRunner:
         that appends each record to a durable store — the JSONL experiment
         store of :mod:`repro.api.store` — leaves a clean, resumable prefix
         behind if the sweep is interrupted.
+
+        ``cache`` is an optional content-addressed record cache (anything
+        with the ``get(run_spec)`` / ``put(run_spec, record)`` interface of
+        :class:`repro.api.store.ResultCache`).  Cells carrying a
+        ``run_spec`` are looked up *before* any workload is built or any
+        worker is touched — a fully cached sweep executes nothing — and
+        every freshly executed record of such a cell is written back.
+        Cache hits are yielded in cell order, interleaved with executed
+        records, so consumers cannot tell the difference.
         """
         cells = list(cells)
-        if not self.parallel or len(cells) < 2:
-            for cell in cells:
-                yield _execute_cell(cell)
-            return
-        self._require_picklable(cells)
-        pool = self._executor()
-        try:
-            yield from pool.map(_execute_cell, cells, chunksize=self._chunk_size)
-        except BrokenExecutor:
-            # A crashed worker (OOM kill, segfault) breaks the executor for
-            # good; drop it so the next sweep gets a fresh pool instead of
-            # re-raising forever.
-            self._pool_finalizer.detach()
-            pool.shutdown(wait=False)
-            self._pool = None
-            raise
+        hits: Dict[int, ExperimentRecord] = {}
+        if cache is not None:
+            for index, cell in enumerate(cells):
+                if cell.run_spec is None:
+                    continue
+                record = cache.get(cell.run_spec)
+                if record is not None:
+                    hits[index] = record
+        pending = [index for index in range(len(cells)) if index not in hits]
+        info: Dict[str, Any] = {
+            "plane": "serial",
+            "cells": len(cells),
+            "cache_hits": len(hits),
+            "executed": len(pending),
+            "workloads_shared": 0,
+            "pickled_bytes_per_cell": 0.0,
+        }
+        self.last_plane = info
 
-    def run_cells(self, cells: Sequence[SweepCell]) -> List[ExperimentRecord]:
+        def finish(index: int, record: ExperimentRecord) -> ExperimentRecord:
+            if cache is not None and cells[index].run_spec is not None:
+                cache.put(cells[index].run_spec, record)
+            return record
+
+        if not self.parallel or len(pending) < 2:
+            for index in range(len(cells)):
+                if index in hits:
+                    yield hits[index]
+                else:
+                    yield finish(index, _execute_cell(cells[index]))
+            return
+
+        exec_cells, owners = self._plan_plane(
+            [cells[index] for index in pending], info
+        )
+        try:
+            total_bytes = self._require_picklable(exec_cells)
+            info["pickled_bytes_per_cell"] = total_bytes / len(exec_cells)
+            pool = self._executor()
+            try:
+                results = iter(
+                    pool.map(_execute_cell, exec_cells, chunksize=self._chunk_size)
+                )
+                for index in range(len(cells)):
+                    if index in hits:
+                        yield hits[index]
+                    else:
+                        yield finish(index, next(results))
+            except BrokenExecutor:
+                # A crashed worker (OOM kill, segfault) breaks the executor
+                # for good; drop it so the next sweep gets a fresh pool
+                # instead of re-raising forever.
+                self._pool_finalizer.detach()
+                pool.shutdown(wait=False)
+                self._pool = None
+                raise
+        finally:
+            # Unlink every segment this sweep materialised — on normal
+            # completion, on a broken pool, and on generator teardown
+            # (KeyboardInterrupt-style close()) alike.  Workers that are
+            # still attached stay valid until they unmap.
+            for owner in owners:
+                owner.close()
+
+    def run_cells(
+        self, cells: Sequence[SweepCell], cache: Optional[Any] = None
+    ) -> List[ExperimentRecord]:
         """Execute ``cells`` and return their records in cell order."""
-        return list(self.iter_cells(cells))
+        return list(self.iter_cells(cells, cache=cache))
 
     def run_grid(
         self,

@@ -13,9 +13,10 @@ reproduction without writing wiring code:
 * :mod:`repro.api.records` — the durable record types and the canonical
   JSON encoding,
 * :mod:`repro.api.store` — the append-only JSONL experiment store with
-  interrupted-sweep resume,
+  interrupted-sweep resume, plus the content-addressed ``ResultCache``
+  keyed by ``RunSpec.content_hash()``,
 * :mod:`repro.api.cli` — the ``repro`` command line (``list`` / ``run``
-  / ``sweep`` / ``table1``).
+  / ``sweep`` / ``cache`` / ``table1``).
 
 Quickstart::
 
@@ -63,7 +64,7 @@ from .specs import (
     load_spec,
     run_specs_to_cells,
 )
-from .store import RecordStore, StoredSweep, load_sweep, run_sweep
+from .store import RecordStore, ResultCache, StoredSweep, load_sweep, run_sweep
 from .cli import build_parser, main
 
 __all__ = [
@@ -95,6 +96,7 @@ __all__ = [
     "load_spec",
     "run_specs_to_cells",
     "RecordStore",
+    "ResultCache",
     "StoredSweep",
     "load_sweep",
     "run_sweep",

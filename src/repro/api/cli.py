@@ -1,14 +1,18 @@
-"""The ``repro`` command line: list, run, sweep, table1.
+"""The ``repro`` command line: list, run, sweep, cache, table1.
 
 Installed as the ``repro`` console script (and reachable as
-``python -m repro``).  Four subcommands cover the reproduction workflow:
+``python -m repro``).  Five subcommands cover the reproduction workflow:
 
 * ``repro list`` — registered algorithms and workloads with their
   parameter schemas,
 * ``repro run`` — one (algorithm, workload, seed) execution, either from
   a JSON run-spec document or assembled from flags,
 * ``repro sweep`` — an (algorithms × seeds) grid from a JSON sweep-spec
-  document, recorded to an append-only JSONL store with ``--resume``,
+  document, recorded to an append-only JSONL store with ``--resume``;
+  ``--cache DIR`` serves already-computed cells from a content-addressed
+  result cache and ``--plane`` pins the parallel workload transport,
+* ``repro cache`` — inspect a result cache (entry count, size, entries)
+  and evict or clear entries,
 * ``repro table1`` — the paper's Table-1 predictions at a given ``n``.
 
 Every subcommand accepts ``--json`` and then emits a single JSON
@@ -26,7 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from ..analysis.complexity import predicted_round_complexities
-from ..analysis.experiments import SweepRunner
+from ..analysis.experiments import SWEEP_PLANE_ENV, SweepRunner
 from ..analysis.tables import render_records_table, render_table, render_table1
 from .._version import __version__
 from ..errors import AnalysisError, ReproError
@@ -37,7 +41,7 @@ from .registry import (
     list_workloads,
 )
 from .specs import AlgorithmSpec, RunSpec, SweepSpec, WorkloadSpec, load_spec
-from .store import RecordStore, run_sweep
+from .store import RecordStore, ResultCache, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -168,6 +172,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = _run_spec_from_args(args)
     entry = spec.algorithm.entry()
     if not entry.sweepable:
+        if args.cache:
+            raise AnalysisError(
+                f"--cache only applies to sweepable algorithms; "
+                f"{entry.name!r} produces a native result, not an "
+                "experiment record"
+            )
         result = spec.run_raw()
         if args.out:
             RecordStore(args.out).append(
@@ -178,17 +188,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         else:
             print(result.summary())
         return 0
-    record = spec.run()
+    cache = ResultCache(args.cache) if args.cache else None
+    record = cache.get(spec) if cache is not None else None
+    cached = record is not None
+    if record is None:
+        record = spec.run()
+        if cache is not None:
+            cache.put(spec, record)
     if args.out:
         RecordStore(args.out).append({"kind": "record", "record": record.to_dict()})
     if args.json:
-        _emit_json({"spec": spec.to_dict(), "record": record.to_dict()})
+        payload = {"spec": spec.to_dict(), "record": record.to_dict()}
+        if cache is not None:
+            payload["cache"] = {"hit": cached, "hash": spec.content_hash()}
+        _emit_json(payload)
     else:
         print(render_records_table(f"experiment {record.experiment!r}", [record]))
         print(
             f"\nseed={record.seed} messages={record.messages} "
             f"bits={record.bits} truncated={record.truncated}"
         )
+        if cached:
+            print(f"(served from cache: {spec.content_hash()})")
     return 0
 
 
@@ -199,7 +220,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{args.spec} is a run spec; use `repro run --spec {args.spec}`"
         )
     out = args.out or str(Path(args.spec).with_suffix(".records.jsonl"))
-    runner = SweepRunner(max_workers=args.workers)
+    cache = ResultCache(args.cache) if args.cache else None
+    runner = SweepRunner(max_workers=args.workers, plane=args.plane)
     with runner:
         stored = run_sweep(
             spec,
@@ -207,27 +229,83 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             runner=runner,
             resume=args.resume,
             max_cells=args.max_cells,
+            cache=cache,
         )
+        plane = runner.last_plane
     total = len(spec.cells())
     completed = len(stored.completed_cells())
     if args.json:
-        _emit_json(
-            {
-                "spec": spec.to_dict(),
-                "out": out,
-                "cells_total": total,
-                "cells_completed": completed,
-                "records": [
-                    {"cell": cell, "label": label, "record": record.to_dict()}
-                    for cell, label, record in stored.entries
-                ],
-            }
-        )
+        payload = {
+            "spec": spec.to_dict(),
+            "out": out,
+            "cells_total": total,
+            "cells_completed": completed,
+            "records": [
+                {"cell": cell, "label": label, "record": record.to_dict()}
+                for cell, label, record in stored.entries
+            ],
+        }
+        if plane is not None:
+            payload["plane"] = plane
+        if cache is not None:
+            payload["cache"] = cache.stats()
+        _emit_json(payload)
         return 0
     print(render_records_table(f"sweep {spec.experiment!r}", stored.records()))
     print(f"\n{completed}/{total} cells recorded in {out}")
+    if plane is not None and plane["cells"] > 0:
+        print(
+            f"plane={plane['plane']} workloads_shared="
+            f"{plane['workloads_shared']} cache_hits={plane['cache_hits']} "
+            f"executed={plane['executed']}"
+        )
+    if cache is not None:
+        stats = cache.stats()
+        print(
+            f"cache {stats['root']}: {stats['entries']} entries, "
+            f"{stats['hits']} hits, {stats['writes']} new"
+        )
     if completed < total:
         print(f"resume with: repro sweep {args.spec} --out {out} --resume")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.dir)
+    evicted = [digest for digest in args.evict or [] if cache.evict(digest)]
+    cleared = cache.clear() if args.clear else 0
+    stats = cache.stats()
+    if args.json:
+        payload = dict(stats)
+        del payload["hits"], payload["misses"], payload["writes"]
+        payload["evicted"] = evicted
+        payload["cleared"] = cleared
+        if args.entries:
+            payload["entry_list"] = cache.entries()
+        _emit_json(payload)
+        return 0
+    print(f"cache {stats['root']}: {stats['entries']} entries, {stats['bytes']} bytes")
+    if evicted:
+        print(f"evicted {len(evicted)} entries")
+    if args.clear:
+        print(f"cleared {cleared} entries")
+    if args.entries:
+        rows = [
+            [
+                entry["hash"][:12],
+                str(entry["experiment"]),
+                str(entry["algorithm"]),
+                str(entry["workload"]),
+                str(entry["seed"]),
+            ]
+            for entry in cache.entries()
+        ]
+        if rows:
+            print(
+                render_table(
+                    ["hash", "experiment", "algorithm", "workload", "seed"], rows
+                )
+            )
     return 0
 
 
@@ -301,6 +379,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="append the record to this JSONL file"
     )
     run_parser.add_argument(
+        "--cache",
+        help="content-addressed result cache directory: serve this run "
+        "from it when already computed, file the record back otherwise",
+    )
+    run_parser.add_argument(
         "--json", action="store_true", help="emit a JSON document"
     )
     run_parser.set_defaults(handler=_cmd_run)
@@ -332,9 +415,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="stop after this many new cells (checkpointing/testing)",
     )
     sweep_parser.add_argument(
+        "--cache",
+        help="content-addressed result cache directory: serve already-"
+        "computed cells from it, file fresh records back",
+    )
+    sweep_parser.add_argument(
+        "--plane",
+        choices=["auto", "shm", "pickle"],
+        default=None,
+        help="parallel workload transport: auto (shared memory when "
+        "usable, default), shm (require it), pickle (force the fallback); "
+        f"defaults to ${SWEEP_PLANE_ENV} when set",
+    )
+    sweep_parser.add_argument(
         "--json", action="store_true", help="emit a JSON document"
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or prune a content-addressed result cache"
+    )
+    cache_parser.add_argument("dir", help="cache directory (as passed to --cache)")
+    cache_parser.add_argument(
+        "--entries",
+        action="store_true",
+        help="list every entry (hash, experiment, algorithm, workload, seed)",
+    )
+    cache_parser.add_argument(
+        "--evict",
+        action="append",
+        metavar="HASH",
+        help="remove the entry with this content hash (repeatable)",
+    )
+    cache_parser.add_argument(
+        "--clear", action="store_true", help="remove every entry"
+    )
+    cache_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    cache_parser.set_defaults(handler=_cmd_cache)
 
     table1_parser = subparsers.add_parser(
         "table1", help="render the paper's Table-1 predictions"

@@ -23,6 +23,7 @@ equality after a JSON round-trip is exact.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass, field
@@ -35,6 +36,7 @@ from ..analysis.experiments import (
     run_single,
 )
 from ..errors import AnalysisError
+from .records import canonical_json
 from .registry import AlgorithmEntry, WorkloadEntry, get_algorithm, get_workload
 
 __all__ = [
@@ -296,13 +298,29 @@ class RunSpec:
         """Parse JSON text produced by :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
 
+    def content_hash(self) -> str:
+        """Return the spec's content address: sha256 of its canonical JSON.
+
+        Two specs hash equal exactly when their :meth:`to_dict` documents
+        are equal — the same identity a JSON round-trip preserves — so the
+        hash is stable across processes, sessions and machines.  This is
+        the key :class:`repro.api.store.ResultCache` files records under.
+        """
+        digest = hashlib.sha256(canonical_json(self.to_dict()).encode("utf-8"))
+        return digest.hexdigest()
+
     def cell(self) -> SweepCell:
-        """Return the equivalent :class:`~repro.analysis.SweepCell`."""
+        """Return the equivalent :class:`~repro.analysis.SweepCell`.
+
+        The cell carries this spec as its ``run_spec`` so cache-aware
+        sweeps can serve or record it by content hash.
+        """
         return SweepCell(
             experiment=self.experiment,
             algorithm_factory=AlgorithmFactory(self.algorithm),
             graph_factory=self.workload.factory(),
             seed=self.seed,
+            run_spec=self,
         )
 
     def run_raw(self) -> Any:
@@ -406,18 +424,27 @@ class SweepSpec:
         """Return the shared workload factory ``run_grid`` consumes."""
         return self.workload.factory()
 
-    def cells(self) -> List[SweepCell]:
-        """Return the grid's cells in ``run_grid`` order (workload-major)."""
+    def run_specs(self) -> List[RunSpec]:
+        """Return the grid's cells as run specs, aligned with :meth:`cells`.
+
+        Each cell of the grid has a standalone :class:`RunSpec` identity;
+        its :meth:`RunSpec.content_hash` is what the result cache keys the
+        cell's record under, independent of which sweep executed it.
+        """
         return [
-            SweepCell(
-                experiment=self.experiment,
-                algorithm_factory=AlgorithmFactory(algorithm),
-                graph_factory=self.workload.factory(),
+            RunSpec(
+                algorithm=algorithm,
+                workload=self.workload,
                 seed=seed,
+                experiment=self.experiment,
             )
             for seed in self.seeds
             for algorithm in self.algorithms
         ]
+
+    def cells(self) -> List[SweepCell]:
+        """Return the grid's cells in ``run_grid`` order (workload-major)."""
+        return [run.cell() for run in self.run_specs()]
 
     def cell_labels(self) -> List[str]:
         """Return the algorithm label of each cell, aligned with :meth:`cells`."""

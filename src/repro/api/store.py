@@ -1,4 +1,4 @@
-"""Append-only JSONL store for sweep records, with resume.
+"""Durable sweep results: an append-only JSONL store and a content cache.
 
 A sweep's durable artifact is one JSONL file:
 
@@ -21,22 +21,32 @@ file byte for byte — the acceptance test compares the files with
 The store refuses to resume against a file whose header spec differs
 from the requested spec: silently mixing two sweeps' records would
 poison both.
+
+Orthogonal to per-sweep files, :class:`ResultCache` is a
+content-addressed record cache shared across sweeps: every record is
+filed under its run spec's :meth:`~repro.api.specs.RunSpec.content_hash`,
+so any later run or sweep containing the same (algorithm, workload,
+seed) cell — in any grid, under any output path — is served from disk
+instead of executing.  The cache stores the record document verbatim,
+which is why cache hits reproduce store files byte for byte.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..analysis.experiments import ExperimentRecord, SweepRunner
 from ..errors import AnalysisError
 from .records import canonical_json
-from .specs import SPEC_SCHEMA_VERSION, SweepSpec
+from .specs import SPEC_SCHEMA_VERSION, RunSpec, SweepSpec
 
 __all__ = [
     "RecordStore",
+    "ResultCache",
     "StoredSweep",
     "run_sweep",
     "load_sweep",
@@ -44,6 +54,163 @@ __all__ = [
 
 _HEADER_KIND = "sweep-header"
 _RECORD_KIND = "record"
+_CACHE_KIND = "cached-record"
+_HASH_HEX_LENGTH = 64
+
+
+class ResultCache:
+    """Content-addressed experiment-record cache, shared across sweeps.
+
+    Entries live under ``root`` as ``<hash[:2]>/<hash>.json`` (sharded so
+    no directory grows unbounded), one canonical-JSON document per entry:
+    the run spec's document, its content hash, and the record document —
+    self-describing enough to audit with nothing but ``cat``.
+
+    Writes are atomic (temp file + :func:`os.replace`) and idempotent:
+    the first record filed under a hash wins and later puts are no-ops,
+    so concurrent sweeps sharing a cache cannot corrupt an entry or flip
+    a stored result.  ``hits`` / ``misses`` / ``writes`` count this
+    instance's traffic; tests pin "zero executions on a warm cache" and
+    "no double-write on resume" with them.
+    """
+
+    def __init__(self, root: "str | Path") -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _entry_path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, spec: RunSpec) -> Optional[ExperimentRecord]:
+        """Return the cached record for ``spec``, or ``None`` on a miss.
+
+        A stored entry whose run document does not match ``spec`` (hash
+        collision or hand-edited file) is an error, not a silent miss:
+        serving the wrong record would corrupt downstream stores.
+        """
+        digest = spec.content_hash()
+        path = self._entry_path(digest)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(
+                f"{path}: cache entry is not valid JSON: {exc}"
+            ) from exc
+        if payload.get("kind") != _CACHE_KIND or "record" not in payload:
+            raise AnalysisError(
+                f"{path}: not a result-cache entry; was this directory "
+                "written by something else?"
+            )
+        if payload.get("run") != spec.to_dict():
+            raise AnalysisError(
+                f"{path}: cached run spec does not match the requested "
+                f"spec under hash {digest}; the entry is corrupt (or "
+                "hand-edited) — evict it with 'repro cache --evict'"
+            )
+        self.hits += 1
+        return ExperimentRecord.from_dict(payload["record"])
+
+    def put(self, spec: RunSpec, record: ExperimentRecord) -> bool:
+        """File ``record`` under ``spec``'s hash; ``False`` if already cached."""
+        digest = spec.content_hash()
+        path = self._entry_path(digest)
+        if path.exists():
+            return False
+        payload = {
+            "kind": _CACHE_KIND,
+            "schema": SPEC_SCHEMA_VERSION,
+            "hash": digest,
+            "run": spec.to_dict(),
+            "record": record.to_dict(),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        self.writes += 1
+        return True
+
+    def _entry_files(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and len(shard.name) == 2):
+                continue
+            for path in sorted(shard.glob("*.json")):
+                digest = path.stem
+                if len(digest) == _HASH_HEX_LENGTH and digest.startswith(shard.name):
+                    yield path
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Return ``{"hash", "experiment", "algorithm", "workload", "seed",
+        "bytes"}`` summaries of every entry, sorted by hash."""
+        summaries = []
+        for path in self._entry_files():
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(
+                    f"{path}: cache entry is not valid JSON: {exc}"
+                ) from exc
+            run = payload.get("run", {})
+            summaries.append(
+                {
+                    "hash": path.stem,
+                    "experiment": run.get("experiment"),
+                    "algorithm": run.get("algorithm", {}).get("name"),
+                    "workload": run.get("workload", {}).get("name"),
+                    "seed": run.get("seed"),
+                    "bytes": path.stat().st_size,
+                }
+            )
+        return summaries
+
+    def stats(self) -> Dict[str, Any]:
+        """Return entry count, total bytes, and this instance's traffic."""
+        count = 0
+        total_bytes = 0
+        for path in self._entry_files():
+            count += 1
+            total_bytes += path.stat().st_size
+        return {
+            "root": str(self.root),
+            "entries": count,
+            "bytes": total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def evict(self, digest: str) -> bool:
+        """Remove the entry under ``digest``; ``False`` if absent."""
+        if len(digest) != _HASH_HEX_LENGTH or not all(
+            c in "0123456789abcdef" for c in digest
+        ):
+            raise AnalysisError(
+                f"not a sha256 content hash: {digest!r} (expected 64 hex "
+                "characters, as printed by 'repro cache')"
+            )
+        path = self._entry_path(digest)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Remove every entry, returning how many were removed."""
+        removed = 0
+        for path in list(self._entry_files()):
+            path.unlink()
+            removed += 1
+        return removed
 
 
 class RecordStore:
@@ -188,6 +355,7 @@ def run_sweep(
     runner: Optional[SweepRunner] = None,
     resume: bool = False,
     max_cells: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> StoredSweep:
     """Execute ``spec``, appending each record to the JSONL file at ``path``.
 
@@ -206,6 +374,13 @@ def run_sweep(
         Stop after executing this many *new* cells (the store keeps its
         valid prefix).  This is the deterministic stand-in for an
         interrupted sweep, used by the resume tests and the CI smoke leg.
+    cache:
+        Optional content-addressed :class:`ResultCache`.  Cells whose run
+        spec already has a cached record are served from it (the stored
+        record document is appended verbatim, keeping the JSONL file
+        byte-identical to an executed sweep) and fresh records are filed
+        back.  Resume and cache compose: resumed cells never touch the
+        cache, so resuming over a warm cache does not double-write.
 
     Returns the complete (or, with ``max_cells``, partial) stored sweep.
     """
@@ -253,7 +428,9 @@ def run_sweep(
         own_runner = runner is None
         runner = runner if runner is not None else SweepRunner()
         try:
-            stream = runner.iter_cells([cells[index] for index in pending])
+            stream = runner.iter_cells(
+                [cells[index] for index in pending], cache=cache
+            )
             for index, record in zip(pending, stream):
                 store.append(
                     {

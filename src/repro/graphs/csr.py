@@ -106,6 +106,10 @@ class CSRGraph:
         "_triangles",
         "_dense_bool",
         "_dense_packed",
+        # Weak referenceability: the shared-memory plane (repro.graphs.shm)
+        # ties segment-mapping lifetime to attached snapshots with
+        # weakref.finalize.
+        "__weakref__",
     )
 
     def __init__(

@@ -28,6 +28,7 @@ import numpy as np
 from ..errors import GraphError
 from ..types import Edge, NodeId, make_edge
 from .csr import CSRGraph
+from .shm import SharedGraphHandle, SharedGraphOwner, attach_shared_graph, share_csr
 
 
 class Graph:
@@ -43,7 +44,14 @@ class Graph:
         duplicates are ignored; self-loops raise :class:`GraphError`.
     """
 
-    __slots__ = ("_num_nodes", "_adjacency", "_num_edges", "_csr_cache")
+    __slots__ = (
+        "_num_nodes",
+        "_adjacency",
+        "_num_edges",
+        "_csr_cache",
+        "_shared_owner",
+        "__weakref__",
+    )
 
     def __init__(self, num_nodes: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
         if num_nodes < 0:
@@ -52,6 +60,7 @@ class Graph:
         self._adjacency: List[Set[NodeId]] = [set() for _ in range(num_nodes)]
         self._num_edges = 0
         self._csr_cache: Optional[CSRGraph] = None
+        self._shared_owner: Optional[SharedGraphOwner] = None
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -138,6 +147,62 @@ class Graph:
             self._csr_cache = CSRGraph.from_graph(self)
         return self._csr_cache
 
+    # ------------------------------------------------------------------
+    # shared-memory plane
+    # ------------------------------------------------------------------
+    def to_shared(self, *, oracle: str = "keep") -> SharedGraphHandle:
+        """Materialise this graph into shared memory and return the handle.
+
+        The handle is picklable in O(manifest bytes) and another process —
+        or this one — rebuilds the graph zero-copy with
+        :meth:`from_shared`.  The backing segment is cached like
+        :meth:`csr`: repeated calls return the same handle, and any
+        mutation (:meth:`add_edge`, :meth:`remove_edge`) invalidates it by
+        *unlinking* the segment — already-attached views stay valid (POSIX
+        unlink-while-mapped), but the stale handle can no longer be
+        attached, so a mutated graph is never observed through an old
+        name.  ``oracle`` is forwarded to
+        :func:`repro.graphs.shm.share_csr` (``"keep"`` shares the triangle
+        oracle caches that happen to exist; ``"materialize"`` computes
+        them first; ``"omit"`` shares the bare CSR arrays).
+
+        Release the segment deterministically with :meth:`release_shared`;
+        a dropped graph releases it at garbage collection.
+        """
+        if self._shared_owner is None or self._shared_owner.closed:
+            self._shared_owner = share_csr(self.csr(), oracle=oracle)
+        return self._shared_owner.handle
+
+    def release_shared(self) -> None:
+        """Unlink this graph's shared segment, if any (idempotent)."""
+        if self._shared_owner is not None:
+            self._shared_owner.close()
+            self._shared_owner = None
+
+    @classmethod
+    def from_shared(cls, handle: SharedGraphHandle) -> "Graph":
+        """Rebuild a graph from a :meth:`to_shared` handle, zero-copy.
+
+        The CSR view (and any oracle caches the sharer included) are
+        attached as read-only views over the shared segment — no graph
+        bytes are copied; only the adjacency sets, which the CSR snapshot
+        does not encode, are rebuilt locally.
+        """
+        return cls._from_csr(attach_shared_graph(handle))
+
+    @classmethod
+    def _from_csr(cls, csr: CSRGraph) -> "Graph":
+        """Adopt an existing CSR snapshot as a full graph (internal)."""
+        graph = cls(csr.num_nodes)
+        indptr, indices = csr.indptr, csr.indices
+        graph._adjacency = [
+            set(indices[indptr[node] : indptr[node + 1]].tolist())
+            for node in range(csr.num_nodes)
+        ]
+        graph._num_edges = csr.num_edges
+        graph._csr_cache = csr
+        return graph
+
     def edges(self) -> Iterator[Edge]:
         """Iterate over all edges in canonical ``(min, max)`` order.
 
@@ -180,6 +245,7 @@ class Graph:
         self._adjacency[v].add(u)
         self._num_edges += 1
         self._csr_cache = None
+        self.release_shared()
         return True
 
     def remove_edge(self, u: NodeId, v: NodeId) -> bool:
@@ -198,6 +264,7 @@ class Graph:
         self._adjacency[v].discard(u)
         self._num_edges -= 1
         self._csr_cache = None
+        self.release_shared()
         return True
 
     # ------------------------------------------------------------------
@@ -256,6 +323,21 @@ class Graph:
 
     def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
         raise TypeError("Graph objects are mutable and therefore unhashable")
+
+    def __getstate__(self):
+        # Segment ownership is a process-local resource: a pickled copy
+        # must not carry (let alone later unlink) the original's segment.
+        return {
+            "_num_nodes": self._num_nodes,
+            "_adjacency": self._adjacency,
+            "_num_edges": self._num_edges,
+            "_csr_cache": self._csr_cache,
+        }
+
+    def __setstate__(self, state) -> None:
+        for slot in ("_num_nodes", "_adjacency", "_num_edges", "_csr_cache"):
+            setattr(self, slot, state[slot])
+        self._shared_owner = None
 
     def __repr__(self) -> str:
         return f"Graph(num_nodes={self._num_nodes}, num_edges={self._num_edges})"
