@@ -14,7 +14,10 @@ experiments of Izumi & Le Gall (PODC 2017):
   experiment harness and the Table-1 renderer,
 * :mod:`repro.api` — the declarative front door: algorithm/workload
   registries, JSON run/sweep specs, the JSONL experiment store, and the
-  ``repro`` command line (``python -m repro``).
+  ``repro`` command line (``python -m repro``),
+* :mod:`repro.service` — the persistent worker-fleet experiment
+  service: a dispatcher that leases sweep cells to long-lived warm
+  worker processes (``repro serve`` / ``submit`` / ``status``).
 
 Quickstart::
 
@@ -40,6 +43,7 @@ or, declaratively (the same run, pinned by test to the constructor path)::
 
 from ._version import __version__
 from . import api
+from . import service
 from .errors import (
     AnalysisError,
     BandwidthExceededError,
@@ -48,6 +52,7 @@ from .errors import (
     ProtocolError,
     ReproError,
     RoundLimitExceededError,
+    ServiceError,
     SimulationError,
     TopologyError,
     VerificationError,
@@ -65,6 +70,7 @@ from .types import (
 __all__ = [
     "__version__",
     "api",
+    "service",
     "AnalysisError",
     "BandwidthExceededError",
     "GraphError",
@@ -72,6 +78,7 @@ __all__ = [
     "ProtocolError",
     "ReproError",
     "RoundLimitExceededError",
+    "ServiceError",
     "SimulationError",
     "TopologyError",
     "VerificationError",

@@ -64,7 +64,14 @@ from .specs import (
     load_spec,
     run_specs_to_cells,
 )
-from .store import RecordStore, ResultCache, StoredSweep, load_sweep, run_sweep
+from .store import (
+    RecordStore,
+    ResultCache,
+    StoredSweep,
+    SweepStoreWriter,
+    load_sweep,
+    run_sweep,
+)
 from .cli import build_parser, main
 
 __all__ = [
@@ -98,6 +105,7 @@ __all__ = [
     "RecordStore",
     "ResultCache",
     "StoredSweep",
+    "SweepStoreWriter",
     "load_sweep",
     "run_sweep",
     "build_parser",

@@ -13,7 +13,16 @@ Installed as the ``repro`` console script (and reachable as
   result cache and ``--plane`` pins the parallel workload transport,
 * ``repro cache`` — inspect a result cache (entry count, size, entries)
   and evict or clear entries,
-* ``repro table1`` — the paper's Table-1 predictions at a given ``n``.
+* ``repro table1`` — the paper's Table-1 predictions at a given ``n``,
+* ``repro serve`` / ``repro submit`` / ``repro status`` / ``repro
+  worker`` — the persistent worker-fleet experiment service
+  (:mod:`repro.service`): a long-lived dispatcher leases sweep cells to
+  warm worker processes and streams records into the same JSONL store
+  format, byte-identical to ``repro sweep``.
+
+Set ``REPRO_PRELOAD`` to a comma-separated module list to import extra
+algorithm/workload registrations before any command runs (the service's
+``--preload`` flag, as an environment knob).
 
 Every subcommand accepts ``--json`` and then emits a single JSON
 document on stdout, so the CLI scripts as cleanly as the Python API.
@@ -25,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -221,6 +231,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     out = args.out or str(Path(args.spec).with_suffix(".records.jsonl"))
     cache = ResultCache(args.cache) if args.cache else None
+    progress = None
+    if args.progress:
+
+        def progress(completed: int, total: int) -> None:
+            print(
+                f"sweep {spec.experiment!r}: {completed}/{total} cells",
+                file=sys.stderr,
+            )
+            sys.stderr.flush()
+
     runner = SweepRunner(max_workers=args.workers, plane=args.plane)
     with runner:
         stored = run_sweep(
@@ -230,6 +250,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             resume=args.resume,
             max_cells=args.max_cells,
             cache=cache,
+            progress=progress,
         )
         plane = runner.last_plane
     total = len(spec.cells())
@@ -257,13 +278,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"plane={plane['plane']} workloads_shared="
             f"{plane['workloads_shared']} cache_hits={plane['cache_hits']} "
-            f"executed={plane['executed']}"
+            f"executed={plane['executed']} "
+            f"bytes_per_cell={plane['pickled_bytes_per_cell']:.0f}"
         )
     if cache is not None:
         stats = cache.stats()
         print(
             f"cache {stats['root']}: {stats['entries']} entries, "
-            f"{stats['hits']} hits, {stats['writes']} new"
+            f"{stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['writes']} new"
         )
     if completed < total:
         print(f"resume with: repro sweep {args.spec} --out {out} --resume")
@@ -307,6 +330,34 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 )
             )
     return 0
+
+
+# The service handlers import repro.service lazily: `repro list` or
+# `repro table1` should not pay for (or be broken by) the service layer.
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..service.cli import cmd_serve
+
+    return cmd_serve(args)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from ..service.cli import cmd_submit
+
+    return cmd_submit(args)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from ..service.cli import cmd_status
+
+    return cmd_status(args)
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from ..service.cli import cmd_worker
+
+    return cmd_worker(args)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -428,9 +479,137 @@ def build_parser() -> argparse.ArgumentParser:
         f"defaults to ${SWEEP_PLANE_ENV} when set",
     )
     sweep_parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print completed/total cells to stderr as records stream in",
+    )
+    sweep_parser.add_argument(
         "--json", action="store_true", help="emit a JSON document"
     )
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the persistent experiment service (dispatcher)"
+    )
+    serve_parser.add_argument(
+        "root", help="service directory (socket, service.json, worker logs)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="managed worker processes to spawn and keep alive (default 2)",
+    )
+    serve_parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=60.0,
+        help="seconds a worker may hold one cell before it is requeued",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        help="seconds between worker heartbeats",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=None,
+        help="evict a worker silent for this long (default: 5x the interval)",
+    )
+    serve_parser.add_argument(
+        "--max-segments",
+        type=int,
+        default=4,
+        help="idle shared-memory workloads kept warm across jobs (default 4)",
+    )
+    serve_parser.add_argument(
+        "--plane",
+        choices=["auto", "shm", "pickle"],
+        default="auto",
+        help="workload transport to workers (default: auto)",
+    )
+    serve_parser.add_argument(
+        "--preload",
+        action="append",
+        metavar="MODULE",
+        help="import this module in the dispatcher and every managed "
+        "worker (extra registrations); repeatable",
+    )
+    serve_parser.add_argument(
+        "--stop",
+        action="store_true",
+        help="shut down the service running in this directory instead",
+    )
+    serve_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document on startup"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="run a sweep spec on the experiment service"
+    )
+    submit_parser.add_argument("root", help="service directory (as passed to serve)")
+    submit_parser.add_argument("spec", help="path to a JSON sweep-spec document")
+    submit_parser.add_argument(
+        "--out",
+        help="JSONL record store (default: the spec path with a "
+        ".records.jsonl suffix); written by the dispatcher",
+    )
+    submit_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep, skipping recorded cells",
+    )
+    submit_parser.add_argument(
+        "--cache",
+        help="content-addressed result cache directory (dispatcher-side)",
+    )
+    submit_parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        help="stop after this many new cells (checkpointing/testing)",
+    )
+    submit_parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="return after queueing instead of waiting for completion",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    submit_parser.set_defaults(handler=_cmd_submit)
+
+    status_parser = subparsers.add_parser(
+        "status", help="show the experiment service's live status"
+    )
+    status_parser.add_argument("root", help="service directory (as passed to serve)")
+    status_parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="re-render every SECONDS until interrupted",
+    )
+    status_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    status_parser.set_defaults(handler=_cmd_status)
+
+    worker_parser = subparsers.add_parser(
+        "worker", help="run one experiment-service worker (foreground)"
+    )
+    worker_parser.add_argument("root", help="service directory (as passed to serve)")
+    worker_parser.add_argument(
+        "--preload",
+        action="append",
+        metavar="MODULE",
+        help="import this module before serving (extra registrations); "
+        "repeatable",
+    )
+    worker_parser.set_defaults(handler=_cmd_worker)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or prune a content-addressed result cache"
@@ -474,6 +653,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        preload = os.environ.get("REPRO_PRELOAD", "")
+        if preload:
+            from ..service.worker import preload_modules
+
+            preload_modules(name.strip() for name in preload.split(","))
         return args.handler(args)
     except BrokenPipeError:
         # Downstream pager/`head` closed the pipe; that is not an error.

@@ -35,9 +35,10 @@ from __future__ import annotations
 
 import json
 import os
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..analysis.experiments import ExperimentRecord, SweepRunner
 from ..errors import AnalysisError
@@ -48,6 +49,7 @@ __all__ = [
     "RecordStore",
     "ResultCache",
     "StoredSweep",
+    "SweepStoreWriter",
     "run_sweep",
     "load_sweep",
 ]
@@ -349,6 +351,124 @@ def load_sweep(path: "str | Path") -> StoredSweep:
     return _parse_store(RecordStore(path))
 
 
+class SweepStoreWriter:
+    """In-order, resumable writer of one sweep's JSONL store.
+
+    The single authority on the store's byte layout, shared by the
+    serial :func:`run_sweep` path and the experiment service's
+    dispatcher: construction replays ``run_sweep``'s header/resume
+    protocol exactly (heal a partial tail, adopt a matching prefix or
+    refuse a foreign one, write the header on a fresh file), and
+    :meth:`write` appends record lines **in ascending cell order** no
+    matter the order records arrive in — out-of-order completions (a
+    worker fleet finishes cells in whatever order leases land) are
+    buffered and flushed as soon as every smaller unwritten cell is in.
+
+    Since a serial sweep writes its pending cells in ascending order
+    anyway, both paths produce the same file, byte for byte.
+    """
+
+    def __init__(
+        self, spec: SweepSpec, path: "str | Path", resume: bool = False
+    ) -> None:
+        spec.require_sweepable()
+        self.spec = spec
+        self.store = RecordStore(path)
+        self.labels = spec.cell_labels()
+        self.num_cells = len(self.labels)
+        #: Cells whose record is on disk (the resumed prefix at
+        #: construction; grows as buffered records flush).
+        self.done: Set[int] = set()
+        self._entries: List[Tuple[int, str, ExperimentRecord]] = []
+        self._buffer: Dict[int, Dict[str, Any]] = {}
+        self.written = 0
+        if self.store.exists():
+            if not resume:
+                raise AnalysisError(
+                    f"{self.store.path} already exists; pass resume=True "
+                    "(CLI: --resume) to continue an interrupted sweep, or "
+                    "choose a fresh output path"
+                )
+            self.store.discard_partial_tail()
+        if self.store.exists():
+            # (still) non-empty after healing: a real prefix to resume from.
+            stored = _parse_store(self.store, num_cells=self.num_cells)
+            if stored.spec.to_dict() != spec.to_dict():
+                raise AnalysisError(
+                    f"{self.store.path} was written for a different sweep "
+                    "spec; refusing to mix records from two sweeps in one "
+                    "file"
+                )
+            self.done = stored.completed_cells()
+            self._entries = list(stored.entries)
+        else:
+            # Fresh file — or a crash landed mid-header-write and healing
+            # emptied it; either way the sweep starts from the beginning.
+            self.store.append(
+                {
+                    "kind": _HEADER_KIND,
+                    "schema": SPEC_SCHEMA_VERSION,
+                    "spec": spec.to_dict(),
+                }
+            )
+        self._order: Deque[int] = deque(
+            index for index in range(self.num_cells) if index not in self.done
+        )
+
+    def pending(self) -> List[int]:
+        """Cells without a record yet (written or buffered), ascending."""
+        return [index for index in self._order if index not in self._buffer]
+
+    def write(self, cell: int, record_doc: Dict[str, Any]) -> ExperimentRecord:
+        """File ``cell``'s record document; returns the parsed record.
+
+        The document is validated immediately (a malformed record must
+        fail at the producer, not corrupt the file) but hits disk only
+        once every smaller unwritten cell has arrived — preserving the
+        serial path's byte layout under out-of-order completion.
+        """
+        if not 0 <= cell < self.num_cells:
+            raise AnalysisError(
+                f"cell {cell} is outside the spec's {self.num_cells}-cell grid"
+            )
+        if cell in self.done or cell in self._buffer:
+            raise AnalysisError(
+                f"{self.store.path}: cell {cell} already has a record"
+            )
+        record = ExperimentRecord.from_dict(record_doc)
+        self._buffer[cell] = record_doc
+        while self._order and self._order[0] in self._buffer:
+            index = self._order.popleft()
+            doc = self._buffer.pop(index)
+            self.store.append(
+                {
+                    "kind": _RECORD_KIND,
+                    "cell": index,
+                    "label": self.labels[index],
+                    "record": doc,
+                }
+            )
+            self._entries.append(
+                (index, self.labels[index], ExperimentRecord.from_dict(doc))
+            )
+            self.done.add(index)
+            self.written += 1
+        return record
+
+    @property
+    def buffered(self) -> int:
+        """Records held back waiting for a smaller cell to complete."""
+        return len(self._buffer)
+
+    def stored(self) -> StoredSweep:
+        """Return the written contents as a :class:`StoredSweep`.
+
+        Matches the file exactly (buffered records are not included —
+        they are not on disk).
+        """
+        return StoredSweep(spec=self.spec, entries=tuple(self._entries))
+
+
 def run_sweep(
     spec: SweepSpec,
     path: "str | Path",
@@ -356,6 +476,7 @@ def run_sweep(
     resume: bool = False,
     max_cells: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> StoredSweep:
     """Execute ``spec``, appending each record to the JSONL file at ``path``.
 
@@ -382,48 +503,22 @@ def run_sweep(
         back.  Resume and cache compose: resumed cells never touch the
         cache, so resuming over a warm cache does not double-write.
 
+    progress:
+        Optional ``(completed, total)`` callback, invoked once with the
+        resumed state before any cell runs and again after every
+        completed cell — what ``repro sweep --progress`` renders.
+
     Returns the complete (or, with ``max_cells``, partial) stored sweep.
     """
-    spec.require_sweepable()
-    store = RecordStore(path)
+    writer = SweepStoreWriter(spec, path, resume=resume)
     cells = spec.cells()
-    labels = spec.cell_labels()
-    done: Set[int] = set()
-    entries: List[Tuple[int, str, ExperimentRecord]] = []
-    if store.exists():
-        if not resume:
-            raise AnalysisError(
-                f"{store.path} already exists; pass resume=True (CLI: "
-                "--resume) to continue an interrupted sweep, or choose a "
-                "fresh output path"
-            )
-        store.discard_partial_tail()
-    if store.exists():
-        # (still) non-empty after healing: a real prefix to resume from.
-        stored = _parse_store(store, num_cells=len(cells))
-        if stored.spec.to_dict() != spec.to_dict():
-            raise AnalysisError(
-                f"{store.path} was written for a different sweep spec; "
-                "refusing to mix records from two sweeps in one file"
-            )
-        done = stored.completed_cells()
-        entries = list(stored.entries)
-    else:
-        # Fresh file — or a crash landed mid-header-write and healing
-        # emptied it; either way the sweep starts from the beginning.
-        store.append(
-            {
-                "kind": _HEADER_KIND,
-                "schema": SPEC_SCHEMA_VERSION,
-                "spec": spec.to_dict(),
-            }
-        )
-
-    pending = [index for index in range(len(cells)) if index not in done]
+    pending = writer.pending()
     if max_cells is not None:
         if max_cells < 0:
             raise AnalysisError(f"max_cells must be non-negative, got {max_cells}")
         pending = pending[:max_cells]
+    if progress is not None:
+        progress(len(writer.done), writer.num_cells)
     if pending:
         own_runner = runner is None
         runner = runner if runner is not None else SweepRunner()
@@ -432,18 +527,12 @@ def run_sweep(
                 [cells[index] for index in pending], cache=cache
             )
             for index, record in zip(pending, stream):
-                store.append(
-                    {
-                        "kind": _RECORD_KIND,
-                        "cell": index,
-                        "label": labels[index],
-                        "record": record.to_dict(),
-                    }
-                )
-                entries.append((index, labels[index], record))
+                writer.write(index, record.to_dict())
+                if progress is not None:
+                    progress(len(writer.done), writer.num_cells)
         finally:
             if own_runner:
                 runner.close()
-    # The parsed prefix plus the records just appended is exactly the
-    # file's contents — no need to re-read and re-parse it from disk.
-    return StoredSweep(spec=spec, entries=tuple(entries))
+    # The writer's adopted prefix plus the records just flushed is exactly
+    # the file's contents — no need to re-read and re-parse it from disk.
+    return writer.stored()

@@ -77,3 +77,12 @@ class VerificationError(ReproError):
 
 class AnalysisError(ReproError):
     """Raised for invalid analysis or experiment-harness configurations."""
+
+
+class ServiceError(ReproError):
+    """Raised for experiment-service failures (dispatcher, workers, protocol).
+
+    Examples include connecting to a directory with no running service,
+    malformed or oversized protocol frames, submitting a spec the
+    dispatcher rejects, or waiting on a job whose cells failed.
+    """

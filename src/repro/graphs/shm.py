@@ -72,6 +72,7 @@ __all__ = [
     "SharedGraphOwner",
     "active_attachments",
     "attach_shared_graph",
+    "disown_tracker",
     "reap_pending",
     "segment_exists",
     "share_csr",
@@ -113,6 +114,30 @@ class SharedArraySpec:
             count *= size
         return count * np.dtype(self.dtype).itemsize
 
+    def to_dict(self) -> dict:
+        """Return the JSON-ready manifest entry (inverse of :meth:`from_dict`)."""
+        return {
+            "field": self.field,
+            "dtype": self.dtype,
+            "shape": list(self.shape),
+            "offset": self.offset,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SharedArraySpec":
+        """Rebuild a manifest entry from :meth:`to_dict` output."""
+        missing = {"field", "dtype", "shape", "offset"} - set(payload)
+        if missing:
+            raise GraphError(
+                f"shared array spec is missing {sorted(missing)}"
+            )
+        return cls(
+            field=str(payload["field"]),
+            dtype=str(payload["dtype"]),
+            shape=tuple(payload["shape"]),
+            offset=int(payload["offset"]),
+        )
+
 
 @dataclass(frozen=True)
 class SharedGraphHandle:
@@ -150,6 +175,42 @@ class SharedGraphHandle:
     def attach(self) -> CSRGraph:
         """Attach and return the shared :class:`CSRGraph` (zero-copy)."""
         return attach_shared_graph(self)
+
+    def to_dict(self) -> dict:
+        """Return the JSON-ready manifest document (inverse of :meth:`from_dict`).
+
+        Handles travel between processes either by pickle (the sweep
+        scheduler's pool) or as canonical-JSON protocol frames (the
+        experiment service's lease messages); both carry exactly the
+        manifest, never graph bytes.
+        """
+        return {
+            "segment": self.segment,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "arrays": [spec.to_dict() for spec in self.arrays],
+            "total_bytes": self.total_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SharedGraphHandle":
+        """Rebuild a handle from :meth:`to_dict` output (validated as usual)."""
+        missing = {"segment", "num_nodes", "num_edges", "arrays", "total_bytes"} - set(
+            payload
+        )
+        if missing:
+            raise GraphError(
+                f"shared graph handle document is missing {sorted(missing)}"
+            )
+        return cls(
+            segment=str(payload["segment"]),
+            num_nodes=int(payload["num_nodes"]),
+            num_edges=int(payload["num_edges"]),
+            arrays=tuple(
+                SharedArraySpec.from_dict(spec) for spec in payload["arrays"]
+            ),
+            total_bytes=int(payload["total_bytes"]),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -207,6 +268,29 @@ def _open_untracked(name: str):
     return shared_memory.SharedMemory(name=name)
 
 
+def disown_tracker(segment: str) -> None:
+    """Drop *this process's* resource-tracker entry for ``segment``.
+
+    The no-correction rule in :func:`_open_untracked` holds only inside
+    one process tree.  A worker launched with ``subprocess.Popen`` (the
+    service fleet) starts its **own** tracker daemon: on 3.8–3.12 the
+    attach-side re-registration (bpo-39959) lands there, and at worker
+    exit that private tracker would *unlink the owner's still-live
+    segment*.  Such workers must call this after attaching.  Safe to
+    call even when the tracker entry does not exist; no-op on 3.13+
+    (attachments are untracked) and where shm is unavailable.
+    """
+    if not SHM_AVAILABLE or _HAS_TRACK_PARAM:
+        return
+    # The tracker stores the raw POSIX name (leading slash) as
+    # registered by ``SharedMemory.__init__``, not the public ``.name``.
+    raw = segment if segment.startswith("/") else "/" + segment
+    try:
+        resource_tracker.unregister(raw, "shared_memory")
+    except Exception:  # pragma: no cover - tracker already gone
+        pass
+
+
 def segment_exists(name: str) -> bool:
     """``True`` when a segment of this name currently exists (test probe)."""
     if not SHM_AVAILABLE:
@@ -236,8 +320,19 @@ def _close_segment(shm) -> bool:
 def _unlink_segment(shm) -> None:
     try:
         shm.unlink()
-    except FileNotFoundError:  # pragma: no cover - already unlinked
-        pass
+    except FileNotFoundError:
+        # ``SharedMemory.unlink`` unregisters from the resource tracker
+        # only *after* a successful ``shm_unlink``; when the name is
+        # already gone (another process raced the unlink) the entry
+        # would linger and the tracker would warn — and re-raise the
+        # ENOENT — at process exit.  Drop it by hand.
+        if resource_tracker is not None:
+            try:
+                resource_tracker.unregister(
+                    getattr(shm, "_name", shm.name), "shared_memory"
+                )
+            except Exception:  # pragma: no cover - tracker already gone
+                pass
 
 
 def _owner_cleanup(shm) -> None:

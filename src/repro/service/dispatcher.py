@@ -1,0 +1,936 @@
+"""The experiment-service dispatcher: jobs, leases, workers, segments.
+
+One :class:`Dispatcher` owns a service root directory.  It listens on a
+local socket (see :mod:`repro.service.protocol`), accepts two kinds of
+connections — **workers** that execute cells and **clients** that
+submit/inspect jobs — and drives every submitted :class:`SweepSpec`
+through the lease state machine of :mod:`repro.service.leases` into the
+same JSONL store format ``repro sweep`` writes, byte for byte (both go
+through :class:`repro.api.store.SweepStoreWriter`).
+
+Responsibilities, each on its own thread(s):
+
+* **accept loop** — one thread; classifies connections by their
+  ``hello`` frame.
+* **worker loops** — one thread per connected worker; processes its
+  ``ready`` / ``record`` / ``cell-error`` / ``heartbeat`` frames and
+  assigns leases.  Assignment happens here (not in a central scheduler)
+  so a lease is written by the same thread that owns the socket.
+* **client loops** — one thread per control connection; strict
+  request/reply.
+* **monitor** — one thread; expires overdue leases (requeueing their
+  cells to the *front* of the queue), evicts workers whose heartbeats
+  went stale (closing the socket, which routes through the same
+  worker-death path as a crash), and respawns managed worker processes
+  that exited.
+
+Execution is at-least-once, recording exactly-once: completed records
+are buffered and flushed to the store in cell order, duplicates from
+revoked-but-alive leases are dropped, and a job finishes when no cell is
+pending or leased — at which point its store is complete and ordered
+exactly as a serial ``run_sweep`` would have left it.
+
+Workload graphs are materialised once per distinct (workload, seed)
+into shared memory (:class:`SegmentPool`) and leased to workers as
+handle documents; segments are refcounted per job and a bounded LRU of
+*idle* segments is retained across jobs, so back-to-back sweeps over
+the same workloads skip even the parent-side rebuild.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..analysis.experiments import ExperimentRecord
+from ..api.records import canonical_json
+from ..api.specs import RunSpec, SweepSpec
+from ..api.store import ResultCache, SweepStoreWriter
+from ..errors import ReproError, ServiceError
+from ..graphs.shm import share_csr, shm_available
+from .leases import CellLeaseTable
+from .protocol import (
+    PROTOCOL_VERSION,
+    ServiceAddress,
+    bind_service_socket,
+    recv_frame,
+    remove_service_info,
+    send_frame,
+    write_service_info,
+)
+from .worker import preload_modules
+
+__all__ = ["Dispatcher", "SegmentPool"]
+
+#: How often the monitor and idle worker loops poll, in seconds.  Bounds
+#: the latency between a submit and the first lease going out.
+_TICK_SECONDS = 0.05
+
+
+# ---------------------------------------------------------------------------
+# shared-memory segment pool
+# ---------------------------------------------------------------------------
+
+
+class _Segment:
+    """One pooled segment: built once, refcounted by job id."""
+
+    def __init__(self) -> None:
+        self.ready = threading.Event()
+        self.owner: Optional[Any] = None
+        self.handle_doc: Optional[Dict[str, Any]] = None
+        self.jobs: Set[str] = set()
+        self.failed = False
+
+
+class SegmentPool:
+    """Refcounted shared-memory workloads with cross-job idle retention.
+
+    ``acquire(key, job_id, builder)`` returns the segment's handle
+    document, building the segment on first use (concurrent acquirers of
+    the same key wait for the one builder).  A key whose builder failed
+    is remembered as unshareable — the caller falls back to the pickle
+    path — rather than retried per cell.  ``release_job`` drops a job's
+    references; segments nobody references are kept warm in an LRU of at
+    most ``max_idle`` (the cross-sweep warmth the service exists for)
+    and unlinked beyond that.
+    """
+
+    def __init__(self, max_idle: int = 4) -> None:
+        if max_idle < 0:
+            raise ServiceError(f"max_idle must be >= 0, got {max_idle}")
+        self.max_idle = max_idle
+        self._lock = threading.Lock()
+        self._segments: Dict[Any, _Segment] = {}
+        self._idle: "OrderedDict[Any, None]" = OrderedDict()
+        self.built = 0
+        self.reused = 0
+
+    def acquire(
+        self, key: Any, job_id: str, builder: Callable[[], Any]
+    ) -> Optional[Dict[str, Any]]:
+        """Return the handle document for ``key`` (``None``: unshareable)."""
+        with self._lock:
+            segment = self._segments.get(key)
+            build_here = segment is None
+            if build_here:
+                segment = _Segment()
+                self._segments[key] = segment
+            segment.jobs.add(job_id)
+            self._idle.pop(key, None)
+        if build_here:
+            try:
+                owner = builder()
+                segment.owner = owner
+                segment.handle_doc = owner.handle.to_dict()
+                with self._lock:
+                    self.built += 1
+            except Exception:
+                segment.failed = True
+            segment.ready.set()
+        else:
+            segment.ready.wait()
+            if not segment.failed:
+                with self._lock:
+                    self.reused += 1
+        return None if segment.failed else segment.handle_doc
+
+    def release_job(self, job_id: str) -> None:
+        """Drop ``job_id``'s references; trim the idle LRU to ``max_idle``."""
+        to_close: List[_Segment] = []
+        with self._lock:
+            for key, segment in list(self._segments.items()):
+                if job_id not in segment.jobs:
+                    continue
+                segment.jobs.discard(job_id)
+                if segment.jobs or not segment.ready.is_set():
+                    continue
+                if segment.failed:
+                    del self._segments[key]
+                else:
+                    self._idle[key] = None
+                    self._idle.move_to_end(key)
+            while len(self._idle) > self.max_idle:
+                key, _ = self._idle.popitem(last=False)
+                to_close.append(self._segments.pop(key))
+        for segment in to_close:
+            segment.owner.close()
+
+    def close_all(self) -> None:
+        """Unlink every segment (dispatcher shutdown)."""
+        with self._lock:
+            segments = list(self._segments.values())
+            self._segments.clear()
+            self._idle.clear()
+        for segment in segments:
+            if segment.owner is not None:
+                segment.owner.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Return active/idle counts, resident bytes, and build traffic."""
+        with self._lock:
+            active = sum(1 for s in self._segments.values() if s.jobs)
+            idle = len(self._idle)
+            total_bytes = sum(
+                s.handle_doc["total_bytes"]
+                for s in self._segments.values()
+                if s.handle_doc is not None
+            )
+            return {
+                "active": active,
+                "idle": idle,
+                "bytes": total_bytes,
+                "built": self.built,
+                "reused": self.reused,
+            }
+
+
+# ---------------------------------------------------------------------------
+# jobs and workers
+# ---------------------------------------------------------------------------
+
+
+class _Job:
+    """One submitted sweep: spec, lease table, in-order store writer."""
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: SweepSpec,
+        writer: SweepStoreWriter,
+        cache: Optional[ResultCache],
+        clock: Callable[[], float],
+    ) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.writer = writer
+        self.cache = cache
+        self.runs: List[RunSpec] = spec.run_specs()
+        self.labels: List[str] = spec.cell_labels()
+        self.table = CellLeaseTable(total=len(self.runs), clock=clock)
+        self.state = "running"
+        self.error: Optional[str] = None
+        self.plane = "pickle"
+        #: Per-cell segment-pool key; ``None`` cells travel by spec only.
+        self.segment_keys: List[Optional[Any]] = [None] * len(self.runs)
+        self.cache_hits = 0
+        self.executed = 0
+        self.resumed = len(writer.done)
+        self.skipped = 0
+        self.expired_leases = 0
+        self.submitted_unix = time.time()
+        self.started_mono = clock()
+        self.first_record_mono: Optional[float] = None
+        self.finished_mono: Optional[float] = None
+
+    def describe(self, clock: Callable[[], float]) -> Dict[str, Any]:
+        """Return the JSON-ready job status document."""
+        end = self.finished_mono if self.finished_mono is not None else clock()
+        elapsed = max(end - self.started_mono, 0.0)
+        first = (
+            None
+            if self.first_record_mono is None
+            else max(self.first_record_mono - self.started_mono, 0.0)
+        )
+        done = self.table.done_count
+        return {
+            "id": self.id,
+            "state": self.state,
+            "experiment": self.spec.experiment,
+            "out": str(self.writer.store.path),
+            "cells_total": self.table.total,
+            "cells_done": done,
+            "cells_pending": self.table.pending_count,
+            "cells_leased": self.table.leased_count,
+            "cells_skipped": self.skipped,
+            "cells_resumed": self.resumed,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "expired_leases": self.expired_leases,
+            "plane": self.plane,
+            "error": self.error,
+            "submitted_unix": self.submitted_unix,
+            "elapsed_seconds": elapsed,
+            "first_record_seconds": first,
+            "cells_per_second": (done / elapsed) if elapsed > 0 else 0.0,
+        }
+
+
+@dataclass
+class _WorkerConn:
+    """Dispatcher-side state of one connected worker."""
+
+    id: str
+    sock: socket.socket
+    pid: int
+    last_seen: float
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    ready: bool = False
+    #: (job id, lease id, cell) of the lease this worker is executing.
+    current: Optional[Tuple[str, int, int]] = None
+    cells_done: int = 0
+    #: True while the assignment path is materialising a segment for this
+    #: worker — the monitor must not read the silence as a stale heartbeat.
+    assigning: bool = False
+    evicted: bool = False
+
+
+class Dispatcher:
+    """The experiment service: accepts jobs, leases cells, writes stores.
+
+    Parameters
+    ----------
+    root:
+        Service directory: the socket, ``service.json``, and managed
+        worker logs live here.  Job stores go wherever the submit says.
+    workers:
+        Managed worker processes to spawn (and respawn if they die).
+        Zero is valid — workers started by hand with ``repro worker``
+        attach the same way.
+    lease_timeout:
+        Seconds a worker may hold one cell before the lease expires and
+        the cell is requeued.
+    heartbeat_interval / heartbeat_timeout:
+        Workers heartbeat every ``interval`` seconds; one silent for
+        ``timeout`` seconds is evicted (default: 5x the interval).
+    max_segments:
+        Idle shared-memory workloads kept warm across jobs.
+    plane:
+        ``"auto"`` (shared memory when usable, per-workload fallback),
+        ``"shm"`` (require it), or ``"pickle"`` (never share).
+    clock:
+        Injectable monotonic clock (tests drive lease expiry with it).
+    """
+
+    def __init__(
+        self,
+        root: "str | Path",
+        workers: int = 0,
+        lease_timeout: float = 60.0,
+        heartbeat_interval: float = 2.0,
+        heartbeat_timeout: Optional[float] = None,
+        max_segments: int = 4,
+        plane: str = "auto",
+        preload: Tuple[str, ...] = (),
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        if lease_timeout <= 0:
+            raise ServiceError(f"lease_timeout must be positive, got {lease_timeout}")
+        if heartbeat_interval <= 0:
+            raise ServiceError(
+                f"heartbeat_interval must be positive, got {heartbeat_interval}"
+            )
+        if plane not in ("auto", "shm", "pickle"):
+            raise ServiceError(f"plane must be auto|shm|pickle, got {plane!r}")
+        if plane == "shm" and not shm_available():
+            raise ServiceError(
+                "plane='shm' was requested but shared memory is not usable "
+                "on this platform"
+            )
+        self.root = Path(root)
+        self._num_workers = workers
+        self._lease_timeout = lease_timeout
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else 5.0 * heartbeat_interval
+        )
+        self._plane = plane
+        self._preload = tuple(preload)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._stop_event = threading.Event()
+        self._stopped = False
+        self._listener: Optional[socket.socket] = None
+        self.address: Optional[ServiceAddress] = None
+        self._threads: List[threading.Thread] = []
+        self._workers: Dict[str, _WorkerConn] = {}
+        self._worker_counter = 0
+        self._jobs: "OrderedDict[str, _Job]" = OrderedDict()
+        self._job_counter = 0
+        self._caches: Dict[str, ResultCache] = {}
+        self._segments = SegmentPool(max_idle=max_segments)
+        self._managed: List[Tuple[subprocess.Popen, Any]] = []
+        self._managed_counter = 0
+        self._evictions = 0
+        self._started_unix: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "Dispatcher":
+        """Bind, advertise, and start serving; returns self."""
+        preload_modules(self._preload)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._listener, self.address = bind_service_socket(self.root)
+        self._listener.listen(64)
+        self._started_unix = time.time()
+        write_service_info(
+            self.root,
+            {
+                "address": self.address.to_dict(),
+                "pid": os.getpid(),
+                "protocol": PROTOCOL_VERSION,
+                "started_unix": self._started_unix,
+            },
+        )
+        for name, target in (
+            ("service-accept", self._accept_loop),
+            ("service-monitor", self._monitor_loop),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        for _ in range(self._num_workers):
+            self._spawn_worker()
+        return self
+
+    def request_stop(self) -> None:
+        """Ask the serve loop to shut down (returns immediately)."""
+        self._stop_event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a stop is requested; ``True`` when it was."""
+        return self._stop_event.wait(timeout)
+
+    def stop(self) -> None:
+        """Shut everything down (idempotent): workers, threads, segments."""
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+        self._stop_event.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
+            try:
+                with worker.send_lock:
+                    send_frame(worker.sock, {"type": "shutdown"})
+            except (OSError, ServiceError):
+                pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+        # Join the monitor before touching managed workers, so a respawn
+        # cannot race the terminations below.
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        for process, log in self._managed:
+            if process.poll() is None:
+                process.terminate()
+        deadline = time.monotonic() + 5.0
+        for process, log in self._managed:
+            remaining = max(deadline - time.monotonic(), 0.1)
+            try:
+                process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=5.0)
+            if log is not None:
+                log.close()
+        self._segments.close_all()
+        remove_service_info(self.root)
+
+    def __enter__(self) -> "Dispatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- managed workers ----------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        self._managed_counter += 1
+        logs = self.root / "logs"
+        logs.mkdir(exist_ok=True)
+        log = (logs / f"worker-{self._managed_counter}.log").open("ab")
+        command = [sys.executable, "-m", "repro", "worker", str(self.root)]
+        for module in self._preload:
+            command.append(f"--preload={module}")
+        env = dict(os.environ)
+        # The managed worker must import the same `repro` this dispatcher
+        # runs — including uninstalled source checkouts.
+        package_root = str(Path(__file__).resolve().parent.parent.parent)
+        path = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = (
+            package_root if not path else package_root + os.pathsep + path
+        )
+        process = subprocess.Popen(command, stdout=log, stderr=log, env=env)
+        self._managed.append((process, log))
+
+    # -- accept / classify ---------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            thread = threading.Thread(
+                target=self._handshake, args=(sock,), daemon=True
+            )
+            thread.start()
+
+    def _handshake(self, sock: socket.socket) -> None:
+        try:
+            sock.settimeout(10.0)
+            hello = recv_frame(sock)
+            if hello is None or hello.get("type") != "hello":
+                sock.close()
+                return
+            if hello.get("protocol") != PROTOCOL_VERSION:
+                send_frame(
+                    sock,
+                    {
+                        "type": "error",
+                        "error": (
+                            f"protocol version mismatch: service speaks "
+                            f"{PROTOCOL_VERSION}, peer speaks "
+                            f"{hello.get('protocol')!r}"
+                        ),
+                    },
+                )
+                sock.close()
+                return
+            sock.settimeout(None)
+            role = hello.get("role")
+            if role == "worker":
+                self._serve_worker(sock, hello)
+            elif role == "client":
+                send_frame(sock, {"type": "welcome", "protocol": PROTOCOL_VERSION})
+                self._client_loop(sock)
+            else:
+                sock.close()
+        except (OSError, ServiceError):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # -- worker plane --------------------------------------------------
+
+    def _serve_worker(self, sock: socket.socket, hello: Dict[str, Any]) -> None:
+        with self._lock:
+            self._worker_counter += 1
+            worker = _WorkerConn(
+                id=f"w{self._worker_counter}",
+                sock=sock,
+                pid=int(hello.get("pid", 0)),
+                last_seen=self._clock(),
+            )
+            self._workers[worker.id] = worker
+        send_frame(
+            sock,
+            {
+                "type": "welcome",
+                "worker": worker.id,
+                "protocol": PROTOCOL_VERSION,
+                "heartbeat_interval": self._heartbeat_interval,
+            },
+        )
+        try:
+            self._worker_loop(worker)
+        finally:
+            self._drop_worker(worker)
+
+    def _worker_loop(self, worker: _WorkerConn) -> None:
+        while not self._stop_event.is_set():
+            if worker.ready:
+                self._try_assign(worker)
+            try:
+                readable, _, _ = select.select(
+                    [worker.sock], [], [], _TICK_SECONDS
+                )
+            except (OSError, ValueError):
+                return  # socket closed under us (eviction, shutdown)
+            if not readable:
+                continue
+            try:
+                frame = recv_frame(worker.sock)
+            except (OSError, ServiceError):
+                return
+            if frame is None:
+                return
+            worker.last_seen = self._clock()
+            kind = frame.get("type")
+            if kind == "ready":
+                worker.ready = True
+            elif kind == "heartbeat":
+                pass
+            elif kind == "record":
+                self._handle_record(worker, frame)
+            elif kind == "cell-error":
+                self._handle_cell_error(worker, frame)
+
+    def _drop_worker(self, worker: _WorkerConn) -> None:
+        """Remove a dead/evicted worker and requeue its leased cells."""
+        with self._lock:
+            self._workers.pop(worker.id, None)
+            for job in self._jobs.values():
+                if job.state == "running":
+                    job.table.revoke_worker(worker.id)
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+
+    def _try_assign(self, worker: _WorkerConn) -> None:
+        """Lease the next pending cell (if any) to a ready worker."""
+        with self._lock:
+            target: Optional[Tuple[_Job, Any]] = None
+            for job in self._jobs.values():
+                if job.state != "running":
+                    continue
+                lease = job.table.lease(worker.id, self._lease_timeout)
+                if lease is not None:
+                    target = (job, lease)
+                    break
+            if target is None:
+                return
+            job, lease = target
+            worker.ready = False
+            worker.assigning = True
+            worker.current = (job.id, lease.lease_id, lease.cell)
+            run = job.runs[lease.cell]
+            segment_key = job.segment_keys[lease.cell]
+            frame = {
+                "type": "lease",
+                "lease_id": lease.lease_id,
+                "job": job.id,
+                "cell": lease.cell,
+                "label": job.labels[lease.cell],
+                "run": run.to_dict(),
+                "shm": None,
+            }
+        try:
+            if segment_key is not None:
+                # Materialising can take seconds for big workloads; done
+                # outside the dispatcher lock so heartbeats, records and
+                # other assignments keep flowing.
+                frame["shm"] = self._segments.acquire(
+                    segment_key, job.id, lambda: self._build_segment(run)
+                )
+                if frame["shm"] is None and self._plane == "shm":
+                    raise ServiceError(
+                        f"plane='shm' cannot share the workload of job "
+                        f"{job.id} cell {lease.cell}"
+                    )
+            with worker.send_lock:
+                send_frame(worker.sock, frame)
+            worker.last_seen = self._clock()
+        except ServiceError as exc:
+            with self._lock:
+                self._fail_job(job, str(exc))
+                job.table.forget(lease.lease_id)
+                worker.ready = True
+                worker.current = None
+        except OSError:
+            # Worker vanished between lease and send; the loop will see
+            # EOF next tick and requeue via _drop_worker.
+            with self._lock:
+                job.table.forget(lease.lease_id)
+                worker.current = None
+        finally:
+            worker.assigning = False
+
+    @staticmethod
+    def _build_segment(run: RunSpec) -> Any:
+        graph = run.workload.build(seed=run.seed)
+        return share_csr(graph.csr(), oracle="materialize")
+
+    def _handle_record(self, worker: _WorkerConn, frame: Dict[str, Any]) -> None:
+        with self._lock:
+            worker.current = None
+            job = self._jobs.get(str(frame.get("job")))
+            if job is None:
+                return
+            try:
+                cell = job.table.complete(int(frame["lease_id"]))
+            except (ServiceError, KeyError, TypeError, ValueError):
+                return  # lease already forgotten (failed job, protocol skew)
+            if cell is None:
+                # Duplicate completion of a requeued cell: drop the record
+                # — but this may have been the job's last outstanding
+                # lease, so the finish check must still run.
+                self._maybe_finish(job)
+                return
+            try:
+                record = job.writer.write(cell, frame["record"])
+            except ReproError as exc:
+                self._fail_job(job, f"cell {cell} returned a bad record: {exc}")
+                return
+            worker.cells_done += 1
+            job.executed += 1
+            if job.first_record_mono is None:
+                job.first_record_mono = self._clock()
+            if job.cache is not None:
+                try:
+                    job.cache.put(job.runs[cell], record)
+                except ReproError:
+                    pass  # a broken cache must not sink the job's records
+            self._maybe_finish(job)
+
+    def _handle_cell_error(
+        self, worker: _WorkerConn, frame: Dict[str, Any]
+    ) -> None:
+        with self._lock:
+            worker.current = None
+            job = self._jobs.get(str(frame.get("job")))
+            if job is None:
+                return
+            try:
+                job.table.forget(int(frame["lease_id"]))
+            except (KeyError, TypeError, ValueError):
+                pass
+            if job.state == "running":
+                self._fail_job(
+                    job,
+                    f"cell {frame.get('cell')} failed on worker "
+                    f"{worker.id}: {frame.get('error', 'unknown error')}",
+                )
+
+    def _fail_job(self, job: _Job, error: str) -> None:
+        """Stop scheduling a job's cells; its store keeps its valid prefix."""
+        if job.state != "running":
+            return
+        job.state = "failed"
+        job.error = error
+        job.skipped += job.table.drain()
+        job.finished_mono = self._clock()
+        self._segments.release_job(job.id)
+
+    def _maybe_finish(self, job: _Job) -> None:
+        if (
+            job.state == "running"
+            and job.table.pending_count == 0
+            and job.table.leased_count == 0
+        ):
+            job.state = "done"
+            job.finished_mono = self._clock()
+            self._segments.release_job(job.id)
+
+    # -- monitor -------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stop_event.wait(_TICK_SECONDS):
+            now = self._clock()
+            stale: List[_WorkerConn] = []
+            with self._lock:
+                for job in self._jobs.values():
+                    if job.state != "running":
+                        continue
+                    expired = job.table.expire()
+                    job.expired_leases += len(expired)
+                for worker in self._workers.values():
+                    if worker.evicted or worker.assigning:
+                        continue
+                    if now - worker.last_seen > self._heartbeat_timeout:
+                        worker.evicted = True
+                        stale.append(worker)
+            for worker in stale:
+                self._evictions += 1
+                # Closing the socket routes eviction through the same
+                # path as a worker crash: the worker loop sees EOF and
+                # requeues every lease the worker held.
+                try:
+                    worker.sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    worker.sock.close()
+                except OSError:
+                    pass
+            if self._num_workers and not self._stop_event.is_set():
+                live = sum(
+                    1 for process, _ in self._managed if process.poll() is None
+                )
+                for _ in range(self._num_workers - live):
+                    self._spawn_worker()
+
+    # -- control plane -------------------------------------------------
+
+    def _client_loop(self, sock: socket.socket) -> None:
+        try:
+            while not self._stop_event.is_set():
+                frame = recv_frame(sock)
+                if frame is None:
+                    return
+                try:
+                    reply = self._handle_request(frame)
+                except ReproError as exc:
+                    reply = {"type": "error", "error": str(exc)}
+                send_frame(sock, reply)
+                if frame.get("type") == "shutdown":
+                    return
+        except (OSError, ServiceError):
+            return
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _handle_request(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        kind = frame.get("type")
+        if kind == "submit":
+            return {"type": "submitted", "job": self._submit(frame)}
+        if kind == "status":
+            return self.status()
+        if kind == "job-status":
+            job_id = str(frame.get("job"))
+            with self._lock:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise ServiceError(f"no such job: {job_id}")
+                return {"type": "job-reply", "job": job.describe(self._clock)}
+        if kind == "shutdown":
+            self.request_stop()
+            return {"type": "ok"}
+        raise ServiceError(f"unknown request type {kind!r}")
+
+    def _submit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        if self._stop_event.is_set():
+            raise ServiceError("the service is shutting down")
+        spec = SweepSpec.from_dict(frame.get("spec"))
+        spec.require_sweepable()
+        out = str(frame.get("out") or "")
+        if not out:
+            raise ServiceError("submit needs an output store path")
+        out_path = Path(out)
+        if not out_path.is_absolute():
+            out_path = self.root / out_path
+        resume = bool(frame.get("resume", False))
+        max_cells = frame.get("max_cells")
+        if max_cells is not None:
+            max_cells = int(max_cells)
+            if max_cells < 0:
+                raise ServiceError(f"max_cells must be >= 0, got {max_cells}")
+        with self._lock:
+            for other in self._jobs.values():
+                if (
+                    other.state == "running"
+                    and str(other.writer.store.path) == str(out_path)
+                ):
+                    raise ServiceError(
+                        f"job {other.id} is already writing {out_path}; two "
+                        "jobs must not share one store file"
+                    )
+        cache_dir = frame.get("cache")
+        cache = None
+        if cache_dir:
+            cache = self._caches.setdefault(
+                str(Path(cache_dir)), ResultCache(Path(cache_dir))
+            )
+        writer = SweepStoreWriter(spec, out_path, resume=resume)
+        with self._lock:
+            self._job_counter += 1
+            job = _Job(
+                f"job-{self._job_counter}", spec, writer, cache, self._clock
+            )
+        # Everything below mirrors run_sweep's scheduling exactly: resumed
+        # cells first, then the max_cells budget, then cache lookups on
+        # the budgeted cells only — so the store file comes out byte-
+        # identical to the serial path under every combination.
+        for index in writer.done:
+            job.table.mark_done(index)
+        scheduled = writer.pending()
+        if max_cells is not None:
+            for index in scheduled[max_cells:]:
+                if job.table.skip(index):
+                    job.skipped += 1
+            scheduled = scheduled[:max_cells]
+        if cache is not None:
+            for index in scheduled:
+                record = cache.get(job.runs[index])
+                if record is not None:
+                    writer.write(index, record.to_dict())
+                    job.table.mark_done(index)
+                    job.cache_hits += 1
+        self._plan_segments(job)
+        with self._lock:
+            self._jobs[job.id] = job
+            self._maybe_finish(job)
+            return job.describe(self._clock)
+
+    def _plan_segments(self, job: _Job) -> None:
+        """Assign each cell its shared-workload pool key (or none)."""
+        if self._plane == "pickle" or not shm_available():
+            if self._plane == "shm":
+                raise ServiceError(
+                    "plane='shm' was requested but shared memory is not "
+                    "usable on this platform"
+                )
+            job.plane = "pickle"
+            return
+        workload = job.spec.workload
+        entry = workload.entry()
+        workload_doc = canonical_json(workload.to_dict())
+        seeded = entry.takes_seed and "seed" not in workload.params
+        for index, run in enumerate(job.runs):
+            effective_seed = run.seed if seeded else None
+            job.segment_keys[index] = (workload_doc, effective_seed)
+        job.plane = "shm"
+
+    def status(self) -> Dict[str, Any]:
+        """Return the full service status document."""
+        now = self._clock()
+        with self._lock:
+            workers = [
+                {
+                    "id": worker.id,
+                    "pid": worker.pid,
+                    "state": (
+                        "executing"
+                        if worker.current is not None
+                        else ("idle" if worker.ready else "starting")
+                    ),
+                    "cells_done": worker.cells_done,
+                    "last_seen_seconds": max(now - worker.last_seen, 0.0),
+                    "lease": (
+                        None
+                        if worker.current is None
+                        else {
+                            "job": worker.current[0],
+                            "cell": worker.current[2],
+                        }
+                    ),
+                }
+                for worker in self._workers.values()
+            ]
+            jobs = [job.describe(self._clock) for job in self._jobs.values()]
+        return {
+            "type": "status-reply",
+            "service": {
+                "root": str(self.root),
+                "pid": os.getpid(),
+                "address": None if self.address is None else self.address.to_dict(),
+                "protocol": PROTOCOL_VERSION,
+                "started_unix": self._started_unix,
+                "lease_timeout": self._lease_timeout,
+                "heartbeat_interval": self._heartbeat_interval,
+                "heartbeat_timeout": self._heartbeat_timeout,
+                "plane": self._plane,
+                "managed_workers": self._num_workers,
+                "evictions": self._evictions,
+            },
+            "workers": workers,
+            "jobs": jobs,
+            "segments": self._segments.stats(),
+        }

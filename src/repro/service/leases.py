@@ -1,0 +1,197 @@
+"""Lease bookkeeping for the experiment service's cell queue.
+
+One :class:`CellLeaseTable` tracks a single job's cells through the
+state machine::
+
+    pending ──lease()──▶ leased ──complete()──▶ done
+       ▲                   │
+       └──expire()/revoke()┘
+
+Cells start *pending* in submission order.  ``lease()`` hands the next
+pending cell to a worker with a deadline; ``complete()`` marks it done
+exactly once; ``expire()`` (deadline passed) and ``revoke()`` (worker
+died or was evicted) push the cell back to the **front** of the pending
+queue so recovery work happens before new work.
+
+Execution is at-least-once, recording is exactly-once: a revoked lease
+is remembered, so a slow-but-alive worker whose lease was expired can
+still deliver its record — it is accepted if the cell is not yet done
+(records are deterministic functions of the cell spec, so either copy
+is byte-identical) and silently dropped otherwise.
+
+The clock is injectable so tests can drive expiry deterministically.
+The table does no locking; the dispatcher serialises access under its
+own lock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from ..errors import ServiceError
+
+__all__ = ["Lease", "CellLeaseTable"]
+
+
+@dataclass
+class Lease:
+    """One outstanding (or revoked-but-remembered) cell lease."""
+
+    lease_id: int
+    cell: int
+    worker: str
+    deadline: float
+    #: Set when the lease was expired or its worker evicted; the cell has
+    #: been requeued, but a late record from this lease is still welcome.
+    revoked: bool = False
+
+
+@dataclass
+class CellLeaseTable:
+    """Pending/leased/done bookkeeping for one job's cells."""
+
+    total: int
+    clock: Callable[[], float] = time.monotonic
+    _pending: Deque[int] = field(init=False)
+    _leases: Dict[int, Lease] = field(init=False, default_factory=dict)
+    _done: Set[int] = field(init=False, default_factory=set)
+    _next_lease_id: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.total < 0:
+            raise ServiceError(f"cell count must be >= 0, got {self.total}")
+        self._pending = deque(range(self.total))
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Cells waiting for a worker."""
+        return len(self._pending)
+
+    @property
+    def leased_count(self) -> int:
+        """Cells currently out on a live (non-revoked) lease."""
+        return sum(1 for lease in self._leases.values() if not lease.revoked)
+
+    @property
+    def done_count(self) -> int:
+        """Cells recorded."""
+        return len(self._done)
+
+    @property
+    def finished(self) -> bool:
+        """True once every cell is done."""
+        return len(self._done) == self.total
+
+    def is_done(self, cell: int) -> bool:
+        """True when ``cell`` has been recorded."""
+        return cell in self._done
+
+    def mark_done(self, cell: int) -> None:
+        """Mark ``cell`` done without a lease (cache hits, resumed prefixes)."""
+        if not 0 <= cell < self.total:
+            raise ServiceError(f"cell {cell} out of range [0, {self.total})")
+        self._done.add(cell)
+        try:
+            self._pending.remove(cell)
+        except ValueError:
+            pass
+
+    # -- transitions ---------------------------------------------------
+
+    def lease(self, worker: str, timeout: float) -> Optional[Lease]:
+        """Lease the next pending cell to ``worker``; ``None`` when empty."""
+        if not self._pending:
+            return None
+        cell = self._pending.popleft()
+        lease = Lease(
+            lease_id=self._next_lease_id,
+            cell=cell,
+            worker=worker,
+            deadline=self.clock() + timeout,
+        )
+        self._next_lease_id += 1
+        self._leases[lease.lease_id] = lease
+        return lease
+
+    def complete(self, lease_id: int) -> Optional[int]:
+        """Record the lease's cell as done.
+
+        Returns the cell index when this completion is the first for the
+        cell (the caller should write its record), or ``None`` when the
+        cell was already recorded by another lease — the duplicate is
+        dropped.  Unknown lease ids raise: they indicate a protocol bug,
+        not a race.
+        """
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            raise ServiceError(f"unknown lease id {lease_id}")
+        if lease.cell in self._done:
+            return None
+        self._done.add(lease.cell)
+        # A revoked lease's cell sits back in the pending queue; the late
+        # record just landed, so pull it out before a worker re-runs it.
+        try:
+            self._pending.remove(lease.cell)
+        except ValueError:
+            pass
+        return lease.cell
+
+    def _requeue(self, lease: Lease) -> None:
+        if lease.revoked or lease.cell in self._done:
+            return
+        lease.revoked = True
+        self._pending.appendleft(lease.cell)
+
+    def expire(self) -> List[Lease]:
+        """Revoke every live lease past its deadline; return them."""
+        now = self.clock()
+        expired = [
+            lease
+            for lease in self._leases.values()
+            if not lease.revoked and lease.deadline <= now
+        ]
+        for lease in expired:
+            self._requeue(lease)
+        return expired
+
+    def revoke_worker(self, worker: str) -> List[Lease]:
+        """Revoke every live lease held by ``worker`` (death/eviction)."""
+        revoked = [
+            lease
+            for lease in self._leases.values()
+            if not lease.revoked and lease.worker == worker
+        ]
+        for lease in revoked:
+            self._requeue(lease)
+        return revoked
+
+    def skip(self, cell: int) -> bool:
+        """Drop a pending cell from the schedule without marking it done.
+
+        How a ``max_cells`` submission excludes the tail of the grid:
+        skipped cells count as neither pending nor done, so the job can
+        finish with ``done_count < total`` — exactly like a serial
+        ``run_sweep(..., max_cells=...)`` leaves a valid prefix.
+        """
+        try:
+            self._pending.remove(cell)
+        except ValueError:
+            return False
+        return True
+
+    def drain(self) -> int:
+        """Drop every pending cell (a failed job stops scheduling work)."""
+        count = len(self._pending)
+        self._pending.clear()
+        return count
+
+    def forget(self, lease_id: int) -> None:
+        """Drop a lease without completing it (worker reported an error)."""
+        lease = self._leases.pop(lease_id, None)
+        if lease is not None:
+            self._requeue(lease)

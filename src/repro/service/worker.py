@@ -1,0 +1,254 @@
+"""Long-lived experiment worker: lease cells, execute, stay warm.
+
+One worker process connects to the dispatcher in a service root, then
+loops: announce ``ready``, receive a ``lease`` (one sweep cell as a
+:class:`~repro.api.specs.RunSpec` document plus, on the shm plane, a
+shared-memory graph handle), execute it, send the ``record`` back, and
+announce ready again — until the dispatcher says ``shutdown`` or the
+connection drops.
+
+Warmth is the point.  The process persists across cells, jobs and whole
+sweeps, so everything expensive happens once per worker instead of once
+per sweep:
+
+* on the shm plane, attached workload graphs are cached per segment
+  (:data:`_ATTACH_CACHE`), so a worker attaches each distinct workload
+  once no matter how many cells — of how many sweeps — use it;
+* off the shm plane, execution goes through the same
+  :func:`~repro.analysis.experiments._execute_cell` path (and the same
+  per-process workload cache) the process-pool sweep uses, so repeated
+  workloads are rebuilt at most once per worker *lifetime*, not per
+  sweep;
+* JIT warm-up, imports, and workload oracle computation amortise the
+  same way.
+
+A background thread heartbeats on the same socket (frame sends are
+locked, so the two writers never interleave), which is how the
+dispatcher distinguishes a worker that is busy on a long cell from one
+that is wedged or gone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import socket
+import threading
+import time
+import traceback
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..analysis.experiments import ExperimentRecord, _execute_cell, run_single
+from ..api.specs import RunSpec
+from ..errors import ReproError, ServiceError
+from ..graphs.graph import Graph
+from ..graphs.shm import SharedGraphHandle, disown_tracker
+from .protocol import (
+    PROTOCOL_VERSION,
+    ServiceAddress,
+    read_service_info,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["worker_main", "preload_modules"]
+
+#: Worker-side cache of attached shared-memory workloads, keyed by segment
+#: name (segment names are globally unique, so a stale entry can never be
+#: mistaken for a new workload).  Bounded LRU: dropping an entry unmaps
+#: the attachment; the dispatcher-side segment outlives it.
+_ATTACH_CACHE: "OrderedDict[str, Graph]" = OrderedDict()
+_ATTACH_CACHE_MAX_ENTRIES = 8
+
+
+def preload_modules(modules: Iterable[str]) -> None:
+    """Import plugin modules (extra algorithm/workload registrations).
+
+    Import errors surface as :class:`ReproError` so the CLI exits 2 with
+    the module named instead of dumping a traceback.
+    """
+    for name in modules:
+        if not name:
+            continue
+        try:
+            importlib.import_module(name)
+        except ImportError as exc:
+            raise ReproError(
+                f"cannot preload module {name!r}: {exc}"
+            ) from exc
+
+
+def _attached_graph(handle_doc: Dict[str, Any]) -> Graph:
+    """Attach (or fetch the cached attachment of) a shared workload."""
+    segment = str(handle_doc.get("segment", ""))
+    graph = _ATTACH_CACHE.get(segment)
+    if graph is not None:
+        _ATTACH_CACHE.move_to_end(segment)
+        return graph
+    graph = Graph.from_shared(SharedGraphHandle.from_dict(handle_doc))
+    # Workers are Popen-spawned, so the attach re-registered the segment
+    # with this process's *private* resource tracker, which would unlink
+    # the dispatcher's still-live segment when this worker exits.
+    disown_tracker(segment)
+    _ATTACH_CACHE[segment] = graph
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX_ENTRIES:
+        _ATTACH_CACHE.popitem(last=False)
+    return graph
+
+
+def execute_lease(frame: Dict[str, Any]) -> ExperimentRecord:
+    """Execute one lease frame's cell and return its record.
+
+    The shm path attaches the dispatcher-materialised workload zero-copy
+    and runs the algorithm on it; any attach failure (the segment was
+    evicted between lease and attach) falls back to rebuilding the
+    workload from the run spec — the records are identical either way,
+    by the plane's byte-identity contract.
+    """
+    spec = RunSpec.from_dict(frame["run"])
+    handle_doc = frame.get("shm")
+    if handle_doc:
+        try:
+            graph = _attached_graph(handle_doc)
+        except Exception:
+            graph = None
+        if graph is not None:
+            return run_single(
+                spec.experiment, spec.algorithm.build(), graph, spec.seed
+            )
+    return _execute_cell(spec.cell())
+
+
+class _Heartbeat(threading.Thread):
+    """Background heartbeat sender sharing the worker's socket."""
+
+    def __init__(
+        self, sock: socket.socket, send_lock: threading.Lock, interval: float
+    ) -> None:
+        super().__init__(name="service-worker-heartbeat", daemon=True)
+        self._sock = sock
+        self._send_lock = send_lock
+        self._interval = interval
+        self._stop = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with self._send_lock:
+                    send_frame(self._sock, {"type": "heartbeat"})
+            except (OSError, ServiceError):
+                return
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def _connect(root: Path, timeout: float) -> socket.socket:
+    """Connect to the service in ``root``, retrying while it starts up."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            info = read_service_info(root)
+            return ServiceAddress.from_dict(info["address"]).connect(timeout=10.0)
+        except (ServiceError, OSError):
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def worker_main(
+    root: "str | Path",
+    preload: Iterable[str] = (),
+    connect_timeout: float = 30.0,
+) -> int:
+    """Run one worker against the service in ``root`` until shutdown.
+
+    Returns 0 on a clean shutdown (dispatcher said so, or closed the
+    connection).  Cell execution failures are *reported*, not fatal: the
+    worker sends a ``cell-error`` frame and keeps serving — a broken
+    algorithm in one job must not take capacity away from the others.
+    """
+    root = Path(root)
+    preload_modules(preload)
+    sock = _connect(root, connect_timeout)
+    send_lock = threading.Lock()
+    heartbeat: Optional[_Heartbeat] = None
+    try:
+        with send_lock:
+            send_frame(
+                sock,
+                {
+                    "type": "hello",
+                    "role": "worker",
+                    "pid": os.getpid(),
+                    "protocol": PROTOCOL_VERSION,
+                },
+            )
+        welcome = recv_frame(sock)
+        if welcome is None or welcome.get("type") != "welcome":
+            raise ServiceError(f"service rejected this worker: {welcome!r}")
+        interval = float(welcome.get("heartbeat_interval", 2.0))
+        heartbeat = _Heartbeat(sock, send_lock, interval)
+        heartbeat.start()
+
+        while True:
+            with send_lock:
+                send_frame(sock, {"type": "ready"})
+            frame = recv_frame(sock)
+            if frame is None or frame.get("type") == "shutdown":
+                return 0
+            if frame.get("type") != "lease":
+                raise ServiceError(
+                    f"unexpected frame from dispatcher: {frame.get('type')!r}"
+                )
+            reply = {
+                "lease_id": frame["lease_id"],
+                "job": frame["job"],
+                "cell": frame["cell"],
+            }
+            try:
+                record = execute_lease(frame)
+            except Exception as exc:
+                reply["type"] = "cell-error"
+                reply["error"] = f"{type(exc).__name__}: {exc}"
+                reply["traceback"] = traceback.format_exc()
+            else:
+                reply["type"] = "record"
+                reply["record"] = record.to_dict()
+            with send_lock:
+                send_frame(sock, reply)
+    except (OSError, ServiceError):
+        # The dispatcher went away (shutdown race, eviction, crash); a
+        # worker with no dispatcher has nothing left to do.
+        return 0
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-service-worker",
+        description="Long-lived experiment-service worker process.",
+    )
+    parser.add_argument("root", help="service root directory (as passed to serve)")
+    parser.add_argument(
+        "--preload",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import this module before serving (extra registrations); repeatable",
+    )
+    args = parser.parse_args(argv)
+    return worker_main(args.root, preload=args.preload)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(_main())

@@ -349,3 +349,80 @@ class TestReviewRegressions:
         )
         assert code == 2
         assert "repro: error:" in err
+
+
+class TestSweepDiagnostics:
+    """PR-8 satellites: --progress, plane diagnostics, cache counters."""
+
+    def test_progress_lines_go_to_stderr(self, capsys, tmp_path):
+        path = _sweep_spec_file(tmp_path, seeds=(1,))
+        code, out, err = _run(
+            capsys, "sweep", str(path),
+            "--out", str(tmp_path / "records.jsonl"),
+            "--progress",
+        )
+        assert code == 0
+        # One leading line with the resumed state, then one per cell.
+        lines = [line for line in err.splitlines() if "cells" in line]
+        assert lines[0] == "sweep 'cli-sweep': 0/2 cells"
+        assert lines[-1] == "sweep 'cli-sweep': 2/2 cells"
+        assert "0/2" not in out
+
+    def test_json_pins_the_plane_diagnostic_keys(self, capsys, tmp_path):
+        path = _sweep_spec_file(tmp_path, seeds=(1,))
+        code, out, _ = _run(
+            capsys, "sweep", str(path),
+            "--out", str(tmp_path / "records.jsonl"),
+            "--json",
+        )
+        assert code == 0
+        plane = json.loads(out)["plane"]
+        assert {
+            "plane",
+            "cells",
+            "cache_hits",
+            "executed",
+            "workloads_shared",
+            "pickled_bytes_per_cell",
+        } <= set(plane)
+        assert plane["cells"] == 2
+        assert plane["executed"] == 2
+
+    def test_text_summary_reports_plane_and_cache_counters(
+        self, capsys, tmp_path
+    ):
+        path = _sweep_spec_file(tmp_path, seeds=(1,))
+        cache_dir = tmp_path / "cache"
+        code, out, _ = _run(
+            capsys, "sweep", str(path),
+            "--out", str(tmp_path / "first.jsonl"),
+            "--cache", str(cache_dir),
+        )
+        assert code == 0
+        assert "plane=" in out and "bytes_per_cell=" in out
+        assert "2 new" in out
+        code, out, _ = _run(
+            capsys, "sweep", str(path),
+            "--out", str(tmp_path / "second.jsonl"),
+            "--cache", str(cache_dir),
+        )
+        assert code == 0
+        assert "2 hits" in out and "0 misses" in out
+
+    def test_json_reports_cache_stats(self, capsys, tmp_path):
+        path = _sweep_spec_file(tmp_path, seeds=(1,))
+        cache_dir = tmp_path / "cache"
+        _run(
+            capsys, "sweep", str(path),
+            "--out", str(tmp_path / "first.jsonl"),
+            "--cache", str(cache_dir),
+        )
+        code, out, _ = _run(
+            capsys, "sweep", str(path),
+            "--out", str(tmp_path / "second.jsonl"),
+            "--cache", str(cache_dir), "--json",
+        )
+        assert code == 0
+        stats = json.loads(out)["cache"]
+        assert stats["hits"] == 2
+        assert stats["misses"] == 0

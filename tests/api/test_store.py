@@ -182,3 +182,133 @@ class TestReviewRegressions:
         run_sweep(spec, path)
         header = json.loads(path.read_text(encoding="utf-8").splitlines()[0])
         assert header["schema"] == SPEC_SCHEMA_VERSION
+
+
+class TestSweepStoreWriter:
+    """The in-order writer behind both run_sweep and the service dispatcher."""
+
+    def _reference(self, spec, tmp_path):
+        """Serial ground truth plus each cell's raw record document."""
+        from repro.api import SweepStoreWriter  # noqa: F401  (exported)
+
+        reference = tmp_path / "reference.jsonl"
+        stored = run_sweep(spec, reference)
+        docs = {cell: record.to_dict() for cell, _, record in stored.entries}
+        return reference, docs
+
+    def test_out_of_order_writes_are_flushed_in_cell_order(self, tmp_path):
+        from repro.api import SweepStoreWriter
+
+        spec = _spec()
+        reference, docs = self._reference(spec, tmp_path)
+        path = tmp_path / "records.jsonl"
+        writer = SweepStoreWriter(spec, path)
+        assert writer.pending() == list(range(6))
+        # A fleet finishes cells in whatever order leases land.
+        for cell in (3, 5, 1, 0, 4, 2):
+            writer.write(cell, docs[cell])
+        assert writer.buffered == 0
+        assert writer.done == set(range(6))
+        assert filecmp.cmp(reference, path, shallow=False)
+
+    def test_buffered_records_wait_for_the_gap_cell(self, tmp_path):
+        from repro.api import SweepStoreWriter
+
+        spec = _spec()
+        _, docs = self._reference(spec, tmp_path)
+        writer = SweepStoreWriter(spec, tmp_path / "records.jsonl")
+        writer.write(2, docs[2])
+        writer.write(1, docs[1])
+        assert writer.buffered == 2
+        assert writer.written == 0
+        assert writer.pending() == [0, 3, 4, 5]
+        writer.write(0, docs[0])
+        assert writer.buffered == 0
+        assert writer.written == 3
+        # stored() reflects the file, never the buffer.
+        assert {cell for cell, _, _ in writer.stored().entries} == {0, 1, 2}
+
+    def test_duplicate_and_out_of_range_writes_are_refused(self, tmp_path):
+        from repro.api import SweepStoreWriter
+
+        spec = _spec()
+        _, docs = self._reference(spec, tmp_path)
+        writer = SweepStoreWriter(spec, tmp_path / "records.jsonl")
+        writer.write(0, docs[0])
+        with pytest.raises(AnalysisError, match="already has a record"):
+            writer.write(0, docs[0])
+        writer.write(2, docs[2])  # buffered, not yet written
+        with pytest.raises(AnalysisError, match="already has a record"):
+            writer.write(2, docs[2])
+        with pytest.raises(AnalysisError, match="outside the spec"):
+            writer.write(99, docs[0])
+
+    def test_malformed_record_fails_before_touching_the_file(self, tmp_path):
+        from repro.api import SweepStoreWriter
+
+        spec = _spec()
+        path = tmp_path / "records.jsonl"
+        writer = SweepStoreWriter(spec, path)
+        before = path.read_bytes()
+        with pytest.raises(AnalysisError):
+            writer.write(0, {"not": "a record"})
+        assert path.read_bytes() == before
+        assert writer.buffered == 0
+
+    def test_resume_adopts_the_prefix_and_stays_byte_identical(self, tmp_path):
+        from repro.api import SweepStoreWriter
+
+        spec = _spec()
+        reference, docs = self._reference(spec, tmp_path)
+        path = tmp_path / "records.jsonl"
+        run_sweep(spec, path, max_cells=2)
+        writer = SweepStoreWriter(spec, path, resume=True)
+        assert writer.done == {0, 1}
+        assert writer.pending() == [2, 3, 4, 5]
+        for cell in (5, 4, 3, 2):
+            writer.write(cell, docs[cell])
+        assert filecmp.cmp(reference, path, shallow=False)
+
+    def test_existing_file_without_resume_is_refused(self, tmp_path):
+        from repro.api import SweepStoreWriter
+
+        spec = _spec(seeds=(1,))
+        path = tmp_path / "records.jsonl"
+        run_sweep(spec, path, max_cells=1)
+        with pytest.raises(AnalysisError, match="already exists"):
+            SweepStoreWriter(spec, path)
+
+    def test_resume_against_a_different_spec_is_refused(self, tmp_path):
+        from repro.api import SweepStoreWriter
+
+        path = tmp_path / "records.jsonl"
+        run_sweep(_spec(seeds=(1,)), path)
+        with pytest.raises(AnalysisError, match="different sweep"):
+            SweepStoreWriter(_spec(seeds=(1, 2)), path, resume=True)
+
+
+class TestRunSweepProgress:
+    def test_progress_reports_every_completed_cell(self, tmp_path):
+        spec = _spec(seeds=(1,))
+        calls = []
+        run_sweep(
+            spec,
+            tmp_path / "records.jsonl",
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        # One leading call with the resumed state, then one per cell.
+        assert calls[0] == (0, 2)
+        assert calls[1:] == [(1, 2), (2, 2)]
+
+    def test_progress_sees_the_resumed_prefix(self, tmp_path):
+        spec = _spec(seeds=(1,))
+        path = tmp_path / "records.jsonl"
+        run_sweep(spec, path, max_cells=1)
+        calls = []
+        run_sweep(
+            spec,
+            path,
+            resume=True,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 2), (2, 2)]

@@ -1,0 +1,135 @@
+"""Shared fixtures for the experiment-service tests.
+
+Fleet tests spawn real worker processes, so every spec here uses the
+near-zero-cost ``service-probe`` algorithm on tiny graphs; the slow
+variants (``sleep_seconds``) exist only to hold leases open for the
+fault-path tests.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Tuple
+
+import pytest
+
+from repro.api.registry import (
+    get_algorithm,
+    register_algorithm,
+    unregister_algorithm,
+)
+from repro.api.specs import AlgorithmSpec, SweepSpec, WorkloadSpec
+from repro.api.store import run_sweep
+from repro.errors import AnalysisError
+from repro.service import Dispatcher
+
+#: Preload every fleet process needs for the probe name to resolve.
+PROBE_PRELOAD = ("repro.service.probes",)
+
+#: Kept as a literal (not imported from the probes module) so merely
+#: collecting this package never touches the algorithm registry — the
+#: registry-completeness test in tests/api counts registered names.
+PROBE_ALGORITHM = "service-probe"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _service_probe_registry():
+    """Register the probe algorithms for this package, then clean up.
+
+    Importing :mod:`repro.service.probes` registers ``service-probe``;
+    ``fleet-test-only-probe`` is the same class under a name the workers
+    are never preloaded with, so leasing one of its cells makes a worker
+    fail deterministically with "unknown algorithm".  Both registrations
+    happen at fixture time (not import time — pytest imports test
+    modules during collection, long before unrelated test packages run)
+    and are removed at session end.
+    """
+    import repro.service.probes as probes
+
+    try:
+        get_algorithm("fleet-test-only-probe")
+    except AnalysisError:
+        register_algorithm(
+            "fleet-test-only-probe",
+            kind="listing",
+            summary="Probe the fleet workers cannot resolve (failure paths).",
+        )(probes.ServiceProbe)
+    yield
+    for name in (PROBE_ALGORITHM, "fleet-test-only-probe"):
+        try:
+            unregister_algorithm(name)
+        except AnalysisError:
+            pass
+
+
+def _probe_spec(
+    seeds: Tuple[int, ...] = (1, 2, 3),
+    slow_seconds: float = 0.0,
+    num_nodes: int = 30,
+    experiment: str = "fleet-test",
+) -> SweepSpec:
+    """A (2 algorithms x seeds) grid; the second algorithm optionally slow."""
+    return SweepSpec(
+        experiment=experiment,
+        algorithms=(
+            AlgorithmSpec(PROBE_ALGORITHM, {"scale": 1}),
+            AlgorithmSpec(
+                PROBE_ALGORITHM,
+                {"scale": 2, "sleep_seconds": slow_seconds},
+                label="probe-slow" if slow_seconds else "probe-2",
+            ),
+        ),
+        workload=WorkloadSpec(
+            "gnp", {"num_nodes": num_nodes, "edge_probability": 0.3}
+        ),
+        seeds=seeds,
+    )
+
+
+def _serial_store(spec: SweepSpec, path: Path) -> Path:
+    """Write the ground-truth store the fleet output must match, byte for byte."""
+    run_sweep(spec, path)
+    return path
+
+
+@pytest.fixture
+def probe_spec():
+    """Factory for probe sweep specs (see :func:`_probe_spec`)."""
+    return _probe_spec
+
+
+@pytest.fixture
+def serial_store():
+    """Run a spec serially; returns the ground-truth store path."""
+    return _serial_store
+
+
+@pytest.fixture
+def probe_preload():
+    return PROBE_PRELOAD
+
+
+@pytest.fixture
+def service_root(tmp_path):
+    return tmp_path / "svc"
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """A running dispatcher with two managed workers, shared per module.
+
+    Worker processes cost ~a second each to spawn; tests that only need
+    default timing share this fleet (their jobs are independent — each
+    writes its own store).  Tests that kill, stop or re-time workers
+    build their own dispatcher from ``service_root`` instead.
+    """
+    dispatcher = Dispatcher(
+        tmp_path_factory.mktemp("svc-fleet"),
+        workers=2,
+        preload=PROBE_PRELOAD,
+        heartbeat_interval=0.3,
+        lease_timeout=30.0,
+    )
+    dispatcher.start()
+    yield dispatcher
+    dispatcher.stop()

@@ -1,0 +1,161 @@
+"""The cell-lease state machine: at-least-once execution, exactly-once records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.leases import CellLeaseTable
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestHappyPath:
+    def test_cells_lease_in_submission_order(self, clock):
+        table = CellLeaseTable(total=3, clock=clock)
+        cells = [table.lease(f"w{i}", 10.0).cell for i in range(3)]
+        assert cells == [0, 1, 2]
+        assert table.lease("w9", 10.0) is None
+
+    def test_complete_marks_done_exactly_once(self, clock):
+        table = CellLeaseTable(total=2, clock=clock)
+        lease = table.lease("w1", 10.0)
+        assert table.complete(lease.lease_id) == lease.cell
+        assert table.is_done(lease.cell)
+        assert table.done_count == 1
+        assert not table.finished
+        other = table.lease("w1", 10.0)
+        table.complete(other.lease_id)
+        assert table.finished
+
+    def test_unknown_lease_id_is_a_protocol_bug(self, clock):
+        table = CellLeaseTable(total=1, clock=clock)
+        with pytest.raises(ServiceError, match="unknown lease"):
+            table.complete(999)
+
+    def test_counts(self, clock):
+        table = CellLeaseTable(total=4, clock=clock)
+        table.lease("w1", 10.0)
+        assert (table.pending_count, table.leased_count, table.done_count) == (
+            3,
+            1,
+            0,
+        )
+
+    def test_negative_total_is_refused(self, clock):
+        with pytest.raises(ServiceError, match=">= 0"):
+            CellLeaseTable(total=-1, clock=clock)
+
+
+class TestExpiry:
+    def test_expired_lease_requeues_to_the_front(self, clock):
+        table = CellLeaseTable(total=3, clock=clock)
+        first = table.lease("w1", timeout=5.0)
+        table.lease("w2", timeout=50.0)
+        clock.advance(5.0)
+        expired = table.expire()
+        assert [lease.cell for lease in expired] == [first.cell]
+        assert expired[0].revoked
+        # Recovery work comes before new work.
+        assert table.lease("w3", 5.0).cell == first.cell
+
+    def test_expire_is_idempotent(self, clock):
+        table = CellLeaseTable(total=1, clock=clock)
+        table.lease("w1", timeout=1.0)
+        clock.advance(2.0)
+        assert len(table.expire()) == 1
+        assert table.expire() == []
+        assert table.pending_count == 1
+
+    def test_late_record_from_expired_lease_still_lands(self, clock):
+        table = CellLeaseTable(total=1, clock=clock)
+        slow = table.lease("w1", timeout=1.0)
+        clock.advance(2.0)
+        table.expire()
+        # The slow-but-alive worker delivers after expiry, before anyone
+        # re-ran the cell: accept it and pull the cell off the queue.
+        assert table.complete(slow.lease_id) == slow.cell
+        assert table.pending_count == 0
+        assert table.finished
+
+    def test_duplicate_completion_after_requeue_is_dropped(self, clock):
+        table = CellLeaseTable(total=1, clock=clock)
+        slow = table.lease("w1", timeout=1.0)
+        clock.advance(2.0)
+        table.expire()
+        retry = table.lease("w2", timeout=10.0)
+        assert retry.cell == slow.cell
+        assert table.complete(retry.lease_id) == retry.cell
+        assert table.complete(slow.lease_id) is None  # duplicate: dropped
+        assert table.done_count == 1
+        assert table.finished
+
+
+class TestRevocation:
+    def test_revoke_worker_requeues_only_its_cells(self, clock):
+        table = CellLeaseTable(total=3, clock=clock)
+        mine = table.lease("w1", 10.0)
+        table.lease("w2", 10.0)
+        revoked = table.revoke_worker("w1")
+        assert [lease.cell for lease in revoked] == [mine.cell]
+        assert table.pending_count == 2  # requeued + the never-leased cell
+        assert table.leased_count == 1
+
+    def test_revoking_a_worker_twice_is_a_no_op(self, clock):
+        table = CellLeaseTable(total=1, clock=clock)
+        table.lease("w1", 10.0)
+        assert len(table.revoke_worker("w1")) == 1
+        assert table.revoke_worker("w1") == []
+        assert table.pending_count == 1
+
+    def test_forget_requeues_without_completing(self, clock):
+        table = CellLeaseTable(total=1, clock=clock)
+        lease = table.lease("w1", 10.0)
+        table.forget(lease.lease_id)
+        assert table.pending_count == 1
+        assert table.done_count == 0
+        table.forget(999)  # unknown ids are ignored (job already failed)
+
+
+class TestScheduling:
+    def test_mark_done_covers_resume_and_cache_hits(self, clock):
+        table = CellLeaseTable(total=3, clock=clock)
+        table.mark_done(1)
+        assert table.lease("w1", 10.0).cell == 0
+        assert table.lease("w1", 10.0).cell == 2
+        with pytest.raises(ServiceError, match="out of range"):
+            table.mark_done(7)
+
+    def test_skip_excludes_a_cell_from_the_schedule(self, clock):
+        table = CellLeaseTable(total=3, clock=clock)
+        assert table.skip(2)
+        assert not table.skip(2)  # already gone
+        assert table.lease("w1", 10.0).cell == 0
+        assert table.lease("w1", 10.0).cell == 1
+        assert table.lease("w1", 10.0) is None
+        # Skipped cells count as neither pending nor done: the job can
+        # finish with done_count < total (the max_cells contract).
+        assert table.pending_count == 0
+        assert table.done_count == 0
+        assert not table.finished
+
+    def test_drain_stops_a_failed_job(self, clock):
+        table = CellLeaseTable(total=5, clock=clock)
+        table.lease("w1", 10.0)
+        assert table.drain() == 4
+        assert table.pending_count == 0
+        assert table.lease("w2", 10.0) is None

@@ -1,0 +1,181 @@
+"""Wire framing, address documents, and service discovery."""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.api.records import canonical_json
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    FRAME_MAX_BYTES,
+    SERVICE_INFO_NAME,
+    ServiceAddress,
+    bind_service_socket,
+    read_service_info,
+    recv_frame,
+    remove_service_info,
+    send_frame,
+    write_service_info,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        payload = {"type": "lease", "cell": 3, "run": {"seed": 7}}
+        send_frame(left, payload)
+        assert recv_frame(right) == payload
+
+    def test_wire_bytes_are_canonical_json(self, pair):
+        left, right = pair
+        payload = {"type": "record", "b": 1, "a": 2}
+        send_frame(left, payload)
+        header = right.recv(4)
+        (length,) = struct.Struct(">I").unpack(header)
+        body = right.recv(length)
+        assert body == canonical_json(payload).encode("utf-8")
+
+    def test_many_frames_in_sequence(self, pair):
+        left, right = pair
+        for index in range(20):
+            send_frame(left, {"type": "heartbeat", "n": index})
+        for index in range(20):
+            assert recv_frame(right)["n"] == index
+
+    def test_clean_eof_is_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_frame(right) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.Struct(">I").pack(100) + b'{"type"')
+        left.close()
+        with pytest.raises(ServiceError, match="mid-frame"):
+            recv_frame(right)
+
+    def test_oversized_incoming_frame_is_refused(self, pair):
+        left, right = pair
+        left.sendall(struct.Struct(">I").pack(FRAME_MAX_BYTES + 1))
+        with pytest.raises(ServiceError, match="limit"):
+            recv_frame(right)
+
+    def test_oversized_outgoing_frame_is_refused(self, pair):
+        left, _ = pair
+        with pytest.raises(ServiceError, match="refusing to send"):
+            send_frame(left, {"type": "x", "blob": "y" * (FRAME_MAX_BYTES + 1)})
+
+    def test_malformed_json_raises(self, pair):
+        left, right = pair
+        body = b"not json at all"
+        left.sendall(struct.Struct(">I").pack(len(body)) + body)
+        with pytest.raises(ServiceError, match="malformed"):
+            recv_frame(right)
+
+    def test_non_object_payload_raises(self, pair):
+        left, right = pair
+        body = json.dumps([1, 2, 3]).encode("utf-8")
+        left.sendall(struct.Struct(">I").pack(len(body)) + body)
+        with pytest.raises(ServiceError, match="JSON objects"):
+            recv_frame(right)
+
+    def test_payload_without_type_raises(self, pair):
+        left, right = pair
+        body = json.dumps({"cell": 1}).encode("utf-8")
+        left.sendall(struct.Struct(">I").pack(len(body)) + body)
+        with pytest.raises(ServiceError, match="'type'"):
+            recv_frame(right)
+
+    def test_concurrent_senders_never_interleave(self, pair):
+        left, right = pair
+        lock = threading.Lock()
+
+        def blast(tag):
+            for _ in range(50):
+                with lock:
+                    send_frame(left, {"type": tag, "pad": tag * 512})
+
+        threads = [
+            threading.Thread(target=blast, args=(tag,)) for tag in ("aa", "bb")
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(100):
+            frame = recv_frame(right)
+            assert frame["pad"] == frame["type"] * 512
+        for thread in threads:
+            thread.join()
+
+
+class TestServiceAddress:
+    def test_unix_round_trip(self):
+        address = ServiceAddress(family="unix", path="/tmp/x.sock")
+        assert ServiceAddress.from_dict(address.to_dict()) == address
+        assert address.describe() == "/tmp/x.sock"
+
+    def test_tcp_round_trip(self):
+        address = ServiceAddress(family="tcp", host="127.0.0.1", port=4567)
+        assert ServiceAddress.from_dict(address.to_dict()) == address
+        assert address.describe() == "127.0.0.1:4567"
+
+    def test_unknown_family_is_refused(self):
+        with pytest.raises(ServiceError, match="family"):
+            ServiceAddress(family="carrier-pigeon")
+        with pytest.raises(ServiceError, match="family"):
+            ServiceAddress.from_dict({"family": "smoke-signal"})
+
+    def test_bind_and_connect(self, tmp_path):
+        listener, address = bind_service_socket(tmp_path)
+        listener.listen(1)
+        try:
+            client = address.connect(timeout=5.0)
+            server, _ = listener.accept()
+            send_frame(client, {"type": "hello"})
+            assert recv_frame(server)["type"] == "hello"
+            client.close()
+            server.close()
+        finally:
+            listener.close()
+
+    def test_rebinding_replaces_stale_socket_file(self, tmp_path):
+        listener, address = bind_service_socket(tmp_path)
+        listener.close()  # dead dispatcher leaves the file behind
+        if address.family == "unix":
+            assert (tmp_path / "service.sock").exists()
+        listener, _ = bind_service_socket(tmp_path)
+        listener.close()
+
+
+class TestServiceInfo:
+    def test_write_read_remove(self, tmp_path):
+        payload = {"address": {"family": "tcp", "host": "127.0.0.1", "port": 1}}
+        path = write_service_info(tmp_path, payload)
+        assert path.name == SERVICE_INFO_NAME
+        assert read_service_info(tmp_path) == payload
+        remove_service_info(tmp_path)
+        with pytest.raises(ServiceError, match="no experiment service"):
+            read_service_info(tmp_path)
+        remove_service_info(tmp_path)  # idempotent
+
+    def test_invalid_json_is_an_error(self, tmp_path):
+        (tmp_path / SERVICE_INFO_NAME).write_text("{broken", encoding="utf-8")
+        with pytest.raises(ServiceError, match="invalid service info"):
+            read_service_info(tmp_path)
+
+    def test_document_without_address_is_an_error(self, tmp_path):
+        (tmp_path / SERVICE_INFO_NAME).write_text("{}", encoding="utf-8")
+        with pytest.raises(ServiceError, match="not a service info"):
+            read_service_info(tmp_path)

@@ -1,0 +1,181 @@
+"""The ``repro serve`` / ``submit`` / ``status`` / ``worker`` verbs."""
+
+from __future__ import annotations
+
+import filecmp
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import main
+from repro.api.specs import AlgorithmSpec, SweepSpec, WorkloadSpec
+from repro.api.store import run_sweep
+
+
+def _run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def _spec_file(tmp_path, seeds=(1, 2)):
+    spec = SweepSpec(
+        experiment="cli-service",
+        algorithms=(
+            AlgorithmSpec("theorem2-listing", {"repetitions": 1, "epsilon": 0.5}),
+            AlgorithmSpec("naive-two-hop"),
+        ),
+        workload=WorkloadSpec("gnp", {"num_nodes": 16, "edge_probability": 0.5}),
+        seeds=seeds,
+    )
+    path = tmp_path / "sweep.json"
+    path.write_text(spec.to_json(indent=2), encoding="utf-8")
+    return spec, path
+
+
+@pytest.fixture
+def served_root(tmp_path):
+    """``repro serve`` as a real subprocess, stopped (and checked) on exit."""
+    root = tmp_path / "svc"
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(root), "--workers", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    deadline = time.monotonic() + 30.0
+    while not (root / "service.json").exists():
+        if process.poll() is not None or time.monotonic() > deadline:
+            out, err = process.communicate(timeout=5)
+            raise AssertionError(f"serve did not come up: {out!r} {err!r}")
+        time.sleep(0.05)
+    yield root
+    if process.poll() is None:
+        main(["serve", str(root), "--stop"])
+        process.wait(timeout=30)
+    assert process.returncode == 0
+
+
+class TestServeSubmitStatus:
+    def test_full_round_trip(self, capsys, served_root, tmp_path):
+        spec, spec_path = _spec_file(tmp_path)
+        serial = tmp_path / "serial.jsonl"
+        run_sweep(spec, serial)
+
+        out_path = tmp_path / "fleet.jsonl"
+        code, out, _ = _run(
+            capsys,
+            "submit", str(served_root), str(spec_path),
+            "--out", str(out_path), "--json",
+        )
+        assert code == 0
+        job = json.loads(out)["job"]
+        assert job["state"] == "done"
+        assert job["cells_done"] == 4
+        assert filecmp.cmp(serial, out_path, shallow=False)
+
+        code, out, _ = _run(capsys, "status", str(served_root), "--json")
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["service"]["managed_workers"] == 1
+        assert any(entry["state"] == "done" for entry in payload["jobs"])
+
+        code, out, _ = _run(capsys, "status", str(served_root))
+        assert code == 0
+        assert "cells/s" in out and str(out_path) in out
+
+    def test_submit_default_out_is_next_to_the_spec(
+        self, capsys, served_root, tmp_path
+    ):
+        spec, spec_path = _spec_file(tmp_path, seeds=(1,))
+        code, out, _ = _run(capsys, "submit", str(served_root), str(spec_path))
+        assert code == 0
+        assert spec_path.with_suffix(".records.jsonl").exists()
+        assert "cells/s" in out and "first record" in out
+
+    def test_submit_no_wait_returns_immediately(
+        self, capsys, served_root, tmp_path
+    ):
+        from repro.service import ServiceClient
+
+        _, spec_path = _spec_file(tmp_path, seeds=(1,))
+        out_path = tmp_path / "fleet.jsonl"
+        code, out, _ = _run(
+            capsys,
+            "submit", str(served_root), str(spec_path),
+            "--out", str(out_path), "--no-wait",
+        )
+        assert code == 0
+        assert "repro status" in out
+        with ServiceClient.connect(served_root) as client:
+            job_id = client.status()["jobs"][-1]["id"]
+            job = client.wait_job(job_id, timeout=60)
+        assert job["state"] == "done"
+
+    def test_submit_progress_lines_go_to_stderr(
+        self, capsys, served_root, tmp_path
+    ):
+        _, spec_path = _spec_file(tmp_path, seeds=(1,))
+        code, _, err = _run(
+            capsys,
+            "submit", str(served_root), str(spec_path),
+            "--out", str(tmp_path / "fleet.jsonl"),
+        )
+        assert code == 0
+        assert "/2 cells" in err
+
+
+class TestServiceCliErrors:
+    def test_submit_without_a_service_exits_2(self, capsys, tmp_path):
+        _, spec_path = _spec_file(tmp_path, seeds=(1,))
+        code, _, err = _run(capsys, "submit", str(tmp_path), str(spec_path))
+        assert code == 2
+        assert "no experiment service" in err
+
+    def test_status_without_a_service_exits_2(self, capsys, tmp_path):
+        code, _, err = _run(capsys, "status", str(tmp_path))
+        assert code == 2
+        assert "no experiment service" in err
+
+    def test_stop_without_a_service_exits_2(self, capsys, tmp_path):
+        code, _, err = _run(capsys, "serve", str(tmp_path), "--stop")
+        assert code == 2
+        assert "no experiment service" in err
+
+    def test_submit_rejects_a_run_spec(self, capsys, served_root, tmp_path):
+        from repro.api.specs import RunSpec
+
+        spec = RunSpec(
+            algorithm=AlgorithmSpec("naive-two-hop"),
+            workload=WorkloadSpec("cycle", {"num_nodes": 6}),
+        )
+        path = tmp_path / "run.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        code, _, err = _run(capsys, "submit", str(served_root), str(path))
+        assert code == 2
+        assert "sweep" in err
+
+    def test_submit_missing_spec_file_exits_2(self, capsys, tmp_path):
+        code, _, err = _run(
+            capsys, "submit", str(tmp_path), str(tmp_path / "nope.json")
+        )
+        assert code == 2
+        assert "cannot read spec file" in err
+
+
+class TestReproPreload:
+    def test_env_preload_registers_modules(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PRELOAD", "repro.service.probes")
+        code, out, _ = _run(capsys, "list", "--json")
+        assert code == 0
+        names = {entry["name"] for entry in json.loads(out)["algorithms"]}
+        assert "service-probe" in names
+
+    def test_env_preload_failure_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_PRELOAD", "no.such.module")
+        code, _, err = _run(capsys, "list")
+        assert code == 2
+        assert "no.such.module" in err
