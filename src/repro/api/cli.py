@@ -18,7 +18,13 @@ Installed as the ``repro`` console script (and reachable as
   worker`` — the persistent worker-fleet experiment service
   (:mod:`repro.service`): a long-lived dispatcher leases sweep cells to
   warm worker processes and streams records into the same JSONL store
-  format, byte-identical to ``repro sweep``.
+  format, byte-identical to ``repro sweep``; ``repro serve --drain``
+  finishes in-flight cells and exits cleanly,
+* ``repro events`` — a service root's append-only incident log
+  (lease expiries, evictions, retries, quarantines, fault firings),
+* ``repro chaos`` — a seeded fault-injection session
+  (:mod:`repro.service.chaos`): deterministic schedule, byte-identity
+  check against a serial reference, poison-cell quarantine proof.
 
 Set ``REPRO_PRELOAD`` to a comma-separated module list to import extra
 algorithm/workload registrations before any command runs (the service's
@@ -44,6 +50,7 @@ from ..analysis.experiments import SWEEP_PLANE_ENV, SweepRunner
 from ..analysis.tables import render_records_table, render_table, render_table1
 from .._version import __version__
 from ..errors import AnalysisError, ReproError
+from ..faults import FAULTS_ENV
 from .registry import (
     AlgorithmEntry,
     WorkloadEntry,
@@ -241,6 +248,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
             sys.stderr.flush()
 
+    def on_retry(attempt: int, reason: str) -> None:
+        print(
+            f"sweep {spec.experiment!r}: worker pool broke "
+            f"({reason}); retry {attempt}/{args.retries} resumes from "
+            "the recorded prefix",
+            file=sys.stderr,
+        )
+        sys.stderr.flush()
+
     runner = SweepRunner(max_workers=args.workers, plane=args.plane)
     with runner:
         stored = run_sweep(
@@ -251,6 +267,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_cells=args.max_cells,
             cache=cache,
             progress=progress,
+            retries=args.retries,
+            on_retry=on_retry,
         )
         plane = runner.last_plane
     total = len(spec.cells())
@@ -358,6 +376,18 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     from ..service.cli import cmd_worker
 
     return cmd_worker(args)
+
+
+def _cmd_events(args: argparse.Namespace) -> int:
+    from ..service.cli import cmd_events
+
+    return cmd_events(args)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from ..service.cli import cmd_chaos
+
+    return cmd_chaos(args)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -479,9 +509,18 @@ def build_parser() -> argparse.ArgumentParser:
         f"defaults to ${SWEEP_PLANE_ENV} when set",
     )
     sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="rebuild a broken worker pool and retry the remaining cells "
+        "up to N times (the recorded prefix is kept; default 0)",
+    )
+    sweep_parser.add_argument(
         "--progress",
         action="store_true",
-        help="print completed/total cells to stderr as records stream in",
+        help="print completed/total cells (and pool retries) to stderr "
+        "as records stream in",
     )
     sweep_parser.add_argument(
         "--json", action="store_true", help="emit a JSON document"
@@ -541,6 +580,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--stop",
         action="store_true",
         help="shut down the service running in this directory instead",
+    )
+    serve_parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="gracefully drain the running service instead: no new "
+        "leases, in-flight cells finish and flush, then it exits",
     )
     serve_parser.add_argument(
         "--json", action="store_true", help="emit a JSON document on startup"
@@ -611,6 +656,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker_parser.set_defaults(handler=_cmd_worker)
 
+    events_parser = subparsers.add_parser(
+        "events", help="show a service root's incident log (events.jsonl)"
+    )
+    events_parser.add_argument(
+        "root", help="service directory (as passed to serve)"
+    )
+    events_parser.add_argument(
+        "--tail",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the last N events",
+    )
+    events_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    events_parser.set_defaults(handler=_cmd_events)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run a seeded fault-injection session against a live fleet",
+    )
+    chaos_parser.add_argument(
+        "root", help="session directory (service roots, stores, schedule)"
+    )
+    chaos_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="chaos schedule seed (default 0); same seed, same schedule",
+    )
+    chaos_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="managed workers in the chaos fleet (default 2)",
+    )
+    chaos_parser.add_argument(
+        "--control",
+        action="store_true",
+        help="run the same session with no faults armed (the fault plane "
+        "must be invisible)",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true", help="emit the session report as JSON"
+    )
+    chaos_parser.set_defaults(handler=_cmd_chaos)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or prune a content-addressed result cache"
     )
@@ -658,6 +751,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             from ..service.worker import preload_modules
 
             preload_modules(name.strip() for name in preload.split(","))
+        if os.environ.get(FAULTS_ENV):
+            # Arm the fault plane when a chaos run asks for it, for every
+            # verb — even a plain `repro sweep` can be chaos-tested.
+            from ..faults import install_from_env
+
+            install_from_env()
         return args.handler(args)
     except BrokenPipeError:
         # Downstream pager/`head` closed the pipe; that is not an error.

@@ -6,7 +6,10 @@ A sweep's durable artifact is one JSONL file:
   "spec": <SweepSpec document>}``,
 * every further line — one completed cell: ``{"kind": "record",
   "cell": <index>, "label": <algorithm label>, "record":
-  <ExperimentRecord document>}``.
+  <ExperimentRecord document>}`` — or, for a cell the experiment
+  service quarantined after repeated failures, ``{"kind": "cell-error",
+  "cell": <index>, "label": <label>, "error": <reason>}``, holding the
+  cell's position so the rest of the sweep still completes in order.
 
 Lines are written in deterministic cell order as records complete (the
 sweep scheduler streams them in order — see
@@ -40,8 +43,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Set, Tuple
 
+from concurrent.futures import BrokenExecutor
+
 from ..analysis.experiments import ExperimentRecord, SweepRunner
-from ..errors import AnalysisError
+from ..errors import AnalysisError, StoreError
+from ..faults import fault_point, injected_os_error
 from .records import canonical_json
 from .specs import SPEC_SCHEMA_VERSION, RunSpec, SweepSpec
 
@@ -56,6 +62,7 @@ __all__ = [
 
 _HEADER_KIND = "sweep-header"
 _RECORD_KIND = "record"
+_ERROR_KIND = "cell-error"
 _CACHE_KIND = "cached-record"
 _HASH_HEX_LENGTH = 64
 
@@ -134,8 +141,19 @@ class ResultCache:
         }
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(canonical_json(payload) + "\n", encoding="utf-8")
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(canonical_json(payload) + "\n", encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            # A full disk (or vanished directory) must leave the cache
+            # clean: no .tmp litter, no truncated entry under the hash.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise StoreError(
+                f"cannot write cache entry {path}: {exc}"
+            ) from exc
         self.writes += 1
         return True
 
@@ -227,9 +245,26 @@ class RecordStore:
 
     def append(self, payload: Dict[str, Any]) -> None:
         """Append one canonical JSON line and flush it to disk."""
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(canonical_json(payload) + "\n")
-            handle.flush()
+        line = canonical_json(payload) + "\n"
+        fault = fault_point("store.append", kind=str(payload.get("kind")))
+        try:
+            with self.path.open("a", encoding="utf-8") as handle:
+                if fault is not None:
+                    if fault.action == "enospc":
+                        raise injected_os_error(28, "disk full")  # ENOSPC
+                    if fault.action == "torn":
+                        # A crash mid-write: half a line, no newline —
+                        # exactly what discard_partial_tail heals.
+                        handle.write(line[: max(1, len(line) // 2)])
+                        handle.flush()
+                        raise injected_os_error(5, "torn tail write")  # EIO
+                handle.write(line)
+                handle.flush()
+                fsync_fault = fault_point("store.fsync", kind=str(payload.get("kind")))
+                if fsync_fault is not None:
+                    raise injected_os_error(5, "fsync failed")  # EIO
+        except OSError as exc:
+            raise StoreError(f"cannot append to {self.path}: {exc}") from exc
 
     def discard_partial_tail(self) -> None:
         """Drop a trailing partial line left behind by a crash mid-write.
@@ -279,10 +314,16 @@ class StoredSweep:
     spec: SweepSpec
     #: Completed cells as (cell index, algorithm label, record), in file order.
     entries: Tuple[Tuple[int, str, ExperimentRecord], ...]
+    #: Quarantined cells as (cell index, label, error reason), in file order.
+    errors: Tuple[Tuple[int, str, str], ...] = ()
 
     def completed_cells(self) -> Set[int]:
         """Return the set of cell indices with a stored record."""
         return {cell for cell, _, _ in self.entries}
+
+    def error_cells(self) -> Set[int]:
+        """Return the set of cell indices holding a cell-error line."""
+        return {cell for cell, _, _ in self.errors}
 
     def records_by_label(self) -> Dict[str, List[ExperimentRecord]]:
         """Return records grouped by algorithm label, in cell order.
@@ -317,16 +358,19 @@ def _parse_store(store: RecordStore, num_cells: Optional[int] = None) -> StoredS
         )
     spec = SweepSpec.from_dict(header["spec"])
     cells: List[Tuple[int, str, ExperimentRecord]] = []
+    errors: List[Tuple[int, str, str]] = []
     seen_cells: Set[int] = set()
     for entry in entries[1:]:
-        if entry.get("kind") != _RECORD_KIND:
+        kind = entry.get("kind")
+        if kind not in (_RECORD_KIND, _ERROR_KIND):
             raise AnalysisError(
                 f"{store.path}: unexpected line kind {entry.get('kind')!r}"
             )
-        missing = {"cell", "label", "record"} - set(entry)
+        payload_key = "record" if kind == _RECORD_KIND else "error"
+        missing = {"cell", "label", payload_key} - set(entry)
         if missing:
             raise AnalysisError(
-                f"{store.path}: record line is missing {sorted(missing)}"
+                f"{store.path}: {kind} line is missing {sorted(missing)}"
             )
         cell = int(entry["cell"])
         if num_cells is not None and not 0 <= cell < num_cells:
@@ -340,10 +384,17 @@ def _parse_store(store: RecordStore, num_cells: Optional[int] = None) -> StoredS
                 "sweeps racing on this file?)"
             )
         seen_cells.add(cell)
-        cells.append(
-            (cell, str(entry["label"]), ExperimentRecord.from_dict(entry["record"]))
-        )
-    return StoredSweep(spec=spec, entries=tuple(cells))
+        if kind == _RECORD_KIND:
+            cells.append(
+                (
+                    cell,
+                    str(entry["label"]),
+                    ExperimentRecord.from_dict(entry["record"]),
+                )
+            )
+        else:
+            errors.append((cell, str(entry["label"]), str(entry["error"])))
+    return StoredSweep(spec=spec, entries=tuple(cells), errors=tuple(errors))
 
 
 def load_sweep(path: "str | Path") -> StoredSweep:
@@ -376,10 +427,12 @@ class SweepStoreWriter:
         self.store = RecordStore(path)
         self.labels = spec.cell_labels()
         self.num_cells = len(self.labels)
-        #: Cells whose record is on disk (the resumed prefix at
-        #: construction; grows as buffered records flush).
+        #: Cells whose line (record or cell-error) is on disk (the resumed
+        #: prefix at construction; grows as buffered lines flush).
         self.done: Set[int] = set()
         self._entries: List[Tuple[int, str, ExperimentRecord]] = []
+        self._errors: List[Tuple[int, str, str]] = []
+        #: Buffered store lines (full line documents) awaiting in-order flush.
         self._buffer: Dict[int, Dict[str, Any]] = {}
         self.written = 0
         if self.store.exists():
@@ -399,8 +452,9 @@ class SweepStoreWriter:
                     "spec; refusing to mix records from two sweeps in one "
                     "file"
                 )
-            self.done = stored.completed_cells()
+            self.done = stored.completed_cells() | stored.error_cells()
             self._entries = list(stored.entries)
+            self._errors = list(stored.errors)
         else:
             # Fresh file — or a crash landed mid-header-write and healing
             # emptied it; either way the sweep starts from the beginning.
@@ -436,24 +490,55 @@ class SweepStoreWriter:
                 f"{self.store.path}: cell {cell} already has a record"
             )
         record = ExperimentRecord.from_dict(record_doc)
-        self._buffer[cell] = record_doc
+        self._buffer[cell] = {
+            "kind": _RECORD_KIND,
+            "cell": cell,
+            "label": self.labels[cell],
+            "record": record_doc,
+        }
+        self._flush_ready()
+        return record
+
+    def write_error(self, cell: int, error: str) -> None:
+        """File a cell-error line for a quarantined ``cell``.
+
+        Holds the cell's position in the in-order layout (buffered and
+        flushed exactly like a record), so quarantining one poison cell
+        lets every later cell's record still reach the file.
+        """
+        if not 0 <= cell < self.num_cells:
+            raise AnalysisError(
+                f"cell {cell} is outside the spec's {self.num_cells}-cell grid"
+            )
+        if cell in self.done or cell in self._buffer:
+            raise AnalysisError(
+                f"{self.store.path}: cell {cell} already has a record"
+            )
+        self._buffer[cell] = {
+            "kind": _ERROR_KIND,
+            "cell": cell,
+            "label": self.labels[cell],
+            "error": str(error),
+        }
+        self._flush_ready()
+
+    def _flush_ready(self) -> None:
         while self._order and self._order[0] in self._buffer:
             index = self._order.popleft()
             doc = self._buffer.pop(index)
-            self.store.append(
-                {
-                    "kind": _RECORD_KIND,
-                    "cell": index,
-                    "label": self.labels[index],
-                    "record": doc,
-                }
-            )
-            self._entries.append(
-                (index, self.labels[index], ExperimentRecord.from_dict(doc))
-            )
+            self.store.append(doc)
+            if doc["kind"] == _RECORD_KIND:
+                self._entries.append(
+                    (
+                        index,
+                        self.labels[index],
+                        ExperimentRecord.from_dict(doc["record"]),
+                    )
+                )
+            else:
+                self._errors.append((index, self.labels[index], doc["error"]))
             self.done.add(index)
             self.written += 1
-        return record
 
     @property
     def buffered(self) -> int:
@@ -466,7 +551,11 @@ class SweepStoreWriter:
         Matches the file exactly (buffered records are not included —
         they are not on disk).
         """
-        return StoredSweep(spec=self.spec, entries=tuple(self._entries))
+        return StoredSweep(
+            spec=self.spec,
+            entries=tuple(self._entries),
+            errors=tuple(self._errors),
+        )
 
 
 def run_sweep(
@@ -477,6 +566,8 @@ def run_sweep(
     max_cells: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[int, int], None]] = None,
+    retries: int = 0,
+    on_retry: Optional[Callable[[int, str], None]] = None,
 ) -> StoredSweep:
     """Execute ``spec``, appending each record to the JSONL file at ``path``.
 
@@ -507,6 +598,16 @@ def run_sweep(
         Optional ``(completed, total)`` callback, invoked once with the
         resumed state before any cell runs and again after every
         completed cell — what ``repro sweep --progress`` renders.
+    retries:
+        How many times to resume the remaining cells after the executor
+        breaks (a worker process OOM-killed or segfaulted breaks the
+        whole pool).  The store's flushed prefix survives each retry —
+        only cells without a record rerun — so the final file is still
+        byte-identical to an uninterrupted sweep.  Zero (the default)
+        re-raises the first breakage, as before.
+    on_retry:
+        Optional ``(attempt, reason)`` callback, invoked before each
+        retry — what ``repro sweep --progress`` reports retries with.
 
     Returns the complete (or, with ``max_cells``, partial) stored sweep.
     """
@@ -522,14 +623,29 @@ def run_sweep(
     if pending:
         own_runner = runner is None
         runner = runner if runner is not None else SweepRunner()
+        attempt = 0
         try:
-            stream = runner.iter_cells(
-                [cells[index] for index in pending], cache=cache
-            )
-            for index, record in zip(pending, stream):
-                writer.write(index, record.to_dict())
-                if progress is not None:
-                    progress(len(writer.done), writer.num_cells)
+            while pending:
+                try:
+                    stream = runner.iter_cells(
+                        [cells[index] for index in pending], cache=cache
+                    )
+                    for index, record in zip(pending, stream):
+                        writer.write(index, record.to_dict())
+                        if progress is not None:
+                            progress(len(writer.done), writer.num_cells)
+                    break
+                except BrokenExecutor as exc:
+                    # iter_cells already dropped the broken pool; the
+                    # next iteration gets a fresh one from the runner.
+                    attempt += 1
+                    if attempt > retries:
+                        raise
+                    pending = [
+                        index for index in pending if index not in writer.done
+                    ]
+                    if on_retry is not None:
+                        on_retry(attempt, str(exc) or type(exc).__name__)
         finally:
             if own_runner:
                 runner.close()

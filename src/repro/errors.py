@@ -79,6 +79,26 @@ class AnalysisError(ReproError):
     """Raised for invalid analysis or experiment-harness configurations."""
 
 
+class StoreError(AnalysisError):
+    """Raised when a result store or cache cannot be written durably.
+
+    Examples include a full disk during a cache put (the partially
+    written temporary entry is unlinked before this is raised) or a
+    store file whose directory vanished mid-run.  Subclasses
+    :class:`AnalysisError` so existing ``except ReproError`` /
+    ``except AnalysisError`` harness code keeps catching it.
+    """
+
+
+class FaultError(ReproError):
+    """Raised for invalid fault-injection schedules or rules.
+
+    Examples include a rule naming an unknown injection point, an action
+    the point does not support, or a schedule file that is not a
+    canonical fault-schedule document.
+    """
+
+
 class ServiceError(ReproError):
     """Raised for experiment-service failures (dispatcher, workers, protocol).
 

@@ -25,6 +25,7 @@ Python.
 """
 
 from .dispatcher import Dispatcher, SegmentPool
+from .events import EVENTS_FILE_NAME, EventLog, read_events
 from .leases import CellLeaseTable, Lease
 from .protocol import (
     PROTOCOL_VERSION,
@@ -35,13 +36,16 @@ from .protocol import (
 from .worker import worker_main
 
 __all__ = [
+    "EVENTS_FILE_NAME",
     "PROTOCOL_VERSION",
     "CellLeaseTable",
     "Dispatcher",
+    "EventLog",
     "Lease",
     "SegmentPool",
     "ServiceAddress",
     "ServiceClient",
+    "read_events",
     "read_service_info",
     "worker_main",
 ]

@@ -21,9 +21,17 @@ from ..analysis.tables import render_table
 from ..api.specs import SweepSpec, load_spec
 from ..errors import AnalysisError
 from .dispatcher import Dispatcher
-from .protocol import ServiceClient
+from .events import read_events
+from .protocol import SERVICE_INFO_NAME, ServiceClient
 
-__all__ = ["cmd_serve", "cmd_submit", "cmd_status", "cmd_worker"]
+__all__ = [
+    "cmd_chaos",
+    "cmd_events",
+    "cmd_serve",
+    "cmd_submit",
+    "cmd_status",
+    "cmd_worker",
+]
 
 
 def _emit_json(payload: Any) -> None:
@@ -31,8 +39,10 @@ def _emit_json(payload: Any) -> None:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the dispatcher in the foreground (or stop a running one)."""
+    """Run the dispatcher in the foreground (or stop/drain a running one)."""
     root = Path(args.root)
+    if args.stop and args.drain:
+        raise AnalysisError("--stop and --drain are mutually exclusive")
     if args.stop:
         with ServiceClient(root) as client:
             client.shutdown()
@@ -40,6 +50,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
             _emit_json({"root": str(root), "stopped": True})
         else:
             print(f"asked the service in {root} to shut down")
+        return 0
+    if args.drain:
+        with ServiceClient(root) as client:
+            client.drain()
+        # The dispatcher stops leasing immediately and exits once the
+        # last in-flight cell's record has flushed; its final act is
+        # removing service.json, which is what we wait for here.
+        drained = True
+        try:
+            while (root / SERVICE_INFO_NAME).exists():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            drained = False
+        if args.json:
+            _emit_json({"root": str(root), "draining": True, "drained": drained})
+        elif drained:
+            print(f"service in {root} drained and exited")
+        else:
+            print(
+                f"service in {root} is still draining (in-flight cells "
+                "finish, then it exits)"
+            )
         return 0
     dispatcher = Dispatcher(
         root,
@@ -90,6 +122,10 @@ def _progress_printer(stream):
         line = (
             f"{job['id']}: {job['cells_done']}/{job['cells_total']} cells"
         )
+        if job.get("retries"):
+            line += f" ({job['retries']} retried)"
+        if job.get("quarantined"):
+            line += f" [{job['quarantined']} quarantined]"
         if line != state["last"]:
             print(line, file=stream)
             stream.flush()
@@ -142,6 +178,13 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if job.get("first_record_seconds") is not None:
         summary += f", first record {job['first_record_seconds']:.2f}s"
     print(summary + ")")
+    if job.get("quarantined"):
+        print(
+            f"warning: {job['quarantined']} cells quarantined after "
+            "repeated failures (see their cell-error store lines and "
+            f"'repro events {args.root}')",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -152,7 +195,16 @@ def _render_status(payload: Dict[str, Any]) -> str:
         f"plane={service['plane']}, "
         f"{len(payload['workers'])} workers connected, "
         f"{service['evictions']} evictions)"
+        + (" [draining]" if service.get("draining") else "")
     ]
+    health = (
+        f"health: {service.get('quarantined', 0)} quarantined cells, "
+        f"{service.get('worker_restarts', 0)}/"
+        f"{service.get('restart_budget', 0)} worker restarts"
+    )
+    if service.get("events_path"):
+        health += f", events -> {service['events_path']}"
+    lines.append(health)
     if payload["workers"]:
         lines.append(
             render_table(
@@ -177,13 +229,16 @@ def _render_status(payload: Dict[str, Any]) -> str:
     if payload["jobs"]:
         lines.append(
             render_table(
-                ["job", "state", "cells", "cached", "cells/s", "out"],
+                ["job", "state", "cells", "cached", "retried", "quar",
+                 "cells/s", "out"],
                 [
                     [
                         job["id"],
                         job["state"],
                         f"{job['cells_done']}/{job['cells_total']}",
                         str(job["cache_hits"]),
+                        str(job.get("retries", 0)),
+                        str(job.get("quarantined", 0)),
                         f"{job['cells_per_second']:.1f}",
                         job["out"],
                     ]
@@ -227,3 +282,73 @@ def cmd_worker(args: argparse.Namespace) -> int:
     from .worker import worker_main
 
     return worker_main(args.root, preload=tuple(args.preload or ()))
+
+
+def cmd_events(args: argparse.Namespace) -> int:
+    """Show a service root's incident log (events.jsonl)."""
+    events = read_events(Path(args.root), tail=args.tail)
+    if args.json:
+        _emit_json({"root": str(args.root), "events": events})
+        return 0
+    if not events:
+        print(f"no incidents recorded in {args.root}")
+        return 0
+    for event in events:
+        stamp = time.strftime(
+            "%H:%M:%S", time.localtime(float(event.get("ts", 0.0)))
+        )
+        fields = " ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("ts", "event")
+        )
+        line = f"{stamp} {event.get('event', '?')}"
+        print(f"{line} {fields}" if fields else line)
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run a seeded chaos (or control) session; exit 1 on a violated invariant."""
+    from .chaos import run_chaos_session
+
+    report = run_chaos_session(
+        Path(args.root),
+        seed=args.seed,
+        workers=args.workers,
+        control=args.control,
+    )
+    if args.json:
+        _emit_json(report)
+        return 0 if report["ok"] else 1
+    verdict = "OK" if report["ok"] else "FAILED"
+    print(
+        f"{report['mode']} session seed={report['seed']} "
+        f"({report['workers']} workers): {verdict} in "
+        f"{report['elapsed_seconds']:.1f}s"
+    )
+    identical = sum(1 for sweep in report["sweeps"] if sweep["identical"])
+    print(
+        f"  stores: {identical}/{len(report['sweeps'])} byte-identical "
+        "to the serial reference"
+    )
+    points = ", ".join(report["fault_points_fired"]) or "none"
+    print(
+        f"  faults: {report['fault_fires']} fired across "
+        f"{len(report['fault_points_fired'])} points ({points})"
+    )
+    print(
+        f"  fleet: {report['quarantined']} quarantined, "
+        f"{report['worker_restarts']} worker restarts, "
+        f"{report['events']} events -> {report['events_path']}"
+    )
+    poison = report.get("poison")
+    if poison is not None and "state" in poison:
+        print(
+            f"  poison: cell {poison['cell']} quarantined after "
+            f"{poison.get('observed_attempts')} attempts; "
+            f"{poison['cells_done']} healthy cells completed "
+            f"(job {poison['state']})"
+        )
+    for failure in report["failures"]:
+        print(f"  FAILURE: {failure}", file=sys.stderr)
+    return 0 if report["ok"] else 1

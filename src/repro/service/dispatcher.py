@@ -56,7 +56,16 @@ from ..api.records import canonical_json
 from ..api.specs import RunSpec, SweepSpec
 from ..api.store import ResultCache, SweepStoreWriter
 from ..errors import ReproError, ServiceError
+from ..faults import (
+    FAULTS_ENV,
+    FAULTS_EVENTS_ENV,
+    FAULTS_SCOPE_ENV,
+    active_plane,
+    fault_point,
+    install_from_env,
+)
 from ..graphs.shm import share_csr, shm_available
+from .events import EVENTS_FILE_NAME, EventLog
 from .leases import CellLeaseTable
 from .protocol import (
     PROTOCOL_VERSION,
@@ -209,6 +218,7 @@ class _Job:
         writer: SweepStoreWriter,
         cache: Optional[ResultCache],
         clock: Callable[[], float],
+        max_cell_attempts: int = 0,
     ) -> None:
         self.id = job_id
         self.spec = spec
@@ -216,7 +226,9 @@ class _Job:
         self.cache = cache
         self.runs: List[RunSpec] = spec.run_specs()
         self.labels: List[str] = spec.cell_labels()
-        self.table = CellLeaseTable(total=len(self.runs), clock=clock)
+        self.table = CellLeaseTable(
+            total=len(self.runs), clock=clock, max_attempts=max_cell_attempts
+        )
         self.state = "running"
         self.error: Optional[str] = None
         self.plane = "pickle"
@@ -227,6 +239,8 @@ class _Job:
         self.resumed = len(writer.done)
         self.skipped = 0
         self.expired_leases = 0
+        #: Cells requeued after a failed execution attempt.
+        self.retries = 0
         self.submitted_unix = time.time()
         self.started_mono = clock()
         self.first_record_mono: Optional[float] = None
@@ -256,6 +270,17 @@ class _Job:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "expired_leases": self.expired_leases,
+            "retries": self.retries,
+            "quarantined": self.table.quarantined_count,
+            "quarantined_cells": [
+                {
+                    "cell": cell,
+                    "label": self.labels[cell],
+                    "reason": reason,
+                    "attempts": self.table.attempts(cell),
+                }
+                for cell, reason in sorted(self.table.quarantined.items())
+            ],
             "plane": self.plane,
             "error": self.error,
             "submitted_unix": self.submitted_unix,
@@ -307,6 +332,17 @@ class Dispatcher:
     plane:
         ``"auto"`` (shared memory when usable, per-workload fallback),
         ``"shm"`` (require it), or ``"pickle"`` (never share).
+    max_cell_attempts:
+        Quarantine threshold ``K``: a cell whose execution fails (its
+        worker errors, dies, or is evicted while holding it) this many
+        times is quarantined — recorded as a cell-error store line with
+        a structured reason — instead of requeued forever.  Zero
+        disables quarantine.
+    restart_budget:
+        Managed-worker respawns the dispatcher will perform over its
+        lifetime.  A crash-looping fleet stops burning processes once
+        the budget is spent (the incident log says so); respawns also
+        back off exponentially between deaths.
     clock:
         Injectable monotonic clock (tests drive lease expiry with it).
     """
@@ -321,10 +357,20 @@ class Dispatcher:
         max_segments: int = 4,
         plane: str = "auto",
         preload: Tuple[str, ...] = (),
+        max_cell_attempts: int = 3,
+        restart_budget: int = 12,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
+        if max_cell_attempts < 0:
+            raise ServiceError(
+                f"max_cell_attempts must be >= 0, got {max_cell_attempts}"
+            )
+        if restart_budget < 0:
+            raise ServiceError(
+                f"restart_budget must be >= 0, got {restart_budget}"
+            )
         if lease_timeout <= 0:
             raise ServiceError(f"lease_timeout must be positive, got {lease_timeout}")
         if heartbeat_interval <= 0:
@@ -366,6 +412,16 @@ class Dispatcher:
         self._managed_counter = 0
         self._evictions = 0
         self._started_unix: Optional[float] = None
+        self._max_cell_attempts = max_cell_attempts
+        self._restart_budget = restart_budget
+        self._worker_restarts = 0
+        self._budget_spent_logged = False
+        #: Exponential respawn backoff: no respawn before this clock value.
+        self._respawn_pause = 0.1
+        self._next_respawn = 0.0
+        self._last_respawn = 0.0
+        self._draining = False
+        self.events = EventLog(self.root / EVENTS_FILE_NAME)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -373,6 +429,17 @@ class Dispatcher:
         """Bind, advertise, and start serving; returns self."""
         preload_modules(self._preload)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Arm the fault plane (chaos runs set REPRO_FAULTS); the
+        # dispatcher's own injection points run under scope "dispatcher"
+        # and fault firings land in this root's incident log.
+        plane = active_plane()
+        if plane is None:
+            plane = install_from_env()
+        if plane is not None:
+            if not plane.scope:
+                plane.scope = "dispatcher"
+            if plane.sink is None:
+                plane.sink = self.events.sink
         self._listener, self.address = bind_service_socket(self.root)
         self._listener.listen(64)
         self._started_unix = time.time()
@@ -399,6 +466,18 @@ class Dispatcher:
     def request_stop(self) -> None:
         """Ask the serve loop to shut down (returns immediately)."""
         self._stop_event.set()
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (returns immediately).
+
+        No new leases go out; in-flight cells finish and their records
+        flush; once no lease is outstanding the monitor requests a full
+        stop and the dispatcher exits 0.  Pending cells stay unexecuted
+        — their stores keep valid prefixes and resume later.
+        """
+        if not self._draining:
+            self._draining = True
+            self.events.emit("drain-requested")
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until a stop is requested; ``True`` when it was."""
@@ -472,6 +551,13 @@ class Dispatcher:
         env["PYTHONPATH"] = (
             package_root if not path else package_root + os.pathsep + path
         )
+        if env.get(FAULTS_ENV):
+            # Each worker *generation* gets its own fault scope, so a
+            # crash rule scoped to one ordinal fires in exactly one
+            # process instead of crash-looping every respawn; firings
+            # from workers land in the shared incident log.
+            env[FAULTS_SCOPE_ENV] = str(self._managed_counter)
+            env.setdefault(FAULTS_EVENTS_ENV, str(self.events.path))
         process = subprocess.Popen(command, stdout=log, stderr=log, env=env)
         self._managed.append((process, log))
 
@@ -512,6 +598,12 @@ class Dispatcher:
             sock.settimeout(None)
             role = hello.get("role")
             if role == "worker":
+                fault = fault_point("dispatcher.accept", role="worker")
+                if fault is not None:
+                    # Drop the handshake on the floor; the worker sees a
+                    # closed connection and retries or exits cleanly.
+                    sock.close()
+                    return
                 self._serve_worker(sock, hello)
             elif role == "client":
                 send_frame(sock, {"type": "welcome", "protocol": PROTOCOL_VERSION})
@@ -568,8 +660,12 @@ class Dispatcher:
                 return
             if frame is None:
                 return
-            worker.last_seen = self._clock()
             kind = frame.get("type")
+            if kind == "heartbeat":
+                fault = fault_point("dispatcher.heartbeat", worker=worker.id)
+                if fault is not None:
+                    continue  # the heartbeat is lost before intake
+            worker.last_seen = self._clock()
             if kind == "ready":
                 worker.ready = True
             elif kind == "heartbeat":
@@ -580,19 +676,81 @@ class Dispatcher:
                 self._handle_cell_error(worker, frame)
 
     def _drop_worker(self, worker: _WorkerConn) -> None:
-        """Remove a dead/evicted worker and requeue its leased cells."""
+        """Remove a dead/evicted worker and requeue its leased cells.
+
+        A cell the worker was holding counts one failed attempt against
+        its quarantine threshold — a poison cell that kills every worker
+        that touches it must run out of attempts, not processes.
+        """
+        lost = 0
         with self._lock:
             self._workers.pop(worker.id, None)
+            how = "evicted" if worker.evicted else "died"
             for job in self._jobs.values():
-                if job.state == "running":
-                    job.table.revoke_worker(worker.id)
+                if job.state != "running":
+                    continue
+                for lease in job.table.revoke_worker(worker.id):
+                    lost += 1
+                    self._cell_failed(
+                        job,
+                        lease.cell,
+                        f"worker {worker.id} {how} while executing this cell",
+                    )
+        if (lost or worker.evicted) and not self._stop_event.is_set():
+            self.events.emit(
+                "worker-lost",
+                worker=worker.id,
+                pid=worker.pid,
+                evicted=worker.evicted,
+                leases=lost,
+            )
         try:
             worker.sock.close()
         except OSError:
             pass
 
+    def _cell_failed(self, job: _Job, cell: int, reason: str) -> None:
+        """Count one failed attempt; quarantine + record at threshold ``K``.
+
+        Caller holds the dispatcher lock.  With quarantine disabled
+        (``max_cell_attempts=0``) the failure is only requeued by the
+        lease table's revoke path and nothing is counted here.
+        """
+        if not job.table.max_attempts:
+            return
+        outcome = job.table.record_failure(cell, reason)
+        if outcome == "requeued":
+            job.retries += 1
+            self.events.emit(
+                "cell-retry",
+                job=job.id,
+                cell=cell,
+                attempts=job.table.attempts(cell),
+                reason=reason,
+            )
+        elif outcome == "quarantined":
+            self.events.emit(
+                "cell-quarantined",
+                job=job.id,
+                cell=cell,
+                attempts=job.table.attempts(cell),
+                reason=reason,
+            )
+            try:
+                # The cell-error line holds the cell's position so every
+                # later cell's record still reaches the file in order.
+                job.writer.write_error(cell, reason)
+            except ReproError as exc:
+                self._fail_job(
+                    job, f"cannot record quarantine of cell {cell}: {exc}"
+                )
+                return
+            self._maybe_finish(job)
+
     def _try_assign(self, worker: _WorkerConn) -> None:
         """Lease the next pending cell (if any) to a ready worker."""
+        if self._draining:
+            return  # drain: in-flight leases finish, nothing new goes out
         with self._lock:
             target: Optional[Tuple[_Job, Any]] = None
             for job in self._jobs.values():
@@ -620,6 +778,17 @@ class Dispatcher:
                 "shm": None,
             }
         try:
+            fault = fault_point("dispatcher.lease", job=job.id, cell=lease.cell)
+            if fault is not None:
+                if fault.action == "expire":
+                    # The lease-expiry race: the cell goes out, but its
+                    # deadline is already past — the monitor requeues it
+                    # while the worker still executes, and the late
+                    # record must be accepted exactly once.
+                    with self._lock:
+                        lease.deadline = self._clock() - 1.0
+                elif fault.action == "delay":
+                    time.sleep(fault.seconds())
             if segment_key is not None:
                 # Materialising can take seconds for big workloads; done
                 # outside the dispatcher lock so heartbeats, records and
@@ -696,15 +865,21 @@ class Dispatcher:
             if job is None:
                 return
             try:
+                cell = int(frame["cell"])
                 job.table.forget(int(frame["lease_id"]))
             except (KeyError, TypeError, ValueError):
-                pass
-            if job.state == "running":
+                return
+            if job.state != "running":
+                return
+            error = str(frame.get("error", "unknown error"))
+            if not job.table.max_attempts:
+                # Quarantine disabled: a failing cell is job-fatal (the
+                # pre-quarantine behaviour); the store keeps its prefix.
                 self._fail_job(
-                    job,
-                    f"cell {frame.get('cell')} failed on worker "
-                    f"{worker.id}: {frame.get('error', 'unknown error')}",
+                    job, f"cell {cell} failed on worker {worker.id}: {error}"
                 )
+                return
+            self._cell_failed(job, cell, f"worker {worker.id}: {error}")
 
     def _fail_job(self, job: _Job, error: str) -> None:
         """Stop scheduling a job's cells; its store keeps its valid prefix."""
@@ -715,6 +890,7 @@ class Dispatcher:
         job.skipped += job.table.drain()
         job.finished_mono = self._clock()
         self._segments.release_job(job.id)
+        self.events.emit("job-failed", job=job.id, error=error)
 
     def _maybe_finish(self, job: _Job) -> None:
         if (
@@ -725,6 +901,12 @@ class Dispatcher:
             job.state = "done"
             job.finished_mono = self._clock()
             self._segments.release_job(job.id)
+            if job.table.quarantined_count:
+                self.events.emit(
+                    "job-done-with-quarantine",
+                    job=job.id,
+                    quarantined=job.table.quarantined_count,
+                )
 
     # -- monitor -------------------------------------------------------
 
@@ -732,12 +914,22 @@ class Dispatcher:
         while not self._stop_event.wait(_TICK_SECONDS):
             now = self._clock()
             stale: List[_WorkerConn] = []
+            draining_done = self._draining
             with self._lock:
                 for job in self._jobs.values():
                     if job.state != "running":
                         continue
                     expired = job.table.expire()
                     job.expired_leases += len(expired)
+                    for lease in expired:
+                        self.events.emit(
+                            "lease-expired",
+                            job=job.id,
+                            cell=lease.cell,
+                            worker=lease.worker,
+                        )
+                    if draining_done and job.table.leased_count:
+                        draining_done = False
                 for worker in self._workers.values():
                     if worker.evicted or worker.assigning:
                         continue
@@ -746,6 +938,12 @@ class Dispatcher:
                         stale.append(worker)
             for worker in stale:
                 self._evictions += 1
+                self.events.emit(
+                    "worker-evicted",
+                    worker=worker.id,
+                    pid=worker.pid,
+                    silent_seconds=round(now - worker.last_seen, 3),
+                )
                 # Closing the socket routes eviction through the same
                 # path as a worker crash: the worker loop sees EOF and
                 # requeues every lease the worker held.
@@ -757,12 +955,52 @@ class Dispatcher:
                     worker.sock.close()
                 except OSError:
                     pass
-            if self._num_workers and not self._stop_event.is_set():
-                live = sum(
-                    1 for process, _ in self._managed if process.poll() is None
-                )
-                for _ in range(self._num_workers - live):
-                    self._spawn_worker()
+            if draining_done:
+                # Drain: nothing is leased anywhere and nothing new will
+                # be — the flush already happened record by record.
+                self.events.emit("drain-complete")
+                self.request_stop()
+                return
+            if (
+                self._num_workers
+                and not self._stop_event.is_set()
+                and not self._draining
+            ):
+                self._respawn_missing(now)
+
+    def _respawn_missing(self, now: float) -> None:
+        """Respawn dead managed workers, under a budget with backoff."""
+        live = sum(1 for process, _ in self._managed if process.poll() is None)
+        missing = self._num_workers - live
+        if missing <= 0:
+            return
+        # A fleet that has been stable for a while earns a fresh (short)
+        # backoff; a crash-looping one keeps doubling toward the cap.
+        if self._last_respawn and now - self._last_respawn > 10.0:
+            self._respawn_pause = 0.1
+        for _ in range(missing):
+            if self._worker_restarts >= self._restart_budget:
+                if not self._budget_spent_logged:
+                    self._budget_spent_logged = True
+                    self.events.emit(
+                        "restart-budget-exhausted",
+                        budget=self._restart_budget,
+                        live=live,
+                    )
+                return
+            if now < self._next_respawn:
+                return
+            self._spawn_worker()
+            self._worker_restarts += 1
+            self._last_respawn = now
+            self._next_respawn = now + self._respawn_pause
+            self.events.emit(
+                "worker-respawned",
+                restarts=self._worker_restarts,
+                budget=self._restart_budget,
+                backoff_seconds=self._respawn_pause,
+            )
+            self._respawn_pause = min(self._respawn_pause * 2, 5.0)
 
     # -- control plane -------------------------------------------------
 
@@ -803,6 +1041,9 @@ class Dispatcher:
         if kind == "shutdown":
             self.request_stop()
             return {"type": "ok"}
+        if kind == "drain":
+            self.request_drain()
+            return {"type": "ok"}
         raise ServiceError(f"unknown request type {kind!r}")
 
     def _submit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
@@ -842,7 +1083,12 @@ class Dispatcher:
         with self._lock:
             self._job_counter += 1
             job = _Job(
-                f"job-{self._job_counter}", spec, writer, cache, self._clock
+                f"job-{self._job_counter}",
+                spec,
+                writer,
+                cache,
+                self._clock,
+                max_cell_attempts=self._max_cell_attempts,
             )
         # Everything below mirrors run_sweep's scheduling exactly: resumed
         # cells first, then the max_cells budget, then cache lookups on
@@ -929,6 +1175,14 @@ class Dispatcher:
                 "plane": self._plane,
                 "managed_workers": self._num_workers,
                 "evictions": self._evictions,
+                "draining": self._draining,
+                "max_cell_attempts": self._max_cell_attempts,
+                "worker_restarts": self._worker_restarts,
+                "restart_budget": self._restart_budget,
+                "quarantined": sum(
+                    job.table.quarantined_count for job in self._jobs.values()
+                ),
+                "events_path": str(self.events.path),
             },
             "workers": workers,
             "jobs": jobs,

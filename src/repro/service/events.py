@@ -1,0 +1,95 @@
+"""Append-only incident log for the experiment service.
+
+Every noteworthy failure-path event — a lease expiring, a worker being
+evicted or respawned, a cell retried or quarantined, a fault firing, a
+drain starting — lands as one canonical-JSON line in
+``<root>/events.jsonl``: ``{"ts": <unix seconds>, "event": <name>,
+...event fields}``.  The file is the service's flight recorder: after a
+chaos run (or a real incident) it answers *what happened, in what
+order, to which cell* without reconstructing anything from scattered
+worker logs.
+
+Writes go through one ``open(append)`` + single ``write`` per line, so
+multiple processes — the dispatcher and every worker, whose fault
+planes log fault firings to the same file — can append concurrently
+without interleaving (POSIX ``O_APPEND`` single-write atomicity at
+these line sizes).  A broken event log never breaks the service:
+:meth:`EventLog.emit` swallows ``OSError``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..errors import ServiceError
+
+__all__ = ["EVENTS_FILE_NAME", "EventLog", "read_events"]
+
+#: File name of the incident log inside a service root.
+EVENTS_FILE_NAME = "events.jsonl"
+
+
+class EventLog:
+    """Appender for one service root's ``events.jsonl``."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event line (best-effort; never raises)."""
+        payload: Dict[str, Any] = {"ts": round(time.time(), 3), "event": event}
+        for key, value in sorted(fields.items()):
+            if key not in payload:
+                payload[key] = value
+        line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        try:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        except OSError:
+            pass
+
+    def sink(self, payload: Dict[str, Any]) -> None:
+        """Adapter for :class:`repro.faults.FaultPlane`'s event sink."""
+        fields = dict(payload)
+        event = str(fields.pop("event", "fault-fired"))
+        self.emit(event, **fields)
+
+
+def read_events(
+    root_or_path: "str | Path", tail: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Read a service's incident log, oldest first.
+
+    ``root_or_path`` may be the service root directory (its
+    ``events.jsonl`` is read) or the log file itself.  ``tail`` keeps
+    only the last that-many events.  A missing file is an empty log; a
+    torn final line (a process died mid-append) is ignored, but
+    corruption before it is an error.
+    """
+    path = Path(root_or_path)
+    if path.is_dir():
+        path = path / EVENTS_FILE_NAME
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return []
+    complete, _, _ = text.rpartition("\n")
+    events: List[Dict[str, Any]] = []
+    for number, line in enumerate(complete.split("\n"), start=1):
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"{path}: event line {number} is not valid JSON: {exc}"
+            ) from exc
+        if isinstance(payload, dict):
+            events.append(payload)
+    if tail is not None and tail >= 0:
+        events = events[len(events) - min(tail, len(events)):]
+    return events

@@ -19,6 +19,13 @@ still deliver its record — it is accepted if the cell is not yet done
 (records are deterministic functions of the cell spec, so either copy
 is byte-identical) and silently dropped otherwise.
 
+A cell that keeps failing — its worker reports an error, dies, or is
+evicted while holding it — is counted by :meth:`record_failure`; at
+``max_attempts`` failures the cell is **quarantined**: pulled out of
+the schedule with a structured reason instead of requeued forever, so
+one poison cell cannot starve the rest of the job.  Pure lease expiry
+is *not* a failure (a slow-but-alive worker may still deliver).
+
 The clock is injectable so tests can drive expiry deterministically.
 The table does no locking; the dispatcher serialises access under its
 own lock.
@@ -51,18 +58,30 @@ class Lease:
 
 @dataclass
 class CellLeaseTable:
-    """Pending/leased/done bookkeeping for one job's cells."""
+    """Pending/leased/done bookkeeping for one job's cells.
+
+    ``max_attempts`` is the quarantine threshold ``K``: a cell whose
+    execution has failed ``K`` times (see :meth:`record_failure`) leaves
+    the schedule.  Zero disables quarantine (failures requeue forever).
+    """
 
     total: int
     clock: Callable[[], float] = time.monotonic
+    max_attempts: int = 0
     _pending: Deque[int] = field(init=False)
     _leases: Dict[int, Lease] = field(init=False, default_factory=dict)
     _done: Set[int] = field(init=False, default_factory=set)
+    _failures: Dict[int, int] = field(init=False, default_factory=dict)
+    _quarantined: Dict[int, str] = field(init=False, default_factory=dict)
     _next_lease_id: int = field(init=False, default=0)
 
     def __post_init__(self) -> None:
         if self.total < 0:
             raise ServiceError(f"cell count must be >= 0, got {self.total}")
+        if self.max_attempts < 0:
+            raise ServiceError(
+                f"max_attempts must be >= 0, got {self.max_attempts}"
+            )
         self._pending = deque(range(self.total))
 
     # -- queries -------------------------------------------------------
@@ -86,6 +105,20 @@ class CellLeaseTable:
     def finished(self) -> bool:
         """True once every cell is done."""
         return len(self._done) == self.total
+
+    @property
+    def quarantined_count(self) -> int:
+        """Cells pulled from the schedule after ``max_attempts`` failures."""
+        return len(self._quarantined)
+
+    @property
+    def quarantined(self) -> Dict[int, str]:
+        """Quarantined cells and their last failure reasons (a copy)."""
+        return dict(self._quarantined)
+
+    def attempts(self, cell: int) -> int:
+        """Failed execution attempts recorded for ``cell``."""
+        return self._failures.get(cell, 0)
 
     def is_done(self, cell: int) -> bool:
         """True when ``cell`` has been recorded."""
@@ -130,7 +163,9 @@ class CellLeaseTable:
         lease = self._leases.pop(lease_id, None)
         if lease is None:
             raise ServiceError(f"unknown lease id {lease_id}")
-        if lease.cell in self._done:
+        if lease.cell in self._done or lease.cell in self._quarantined:
+            # A quarantined cell's store line is its cell-error record; a
+            # late success from a revoked lease must not double-record it.
             return None
         self._done.add(lease.cell)
         # A revoked lease's cell sits back in the pending queue; the late
@@ -145,6 +180,8 @@ class CellLeaseTable:
         if lease.revoked or lease.cell in self._done:
             return
         lease.revoked = True
+        if lease.cell in self._quarantined:
+            return  # quarantined cells never re-enter the schedule
         self._pending.appendleft(lease.cell)
 
     def expire(self) -> List[Lease]:
@@ -195,3 +232,29 @@ class CellLeaseTable:
         lease = self._leases.pop(lease_id, None)
         if lease is not None:
             self._requeue(lease)
+
+    def record_failure(self, cell: int, reason: str) -> str:
+        """Count one failed execution of ``cell``; maybe quarantine it.
+
+        Callers count a failure when a worker *reports* a cell error,
+        dies, or is evicted while holding the cell — never on bare lease
+        expiry.  Returns the cell's resulting disposition:
+
+        * ``"requeued"`` — under the threshold; the cell stays (or was
+          already put back) in the schedule,
+        * ``"quarantined"`` — this failure was number ``max_attempts``;
+          the cell has just been pulled from the schedule with ``reason``,
+        * ``"stale"`` — the cell is already recorded or already
+          quarantined; the failure is not counted.
+        """
+        if cell in self._done or cell in self._quarantined:
+            return "stale"
+        self._failures[cell] = self._failures.get(cell, 0) + 1
+        if self.max_attempts and self._failures[cell] >= self.max_attempts:
+            try:
+                self._pending.remove(cell)
+            except ValueError:
+                pass
+            self._quarantined[cell] = reason
+            return "quarantined"
+        return "requeued"

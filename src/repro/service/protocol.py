@@ -24,6 +24,7 @@ control-plane client those commands (and the tests and benchmarks) use.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import socket
@@ -35,6 +36,7 @@ from typing import Any, Callable, Dict, Optional
 
 from ..api.records import canonical_json
 from ..errors import ServiceError
+from ..faults import fault_point, injected_os_error
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -77,6 +79,23 @@ def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
             f"refusing to send a {len(data)}-byte frame "
             f"(limit {FRAME_MAX_BYTES}); type={payload.get('type')!r}"
         )
+    fault = fault_point("protocol.send", frame=str(payload.get("type")))
+    if fault is not None:
+        # Either way the peer sees a half/garbled frame and treats the
+        # connection as lost; the sender must see a *socket* failure
+        # (OSError), because ServiceError from an assignment send is
+        # job-fatal while a connection loss requeues the lease.
+        if fault.action == "truncate":
+            half = data[: max(1, len(data) // 2)]
+            sock.sendall(_LENGTH.pack(len(data)) + half)
+            sock.close()
+            raise injected_os_error(errno.EPIPE, "frame truncated mid-send")
+        if fault.action == "corrupt":
+            sock.sendall(_LENGTH.pack(len(data)) + fault.corrupt_bytes(data))
+            sock.close()
+            raise injected_os_error(errno.EPIPE, "frame corrupted in flight")
+        if fault.action == "delay":
+            time.sleep(fault.seconds())
     sock.sendall(_LENGTH.pack(len(data)) + data)
 
 
@@ -357,6 +376,10 @@ class ServiceClient:
     def shutdown(self) -> Dict[str, Any]:
         """Ask the dispatcher to shut down gracefully."""
         return self.request({"type": "shutdown"})
+
+    def drain(self) -> Dict[str, Any]:
+        """Ask the dispatcher to drain: finish in-flight cells, then exit."""
+        return self.request({"type": "drain"})
 
     def wait_job(
         self,

@@ -33,6 +33,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import os
+import signal
 import socket
 import threading
 import time
@@ -44,6 +45,7 @@ from typing import Any, Dict, Iterable, List, Optional
 from ..analysis.experiments import ExperimentRecord, _execute_cell, run_single
 from ..api.specs import RunSpec
 from ..errors import ReproError, ServiceError
+from ..faults import fault_point, install_from_env
 from ..graphs.graph import Graph
 from ..graphs.shm import SharedGraphHandle, disown_tracker
 from .protocol import (
@@ -88,6 +90,12 @@ def _attached_graph(handle_doc: Dict[str, Any]) -> Graph:
     if graph is not None:
         _ATTACH_CACHE.move_to_end(segment)
         return graph
+    fault = fault_point("worker.attach", segment=segment)
+    if fault is not None:
+        # Simulates the real race this path exists for: the dispatcher
+        # evicted the segment between lease and attach.  The caller
+        # falls back to rebuilding the workload from the run spec.
+        raise ServiceError(f"injected fault: segment {segment} unattachable")
     graph = Graph.from_shared(SharedGraphHandle.from_dict(handle_doc))
     # Workers are Popen-spawned, so the attach re-registered the segment
     # with this process's *private* resource tracker, which would unlink
@@ -123,7 +131,13 @@ def execute_lease(frame: Dict[str, Any]) -> ExperimentRecord:
 
 
 class _Heartbeat(threading.Thread):
-    """Background heartbeat sender sharing the worker's socket."""
+    """Background heartbeat sender sharing the worker's socket.
+
+    A send failure means the socket is gone; the thread records it in
+    ``failed`` so the main loop can distinguish "the dispatcher closed
+    my connection cleanly" (exit) from "my connection broke under me"
+    (worth one reconnect attempt).
+    """
 
     def __init__(
         self, sock: socket.socket, send_lock: threading.Lock, interval: float
@@ -133,6 +147,7 @@ class _Heartbeat(threading.Thread):
         self._send_lock = send_lock
         self._interval = interval
         self._stop = threading.Event()
+        self.failed = threading.Event()
 
     def run(self) -> None:
         while not self._stop.wait(self._interval):
@@ -140,15 +155,30 @@ class _Heartbeat(threading.Thread):
                 with self._send_lock:
                     send_frame(self._sock, {"type": "heartbeat"})
             except (OSError, ServiceError):
+                self.failed.set()
                 return
 
     def stop(self) -> None:
         self._stop.set()
 
 
+#: First/ceiling sleeps of the exponential connect backoff.  The first
+#: retry is nearly immediate (the common case is a dispatcher milliseconds
+#: from binding its socket); the ceiling keeps a worker waiting out a
+#: slow restart from busy-polling ``service.json``.
+_CONNECT_BACKOFF_FIRST = 0.05
+_CONNECT_BACKOFF_CEILING = 1.0
+
+
 def _connect(root: Path, timeout: float) -> socket.socket:
-    """Connect to the service in ``root``, retrying while it starts up."""
+    """Connect to the service in ``root``, retrying with backoff.
+
+    Tolerates a dispatcher that has not bound its socket yet (missing
+    ``service.json``, connection refused) by sleeping an exponentially
+    growing interval between attempts until ``timeout`` expires.
+    """
     deadline = time.monotonic() + timeout
+    pause = _CONNECT_BACKOFF_FIRST
     while True:
         try:
             info = read_service_info(root)
@@ -156,24 +186,33 @@ def _connect(root: Path, timeout: float) -> socket.socket:
         except (ServiceError, OSError):
             if time.monotonic() >= deadline:
                 raise
-            time.sleep(0.1)
+            time.sleep(min(pause, max(0.0, deadline - time.monotonic())))
+            pause = min(pause * 2, _CONNECT_BACKOFF_CEILING)
 
 
-def worker_main(
-    root: "str | Path",
-    preload: Iterable[str] = (),
-    connect_timeout: float = 30.0,
-) -> int:
-    """Run one worker against the service in ``root`` until shutdown.
+def _install_sigterm_handler() -> None:
+    """Make SIGTERM a clean exit (status 0) instead of a killed process.
 
-    Returns 0 on a clean shutdown (dispatcher said so, or closed the
-    connection).  Cell execution failures are *reported*, not fatal: the
-    worker sends a ``cell-error`` frame and keeps serving — a broken
-    algorithm in one job must not take capacity away from the others.
+    A drained lease is requeued by the dispatcher when the connection
+    drops, so there is nothing for the worker to hand back — exiting is
+    the graceful shutdown.  Only possible from the main thread; callers
+    embedding :func:`worker_main` elsewhere keep their own handler.
     """
-    root = Path(root)
-    preload_modules(preload)
-    sock = _connect(root, connect_timeout)
+    try:
+        signal.signal(signal.SIGTERM, lambda signum, frame: os._exit(0))
+    except ValueError:  # pragma: no cover - not in the main thread
+        pass
+
+
+def _serve_session(sock: socket.socket) -> str:
+    """Speak the worker protocol on one connected socket.
+
+    Returns how the session ended: ``"shutdown"`` for a clean end (the
+    dispatcher said shutdown, or closed the connection at a frame
+    boundary with the heartbeat still healthy) or ``"lost"`` for an
+    abnormal one (mid-frame EOF, send failure, heartbeat failure) that
+    may be worth a reconnect.
+    """
     send_lock = threading.Lock()
     heartbeat: Optional[_Heartbeat] = None
     try:
@@ -198,8 +237,10 @@ def worker_main(
             with send_lock:
                 send_frame(sock, {"type": "ready"})
             frame = recv_frame(sock)
-            if frame is None or frame.get("type") == "shutdown":
-                return 0
+            if frame is None:
+                return "lost" if heartbeat.failed.is_set() else "shutdown"
+            if frame.get("type") == "shutdown":
+                return "shutdown"
             if frame.get("type") != "lease":
                 raise ServiceError(
                     f"unexpected frame from dispatcher: {frame.get('type')!r}"
@@ -210,6 +251,18 @@ def worker_main(
                 "cell": frame["cell"],
             }
             try:
+                fault = fault_point(
+                    "worker.execute", cell=frame["cell"], job=frame["job"]
+                )
+                if fault is not None:
+                    if fault.action == "crash":
+                        fault.crash()
+                    elif fault.action == "stall":
+                        time.sleep(fault.seconds(1.0))
+                    elif fault.action == "fail":
+                        raise ReproError(
+                            f"injected fault: cell {frame['cell']} failed"
+                        )
                 record = execute_lease(frame)
             except Exception as exc:
                 reply["type"] = "cell-error"
@@ -218,12 +271,20 @@ def worker_main(
             else:
                 reply["type"] = "record"
                 reply["record"] = record.to_dict()
+            if reply["type"] == "record":
+                fault = fault_point("worker.record.before", cell=frame["cell"])
+                if fault is not None:
+                    fault.crash()
             with send_lock:
                 send_frame(sock, reply)
+            if reply["type"] == "record":
+                fault = fault_point("worker.record.after", cell=frame["cell"])
+                if fault is not None:
+                    fault.crash()
     except (OSError, ServiceError):
-        # The dispatcher went away (shutdown race, eviction, crash); a
-        # worker with no dispatcher has nothing left to do.
-        return 0
+        # Mid-frame EOF, refused send, torn frame: the connection broke
+        # rather than ended.
+        return "lost"
     finally:
         if heartbeat is not None:
             heartbeat.stop()
@@ -231,6 +292,48 @@ def worker_main(
             sock.close()
         except OSError:
             pass
+
+
+def worker_main(
+    root: "str | Path",
+    preload: Iterable[str] = (),
+    connect_timeout: float = 30.0,
+    reconnect_attempts: int = 1,
+    reconnect_timeout: float = 5.0,
+) -> int:
+    """Run one worker against the service in ``root`` until shutdown.
+
+    Returns 0 on a clean shutdown (dispatcher said so, or closed the
+    connection).  Cell execution failures are *reported*, not fatal: the
+    worker sends a ``cell-error`` frame and keeps serving — a broken
+    algorithm in one job must not take capacity away from the others.
+
+    When the connection *breaks* (mid-frame EOF, heartbeat send failure)
+    the worker attempts up to ``reconnect_attempts`` reconnects — with
+    the short ``reconnect_timeout`` rather than the startup timeout, so
+    a worker orphaned by a dead dispatcher exits promptly — before
+    giving up.  SIGTERM exits 0 immediately; the dispatcher requeues the
+    abandoned lease.
+    """
+    root = Path(root)
+    install_from_env()
+    _install_sigterm_handler()
+    preload_modules(preload)
+    sock = _connect(root, connect_timeout)
+    attempts_left = max(0, int(reconnect_attempts))
+    pause = 0.2
+    while True:
+        outcome = _serve_session(sock)
+        if outcome == "shutdown" or attempts_left <= 0:
+            return 0
+        attempts_left -= 1
+        time.sleep(pause)
+        pause = min(pause * 2, 2.0)
+        try:
+            sock = _connect(root, reconnect_timeout)
+        except (ServiceError, OSError):
+            # The dispatcher really is gone; nothing left to serve.
+            return 0
 
 
 def _main(argv: Optional[List[str]] = None) -> int:

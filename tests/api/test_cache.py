@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import errno
 import filecmp
 import json
+import os
+from pathlib import Path
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -19,7 +22,7 @@ from repro.api import (
     main,
     run_sweep,
 )
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, StoreError
 
 
 def _run_spec(seed=7, experiment="golden", algorithm=None, workload=None):
@@ -160,6 +163,58 @@ class TestResultCache:
         cache = ResultCache(tmp_path / "cache")
         with pytest.raises(AnalysisError, match="sha256"):
             cache.evict("../../etc/passwd")
+
+
+class TestCacheFullDisk:
+    """A full disk mid-put must leave the cache clean and recoverable."""
+
+    def test_enospc_on_replace_raises_and_leaves_no_tmp_litter(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _run_spec()
+        record = spec.run()
+
+        def full_disk(src, dst):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(os, "replace", full_disk)
+        with pytest.raises(StoreError, match="cannot write cache entry"):
+            cache.put(spec, record)
+        monkeypatch.undo()
+
+        # No .tmp litter, no truncated entry under the hash.
+        litter = [
+            path
+            for path in (tmp_path / "cache").rglob("*")
+            if path.is_file()
+        ]
+        assert litter == []
+        assert cache.writes == 0
+        assert cache.get(spec) is None  # a clean miss, not corruption
+
+        # Once space frees up the same put succeeds and round-trips.
+        assert cache.put(spec, record)
+        assert cache.get(spec) == record
+
+    def test_enospc_while_writing_the_tmp_file(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        spec = _run_spec()
+        record = spec.run()
+        real_write_text = Path.write_text
+
+        def full_disk(self, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_write_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "write_text", full_disk)
+        with pytest.raises(StoreError, match="No space left"):
+            cache.put(spec, record)
+        monkeypatch.undo()
+        assert list((tmp_path / "cache").rglob("*.tmp")) == []
+        assert cache.put(spec, record)
+        assert cache.get(spec) == record
 
 
 class TestSweepCacheIntegration:

@@ -1,0 +1,131 @@
+"""The chaos session: byte-identity under faults, poison-cell quarantine.
+
+These are the PR's acceptance pins.  One seeded chaos session runs a
+real dispatcher/worker fleet with the standard recoverable-fault mix
+armed and asserts the stores match a serial run byte for byte; the
+poison phase asserts a permanently failing cell is quarantined after
+exactly K attempts without stalling the rest of the job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.store import load_sweep
+from repro.errors import ServiceError
+from repro.faults import FaultSchedule, active_plane
+from repro.service.chaos import (
+    chaos_specs,
+    poison_schedule,
+    run_chaos_session,
+)
+from repro.service.events import read_events
+
+#: The CI-pinned seed; bench_chaos.py and the chaos-smoke job use it too.
+PINNED_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def chaos_report(tmp_path_factory):
+    """One full chaos session, shared by every assertion below."""
+    root = tmp_path_factory.mktemp("chaos")
+    return root, run_chaos_session(root, seed=PINNED_SEED)
+
+
+class TestChaosSession:
+    def test_session_is_clean(self, chaos_report):
+        _, report = chaos_report
+        assert report["failures"] == []
+        assert report["ok"]
+
+    def test_stores_are_byte_identical_to_serial(self, chaos_report):
+        _, report = chaos_report
+        assert report["identical"]
+        assert all(sweep["identical"] for sweep in report["sweeps"])
+        assert [sweep["state"] for sweep in report["sweeps"]] == ["done"] * 3
+
+    def test_at_least_five_distinct_fault_points_fired(self, chaos_report):
+        _, report = chaos_report
+        assert len(report["fault_points_fired"]) >= 5, report
+        assert report["fault_fires"] >= 5
+
+    def test_no_recoverable_fault_quarantines_a_cell(self, chaos_report):
+        _, report = chaos_report
+        assert report["quarantined"] == 0
+
+    def test_poison_cell_quarantined_after_exactly_k_attempts(
+        self, chaos_report
+    ):
+        _, report = chaos_report
+        poison = report["poison"]
+        assert poison["state"] == "done"
+        assert poison["quarantined"] == 1
+        assert poison["observed_attempts"] == poison["attempts"] == 3
+        # Every healthy cell completed; the job never stalled.
+        assert poison["cells_done"] == 5
+
+    def test_poison_store_completes_with_a_cell_error_line(
+        self, chaos_report
+    ):
+        root, report = chaos_report
+        stored = load_sweep(root / "poison.records.jsonl")
+        assert stored.error_cells() == {report["poison"]["cell"]}
+        assert len(stored.entries) == 5
+        cell, _, reason = next(
+            error
+            for error in stored.errors
+            if error[0] == report["poison"]["cell"]
+        )
+        assert "injected fault" in reason
+
+    def test_incident_log_recorded_the_quarantine(self, chaos_report):
+        root, report = chaos_report
+        events = read_events(root / "poison-svc")
+        kinds = [event["event"] for event in events]
+        assert "cell-quarantined" in kinds
+        quarantine = next(
+            event for event in events if event["event"] == "cell-quarantined"
+        )
+        assert quarantine["cell"] == report["poison"]["cell"]
+        assert quarantine["attempts"] == 3
+        # Each of the three failures before it was logged as a retry or
+        # the quarantine itself.
+        assert kinds.count("cell-retry") >= 2
+
+    def test_no_plane_leaks_out_of_the_session(self, chaos_report):
+        assert active_plane() is None
+
+
+class TestControlSession:
+    def test_control_session_fires_nothing(self, tmp_path):
+        report = run_chaos_session(tmp_path, control=True)
+        assert report["ok"], report["failures"]
+        assert report["mode"] == "control"
+        assert report["fault_fires"] == 0
+        assert report["quarantined"] == 0
+        assert report["identical"]
+        assert "poison" not in report
+
+
+class TestSessionPieces:
+    def test_chaos_specs_are_deterministic(self):
+        first, second = chaos_specs(), chaos_specs()
+        assert [spec.to_dict() for spec in first] == [
+            spec.to_dict() for spec in second
+        ]
+        assert len(first) == 3
+        assert len({spec.experiment for spec in first}) == 3
+
+    def test_poison_schedule_targets_one_cell_forever(self):
+        schedule = poison_schedule(4)
+        assert isinstance(schedule, FaultSchedule)
+        (rule,) = schedule.rules
+        assert rule.point == "worker.execute" and rule.action == "fail"
+        assert dict(rule.match) == {"cell": 4}
+        assert rule.times is None
+
+    def test_bad_parameters_are_refused(self, tmp_path):
+        with pytest.raises(ServiceError, match="worker"):
+            run_chaos_session(tmp_path, workers=0)
+        with pytest.raises(ServiceError, match="poison_attempts"):
+            run_chaos_session(tmp_path, poison_attempts=0)

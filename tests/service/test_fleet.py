@@ -273,9 +273,17 @@ class TestFaultPaths:
         assert job["cells_done"] == job["cells_total"]
         assert filecmp.cmp(serial, out, shallow=False)
 
-    def test_failing_cell_fails_the_job_and_keeps_a_valid_prefix(
+    def test_failing_cell_is_quarantined_and_the_store_completes(
         self, fleet, tmp_path
     ):
+        """A cell that fails in every worker is quarantined after K tries.
+
+        ``fleet-test-only-probe`` resolves in the dispatcher but not in
+        the workers, so each of its cells fails every attempt.  Under
+        quarantine the job still finishes: each poison cell is retried
+        exactly ``max_cell_attempts`` times, then recorded as a
+        cell-error line holding its position in the store.
+        """
         spec = SweepSpec(
             experiment="fleet-test",
             algorithms=(AlgorithmSpec("fleet-test-only-probe"),),
@@ -287,13 +295,17 @@ class TestFaultPaths:
         out = tmp_path / "fleet.jsonl"
         with ServiceClient.connect(fleet.root) as client:
             job = client.submit(spec.to_dict(), out=out)
-            with pytest.raises(ServiceError, match="failed"):
-                client.wait_job(job["id"], timeout=60)
-            job = client.job_status(job["id"])
-        assert job["state"] == "failed"
-        assert "fleet-test-only-probe" in job["error"]
-        # The store parses: a failed job leaves a valid prefix behind.
-        assert len(load_sweep(out).entries) == job["cells_done"]
+            job = client.wait_job(job["id"], timeout=60)
+        assert job["state"] == "done"
+        assert job["quarantined"] == job["cells_total"] == 2
+        for entry in job["quarantined_cells"]:
+            assert entry["attempts"] == 3  # the dispatcher default K
+            assert "fleet-test-only-probe" in entry["reason"]
+        # The store parses and is complete: every cell holds either a
+        # record or a cell-error line, in order.
+        stored = load_sweep(out)
+        assert len(stored.entries) == 0
+        assert stored.error_cells() == {0, 1}
 
 
 class TestControlPlane:

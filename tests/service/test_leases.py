@@ -159,3 +159,70 @@ class TestScheduling:
         assert table.drain() == 4
         assert table.pending_count == 0
         assert table.lease("w2", 10.0) is None
+
+
+class TestQuarantine:
+    def test_failures_under_the_threshold_requeue(self, clock):
+        table = CellLeaseTable(total=1, clock=clock, max_attempts=3)
+        for attempt in (1, 2):
+            lease = table.lease("w1", 10.0)
+            table.forget(lease.lease_id)
+            assert table.record_failure(lease.cell, "boom") == "requeued"
+            assert table.attempts(lease.cell) == attempt
+        assert table.pending_count == 1
+        assert table.quarantined_count == 0
+
+    def test_kth_failure_quarantines_with_the_reason(self, clock):
+        table = CellLeaseTable(total=2, clock=clock, max_attempts=2)
+        table.record_failure(0, "first")
+        assert table.record_failure(0, "second") == "quarantined"
+        assert table.quarantined == {0: "second"}
+        assert table.attempts(0) == 2
+        # The quarantined cell leaves the schedule; the healthy one stays.
+        assert table.pending_count == 1
+        assert table.lease("w1", 10.0).cell == 1
+
+    def test_done_and_quarantined_cells_are_stale(self, clock):
+        table = CellLeaseTable(total=2, clock=clock, max_attempts=1)
+        lease = table.lease("w1", 10.0)
+        table.complete(lease.lease_id)
+        assert table.record_failure(lease.cell, "late") == "stale"
+        assert table.record_failure(1, "boom") == "quarantined"
+        assert table.record_failure(1, "again") == "stale"
+        assert table.attempts(1) == 1  # stale failures are not counted
+
+    def test_zero_max_attempts_disables_quarantine(self, clock):
+        table = CellLeaseTable(total=1, clock=clock)
+        for _ in range(10):
+            assert table.record_failure(0, "boom") == "requeued"
+        assert table.quarantined_count == 0
+
+    def test_late_record_for_a_quarantined_cell_is_dropped(self, clock):
+        # The quarantine wrote a cell-error store line; a slow-but-alive
+        # worker's late success must not double-record the cell.
+        table = CellLeaseTable(total=1, clock=clock, max_attempts=1)
+        slow = table.lease("w1", timeout=1.0)
+        clock.advance(2.0)
+        table.expire()
+        table.record_failure(slow.cell, "presumed dead")
+        assert table.complete(slow.lease_id) is None
+        assert table.done_count == 0
+        assert table.quarantined_count == 1
+
+    def test_revoked_quarantined_cell_never_requeues(self, clock):
+        table = CellLeaseTable(total=1, clock=clock, max_attempts=1)
+        lease = table.lease("w1", 10.0)
+        table.record_failure(lease.cell, "worker died")
+        table.revoke_worker("w1")
+        assert table.pending_count == 0
+        assert table.lease("w2", 10.0) is None
+
+    def test_finished_requires_every_cell_done_not_quarantined(self, clock):
+        table = CellLeaseTable(total=1, clock=clock, max_attempts=1)
+        table.record_failure(0, "boom")
+        assert not table.finished  # the writer records the error line
+        assert table.pending_count == 0 and table.leased_count == 0
+
+    def test_negative_max_attempts_is_refused(self, clock):
+        with pytest.raises(ServiceError, match="max_attempts"):
+            CellLeaseTable(total=1, clock=clock, max_attempts=-1)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import filecmp
 import json
+import signal
 import subprocess
 import sys
 import time
@@ -164,6 +165,156 @@ class TestServiceCliErrors:
         )
         assert code == 2
         assert "cannot read spec file" in err
+
+
+def _slow_spec_file(tmp_path, probe_spec, seeds=(1, 2), slow_seconds=1.5):
+    """A probe sweep whose cells sleep — leases stay open long enough
+    to be interrupted mid-flight."""
+    spec = probe_spec(seeds=seeds, slow_seconds=slow_seconds)
+    path = tmp_path / "slow-sweep.json"
+    path.write_text(spec.to_json(indent=2), encoding="utf-8")
+    return spec, path
+
+
+def _spawn(*argv):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+
+
+def _wait_for_service(root, process, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while not (root / "service.json").exists():
+        if process.poll() is not None or time.monotonic() > deadline:
+            out, err = process.communicate(timeout=5)
+            raise AssertionError(f"serve did not come up: {out!r} {err!r}")
+        time.sleep(0.05)
+
+
+def _wait_for_job(root, predicate, timeout=30.0):
+    """Poll the newest job's status until ``predicate(job)`` holds."""
+    from repro.service import ServiceClient
+
+    deadline = time.monotonic() + timeout
+    while True:
+        with ServiceClient.connect(root) as client:
+            jobs = client.status()["jobs"]
+            if jobs and predicate(jobs[-1]):
+                return jobs[-1]
+        if time.monotonic() > deadline:
+            raise AssertionError(f"job never reached the expected state: {jobs}")
+        time.sleep(0.05)
+
+
+class TestGracefulShutdown:
+    """SIGTERM mid-lease: exit 0, requeued lease, byte-identical resume."""
+
+    def test_sigterm_dispatcher_mid_lease_then_resume(
+        self, capsys, tmp_path, probe_spec, serial_store
+    ):
+        spec, spec_path = _slow_spec_file(tmp_path, probe_spec)
+        serial = serial_store(spec, tmp_path / "serial.jsonl")
+        root = tmp_path / "svc"
+        out_path = tmp_path / "fleet.jsonl"
+
+        serve = _spawn(
+            "serve", str(root), "--workers", "1",
+            "--preload", "repro.service.probes",
+        )
+        try:
+            _wait_for_service(root, serve)
+            code, _, _ = _run(
+                capsys,
+                "submit", str(root), str(spec_path),
+                "--out", str(out_path), "--no-wait",
+            )
+            assert code == 0
+            _wait_for_job(root, lambda job: job["cells_leased"] >= 1)
+            serve.send_signal(signal.SIGTERM)
+            assert serve.wait(timeout=30) == 0
+        finally:
+            if serve.poll() is None:
+                serve.kill()
+                serve.wait(timeout=10)
+        assert not (root / "service.json").exists()
+
+        # The interrupted store is a valid prefix; a restarted service
+        # resumes it and the final file matches the serial run exactly.
+        serve = _spawn(
+            "serve", str(root), "--workers", "1",
+            "--preload", "repro.service.probes",
+        )
+        try:
+            _wait_for_service(root, serve)
+            code, out, _ = _run(
+                capsys,
+                "submit", str(root), str(spec_path),
+                "--out", str(out_path), "--resume", "--json",
+            )
+            assert code == 0
+            assert json.loads(out)["job"]["state"] == "done"
+        finally:
+            main(["serve", str(root), "--stop"])
+            assert serve.wait(timeout=30) == 0
+        assert filecmp.cmp(serial, out_path, shallow=False)
+
+    def test_sigterm_worker_mid_lease_requeues_and_completes(
+        self, capsys, tmp_path, probe_spec, serial_store
+    ):
+        spec, spec_path = _slow_spec_file(tmp_path, probe_spec)
+        serial = serial_store(spec, tmp_path / "serial.jsonl")
+        root = tmp_path / "svc"
+        out_path = tmp_path / "fleet.jsonl"
+
+        serve = _spawn(
+            "serve", str(root), "--workers", "0",
+            "--preload", "repro.service.probes",
+        )
+        worker = None
+        replacement = None
+        try:
+            _wait_for_service(root, serve)
+            worker = _spawn(
+                "worker", str(root), "--preload", "repro.service.probes"
+            )
+            code, _, _ = _run(
+                capsys,
+                "submit", str(root), str(spec_path),
+                "--out", str(out_path), "--no-wait",
+            )
+            assert code == 0
+            _wait_for_job(root, lambda job: job["cells_leased"] >= 1)
+
+            worker.send_signal(signal.SIGTERM)
+            assert worker.wait(timeout=30) == 0
+
+            # The abandoned lease is revoked and its cell requeued; the
+            # job keeps running, waiting for capacity.
+            job = _wait_for_job(
+                root,
+                lambda job: job["state"] == "running"
+                and job["cells_leased"] == 0
+                and job["cells_pending"] >= 1,
+            )
+            assert job["cells_done"] < job["cells_total"]
+
+            replacement = _spawn(
+                "worker", str(root), "--preload", "repro.service.probes"
+            )
+            job = _wait_for_job(
+                root, lambda job: job["state"] != "running", timeout=60.0
+            )
+            assert job["state"] == "done"
+        finally:
+            for process in (worker, replacement):
+                if process is not None and process.poll() is None:
+                    process.terminate()
+                    process.wait(timeout=10)
+            main(["serve", str(root), "--stop"])
+            assert serve.wait(timeout=30) == 0
+        assert filecmp.cmp(serial, out_path, shallow=False)
 
 
 class TestReproPreload:
