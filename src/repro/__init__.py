@@ -43,6 +43,7 @@ or, declaratively (the same run, pinned by test to the constructor path)::
 
 from ._version import __version__
 from . import api
+from . import dynamic
 from . import service
 from .errors import (
     AnalysisError,
@@ -70,6 +71,7 @@ from .types import (
 __all__ = [
     "__version__",
     "api",
+    "dynamic",
     "service",
     "AnalysisError",
     "BandwidthExceededError",

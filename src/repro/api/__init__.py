@@ -53,6 +53,14 @@ from .registry import (
     unregister_algorithm,
     unregister_workload,
 )
+from .queries import (
+    QUERY_SCHEMA_VERSION,
+    QueryKind,
+    QueryResult,
+    QuerySpec,
+    get_query_kind,
+    list_query_kinds,
+)
 from .specs import (
     SPEC_SCHEMA_VERSION,
     AlgorithmFactory,
@@ -93,6 +101,12 @@ __all__ = [
     "register_workload",
     "unregister_algorithm",
     "unregister_workload",
+    "QUERY_SCHEMA_VERSION",
+    "QueryKind",
+    "QueryResult",
+    "QuerySpec",
+    "get_query_kind",
+    "list_query_kinds",
     "SPEC_SCHEMA_VERSION",
     "AlgorithmFactory",
     "AlgorithmSpec",

@@ -102,14 +102,19 @@ def _read_spec(path: str) -> "RunSpec | SweepSpec":
 # ---------------------------------------------------------------------------
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from .queries import list_query_kinds
+
     show_algorithms = args.what in ("algorithms", "all")
     show_workloads = args.what in ("workloads", "all")
+    show_queries = args.what in ("queries", "all")
     if args.json:
         payload: Dict[str, Any] = {}
         if show_algorithms:
             payload["algorithms"] = [entry.describe() for entry in list_algorithms()]
         if show_workloads:
             payload["workloads"] = [entry.describe() for entry in list_workloads()]
+        if show_queries:
+            payload["queries"] = [kind.describe() for kind in list_query_kinds()]
         _emit_json(payload)
         return 0
     if show_algorithms:
@@ -137,6 +142,27 @@ def _cmd_list(args: argparse.Namespace) -> int:
                         _format_parameters(entry),
                     ]
                     for entry in list_workloads()
+                ],
+            )
+        )
+    if show_queries:
+        if show_algorithms or show_workloads:
+            print()
+        print("Registered query kinds (repro query --kind NAME):")
+        print(
+            render_table(
+                ["name", "parameters", "description"],
+                [
+                    [
+                        kind.name,
+                        ", ".join(
+                            p.name + ("*" if p.required else "")
+                            for p in kind.parameters
+                        )
+                        or "-",
+                        kind.description,
+                    ]
+                    for kind in list_query_kinds()
                 ],
             )
         )
@@ -360,6 +386,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return cmd_serve(args)
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    from ..dynamic.cli import cmd_query
+
+    return cmd_query(args)
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from ..service.cli import cmd_submit
 
@@ -422,12 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
-        "list", help="list registered algorithms and workloads"
+        "list", help="list registered algorithms, workloads and query kinds"
     )
     list_parser.add_argument(
         "what",
         nargs="?",
-        choices=["algorithms", "workloads", "all"],
+        choices=["algorithms", "workloads", "queries", "all"],
         default="all",
         help="what to list (default: all)",
     )
@@ -726,6 +758,83 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit a JSON document"
     )
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    query_parser = subparsers.add_parser(
+        "query",
+        help="ask triangle queries of a live graph (one-shot, --serve, or client)",
+    )
+    query_parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="query-service directory (service.json discovery); omit for "
+        "one-shot mode with --graph/--workload",
+    )
+    query_parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run a resident query service over the graph source in ROOT",
+    )
+    query_parser.add_argument(
+        "--stop",
+        action="store_true",
+        help="shut down the query service running in ROOT instead",
+    )
+    query_parser.add_argument(
+        "--graph", metavar="FILE", help="edge-list graph source (.gz supported)"
+    )
+    query_parser.add_argument(
+        "--workload", metavar="NAME", help="registered workload as the graph source"
+    )
+    query_parser.add_argument(
+        "--workload-params",
+        metavar="JSON",
+        help="workload generator parameters as a JSON object",
+    )
+    query_parser.add_argument(
+        "--seed", type=int, default=None, help="workload seed (seeded generators)"
+    )
+    query_parser.add_argument(
+        "--kind",
+        metavar="KIND",
+        help="query kind to ask (see 'repro list queries'; default: count)",
+    )
+    query_parser.add_argument(
+        "--params", metavar="JSON", help="query parameters as a JSON object"
+    )
+    query_parser.add_argument(
+        "--spec", metavar="FILE", help="path to a JSON QuerySpec document"
+    )
+    query_parser.add_argument(
+        "--apply",
+        action="append",
+        metavar="FILE",
+        help="apply this JSON update batch ({'insert': [[u,v],...], "
+        "'delete': [...]}) before answering; repeatable, applied in order",
+    )
+    query_parser.add_argument(
+        "--apply-edges",
+        action="append",
+        metavar="FILE",
+        help="apply this edge-list file as one insert batch (streamed; "
+        ".gz supported); repeatable",
+    )
+    query_parser.add_argument(
+        "--listing",
+        action="store_true",
+        help="retain and report created/destroyed triangle lists per batch",
+    )
+    query_parser.add_argument(
+        "--compact-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="overlay size that triggers compaction back into a fresh CSR",
+    )
+    query_parser.add_argument(
+        "--json", action="store_true", help="emit a JSON document"
+    )
+    query_parser.set_defaults(handler=_cmd_query)
 
     table1_parser = subparsers.add_parser(
         "table1", help="render the paper's Table-1 predictions"

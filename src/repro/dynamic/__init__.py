@@ -1,0 +1,27 @@
+"""Online triangle serving: dynamic graphs and the incremental oracle.
+
+The fourth layer of the system.  ``repro.graphs`` builds immutable CSR
+snapshots; this package makes them *live*: a delta overlay absorbing edge
+insert/delete batches (:mod:`~repro.dynamic.delta`), exact incremental
+maintenance of triangle counts and edge support per batch
+(:mod:`~repro.dynamic.oracle`), a versioned query engine
+(:mod:`~repro.dynamic.engine`) and a socket service speaking the
+``repro.service`` wire plane (:mod:`~repro.dynamic.serving`) — the
+machinery behind ``repro query``.
+"""
+
+from .delta import DEFAULT_COMPACT_THRESHOLD, DeltaGraph, DeltaSnapshot
+from .engine import TriangleQueryEngine
+from .oracle import BatchDelta, IncrementalTriangleOracle
+from .serving import QueryClient, QueryServer
+
+__all__ = [
+    "DEFAULT_COMPACT_THRESHOLD",
+    "BatchDelta",
+    "DeltaGraph",
+    "DeltaSnapshot",
+    "IncrementalTriangleOracle",
+    "QueryClient",
+    "QueryServer",
+    "TriangleQueryEngine",
+]

@@ -1,0 +1,329 @@
+"""Handlers behind ``repro query``.
+
+The argument surface lives in :mod:`repro.api.cli` (so ``repro --help``
+never imports this layer); this module does the work.  ``repro query`` has
+three shapes:
+
+* **one-shot** — ``repro query --graph FILE`` / ``--workload NAME``: build
+  the graph in-process, optionally apply update batches, answer one query,
+  exit.  No sockets involved.
+* **serve** — ``repro query ROOT --serve --graph FILE``: run a resident
+  :class:`~repro.dynamic.serving.QueryServer` in the foreground, discovery
+  via ``ROOT/service.json``, stopped by Ctrl-C/SIGTERM or ``--stop``.
+* **client** — ``repro query ROOT [--kind ... | --spec FILE] [--apply ...]``:
+  talk to a running server; batches go down the same connection as queries,
+  so an ingest script and a reader see the server's monotone versions.
+
+Everything follows the CLI conventions: ``--json`` everywhere, malformed
+specs/batches fail as :class:`~repro.errors.ReproError` → exit 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import signal
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api.queries import QueryResult, QuerySpec
+from ..errors import AnalysisError
+from .engine import TriangleQueryEngine
+from .serving import QueryClient, QueryServer
+
+__all__ = ["cmd_query"]
+
+
+def _emit_json(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+# ---------------------------------------------------------------------------
+# spec / batch assembly
+# ---------------------------------------------------------------------------
+
+
+def _spec_from_args(args: argparse.Namespace) -> Optional[QuerySpec]:
+    """Build the QuerySpec, or ``None`` when the invocation is apply-only."""
+    if args.spec and args.kind:
+        raise AnalysisError("--spec and --kind are mutually exclusive")
+    if args.spec:
+        try:
+            text = Path(args.spec).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read query spec file {args.spec!r}: {exc}") from exc
+        return QuerySpec.from_json(text)
+    if args.kind:
+        params: Dict[str, Any] = {}
+        if args.params:
+            try:
+                params = json.loads(args.params)
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(f"--params must be a JSON object: {exc}") from exc
+            if not isinstance(params, dict):
+                raise AnalysisError(f"--params must be a JSON object, got {params!r}")
+        return QuerySpec(kind=args.kind, params=params)
+    if args.params:
+        raise AnalysisError("--params needs --kind")
+    if args.apply or args.apply_edges:
+        return None  # apply-only invocation
+    return QuerySpec(kind="count")
+
+
+def _load_batch_file(path: str) -> Tuple[List[List[int]], List[List[int]]]:
+    """Read one ``{"insert": [[u,v],...], "delete": [...]}`` batch file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise AnalysisError(f"cannot read batch file {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"batch file {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise AnalysisError(f"batch file {path!r} must hold a JSON object")
+    unknown = set(payload) - {"insert", "delete"}
+    if unknown:
+        raise AnalysisError(
+            f"batch file {path!r} has unknown fields {sorted(unknown)} "
+            "(accepts 'insert' and 'delete')"
+        )
+    insert = payload.get("insert", [])
+    delete = payload.get("delete", [])
+    if not isinstance(insert, list) or not isinstance(delete, list):
+        raise AnalysisError(f"batch file {path!r}: 'insert'/'delete' must be lists of [u, v] pairs")
+    return insert, delete
+
+
+def _batches_from_args(args: argparse.Namespace) -> List[Tuple[List, List]]:
+    """One ``(insert, delete)`` batch per ``--apply``/``--apply-edges`` flag."""
+    batches: List[Tuple[List, List]] = []
+    for path in args.apply or ():
+        batches.append(_load_batch_file(path))
+    for path in args.apply_edges or ():
+        from ..graphs.io import read_edge_stream
+
+        batches.append(([edge for edge in read_edge_stream(path)], []))
+    return batches
+
+
+# ---------------------------------------------------------------------------
+# graph sources
+# ---------------------------------------------------------------------------
+
+
+def _build_engine(args: argparse.Namespace) -> Tuple[TriangleQueryEngine, Dict[str, Any]]:
+    if args.graph and args.workload:
+        raise AnalysisError("--graph and --workload are mutually exclusive")
+    if args.graph:
+        from ..graphs.io import read_edge_list
+
+        graph = read_edge_list(args.graph)
+        source: Dict[str, Any] = {"graph": str(args.graph)}
+    elif args.workload:
+        from ..api.registry import get_workload
+
+        params: Dict[str, Any] = {}
+        if args.workload_params:
+            try:
+                params = json.loads(args.workload_params)
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(f"--workload-params must be a JSON object: {exc}") from exc
+            if not isinstance(params, dict):
+                raise AnalysisError(f"--workload-params must be a JSON object, got {params!r}")
+        graph = get_workload(args.workload).build(params, seed=args.seed)
+        source = {"workload": args.workload, "params": params, "seed": args.seed}
+    else:
+        raise AnalysisError(
+            "a graph source is required here: --graph FILE or --workload NAME "
+            "(client mode needs a ROOT with a running 'repro query --serve')"
+        )
+    engine = TriangleQueryEngine(
+        graph,
+        listing=args.listing,
+        compact_threshold=args.compact_threshold,
+    )
+    return engine, source
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _print_result(result: QueryResult) -> None:
+    payload = result.payload
+    if result.kind == "count":
+        print(
+            f"triangles={payload['triangles']} (version {result.version}, "
+            f"n={payload['num_nodes']}, m={payload['num_edges']})"
+        )
+    elif result.kind == "node-counts":
+        print(f"per-node triangle counts at version {result.version}:")
+        for node, count in zip(payload["nodes"], payload["counts"]):
+            print(f"  {node}\t{count}")
+    elif result.kind == "edge-support":
+        print(f"edge support at version {result.version}:")
+        for (u, v), support in zip(payload["edges"], payload["support"]):
+            shown = "absent" if support is None else support
+            print(f"  ({u}, {v})\t{shown}")
+    elif result.kind == "delta-since":
+        batches = payload["batches"]
+        print(
+            f"{len(batches)} batch(es) applied since version "
+            f"{payload['from_version']} (now at {result.version}):"
+        )
+        for batch in batches:
+            line = (
+                f"  v{batch['version']}: +{len(batch['inserted'])} edges, "
+                f"-{len(batch['deleted'])} edges, "
+                f"+{batch['created_count']}/-{batch['destroyed_count']} triangles"
+            )
+            if batch.get("compacted"):
+                line += " [compacted]"
+            print(line)
+    else:  # pragma: no cover - every registered kind is rendered above
+        _emit_json(result.to_dict())
+
+
+def _print_applied(applied: List[Dict[str, Any]]) -> None:
+    for delta in applied:
+        line = (
+            f"applied batch -> version {delta['version']}: "
+            f"+{len(delta['inserted'])}/-{len(delta['deleted'])} edges, "
+            f"+{delta['created_count']}/-{delta['destroyed_count']} triangles "
+            f"({delta['triangles_after']} total)"
+        )
+        if delta.get("compacted"):
+            line += " [compacted]"
+        print(line)
+
+
+# ---------------------------------------------------------------------------
+# the three shapes
+# ---------------------------------------------------------------------------
+
+
+def _cmd_query_stop(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    with QueryClient(root) as client:
+        client.shutdown()
+    if args.json:
+        _emit_json({"root": str(root), "stopped": True})
+    else:
+        print(f"asked the query service in {root} to shut down")
+    return 0
+
+
+def _cmd_query_serve(args: argparse.Namespace) -> int:
+    root = Path(args.root)
+    engine, source = _build_engine(args)
+    server = QueryServer(root, engine, source=source)
+    server.start()
+    try:
+        signal.signal(signal.SIGTERM, lambda *_: server.request_stop())
+    except ValueError:
+        pass  # not the main thread (embedding); rely on client shutdown
+    if args.json:
+        _emit_json(
+            {
+                "root": str(root),
+                "address": server.address.to_dict(),
+                "version": engine.version,
+                "triangles": engine.oracle.total_triangles,
+                "source": source,
+            }
+        )
+        sys.stdout.flush()
+    else:
+        print(
+            f"repro query service listening at {server.address.describe()} "
+            f"({engine.oracle.total_triangles} triangles at version "
+            f"{engine.version}); stop with Ctrl-C or 'repro query {root} --stop'",
+            file=sys.stderr,
+        )
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_query_oneshot(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    batches = _batches_from_args(args)
+    engine, _source = _build_engine(args)
+    applied = [
+        engine.apply_batch(insert=insert, delete=delete).to_dict(
+            include_triangles=args.listing
+        )
+        for insert, delete in batches
+    ]
+    result = engine.query(spec) if spec is not None else None
+    if args.json:
+        payload: Dict[str, Any] = {"version": engine.version}
+        if applied:
+            payload["applied"] = applied
+        if result is not None:
+            payload["result"] = result.to_dict()
+        _emit_json(payload)
+        return 0
+    if applied:
+        _print_applied(applied)
+    if result is not None:
+        _print_result(result)
+    return 0
+
+
+def _cmd_query_client(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    batches = _batches_from_args(args)
+    with QueryClient(Path(args.root)) as client:
+        applied = [
+            client.apply(insert=insert, delete=delete) for insert, delete in batches
+        ]
+        result = client.query(spec) if spec is not None else None
+    if args.json:
+        payload: Dict[str, Any] = {"root": str(args.root)}
+        if applied:
+            payload["applied"] = applied
+        if result is not None:
+            payload["result"] = result.to_dict()
+            payload["version"] = result.version
+        elif applied:
+            payload["version"] = applied[-1]["version"]
+        _emit_json(payload)
+        return 0
+    if applied:
+        _print_applied(applied)
+    if result is not None:
+        _print_result(result)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Dispatch ``repro query`` to its one-shot/serve/client shape."""
+    if args.stop and args.serve:
+        raise AnalysisError("--stop and --serve are mutually exclusive")
+    if args.stop:
+        if not args.root:
+            raise AnalysisError("--stop needs the service ROOT directory")
+        return _cmd_query_stop(args)
+    if args.serve:
+        if not args.root:
+            raise AnalysisError("--serve needs a ROOT directory for service.json")
+        return _cmd_query_serve(args)
+    if args.graph or args.workload:
+        if args.root:
+            raise AnalysisError(
+                "a graph source (--graph/--workload) answers in-process; "
+                "drop ROOT, or drop the source to query the service at ROOT"
+            )
+        return _cmd_query_oneshot(args)
+    if not args.root:
+        raise AnalysisError(
+            "nothing to query: give a ROOT with a running service, or a "
+            "graph source (--graph FILE / --workload NAME) for one-shot mode"
+        )
+    return _cmd_query_client(args)

@@ -1,0 +1,377 @@
+"""Delta layer over the immutable CSR substrate.
+
+The batch pipeline builds one :class:`~repro.graphs.csr.CSRGraph` per
+workload and never mutates it.  Online serving needs the opposite: a graph
+that absorbs a stream of edge insert/delete batches while readers keep
+asking triangle questions.  Rebuilding the CSR arrays per batch is O(m);
+this module instead layers a small sorted overlay on top of the frozen
+base:
+
+* ``added_keys`` — canonical edge keys present in the snapshot but not in
+  the base CSR,
+* ``removed_keys`` — tombstones: base edges deleted from the snapshot.
+
+Both arrays are sorted ``int64`` and disjoint from each other, so
+membership tests are ``searchsorted`` and the effective edge set is a pair
+of set operations away.  Once the overlay grows past a threshold the
+snapshot is *compacted* back into a fresh ``CSRGraph``; because edge keys
+are canonical (``u < v``, sorted ascending) compaction is byte-deterministic
+— the same logical graph always produces identical CSR arrays no matter
+which batch sequence produced it.
+
+:class:`DeltaSnapshot` is immutable and safe to hand to concurrent readers;
+:class:`DeltaGraph` owns the current snapshot and serializes batch
+application, bumping a monotone version per batch so readers can pin the
+exact state an answer was computed against.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graphs.csr import CSRGraph
+from ..graphs.graph import Graph
+from ..types import Edge
+
+__all__ = [
+    "DEFAULT_COMPACT_THRESHOLD",
+    "DeltaGraph",
+    "DeltaSnapshot",
+    "canonical_batch_keys",
+    "decode_edge_keys",
+]
+
+#: Overlay size (``len(added) + len(removed)``) above which ``apply_batch``
+#: folds the overlay into a fresh CSR base.  Kept deliberately modest: the
+#: per-batch oracle walk touches overlay adjacency dicts, and a bounded
+#: overlay keeps those dicts cache-resident.
+DEFAULT_COMPACT_THRESHOLD = 4096
+
+_EMPTY_KEYS = np.empty(0, dtype=np.int64)
+_EMPTY_KEYS.setflags(write=False)
+
+
+def _frozen_keys(array: np.ndarray) -> np.ndarray:
+    out = np.ascontiguousarray(array, dtype=np.int64)
+    if out is array:
+        out = array.copy()
+    out.setflags(write=False)
+    return out
+
+
+def in_sorted(haystack: np.ndarray, needles: np.ndarray) -> np.ndarray:
+    """Vectorized membership of ``needles`` in a sorted ``haystack``."""
+    needles = np.asarray(needles, dtype=np.int64)
+    out = np.zeros(needles.shape, dtype=bool)
+    if haystack.size == 0 or needles.size == 0:
+        return out
+    pos = np.searchsorted(haystack, needles)
+    valid = pos < haystack.size
+    out[valid] = haystack[pos[valid]] == needles[valid]
+    return out
+
+
+def canonical_batch_keys(edges: Iterable[Tuple[int, int]], num_nodes: int) -> np.ndarray:
+    """Validate and canonicalize a batch of edges into sorted unique keys.
+
+    Raises :class:`~repro.errors.GraphError` on self-loops or endpoints
+    outside ``[0, num_nodes)``.  Duplicate pairs within a batch collapse to
+    one key — applying ``(u, v)`` twice in one batch is idempotent.
+    """
+    pairs = list(edges)
+    if not pairs:
+        return _EMPTY_KEYS
+    try:
+        arr = np.asarray(pairs, dtype=np.int64)
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise GraphError(f"edge batch must be a sequence of integer (u, v) pairs: {exc}") from exc
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise GraphError("edge batch must be a sequence of (u, v) pairs")
+    u = arr[:, 0]
+    v = arr[:, 1]
+    if u.size and (int(arr.min()) < 0 or int(arr.max()) >= num_nodes):
+        raise GraphError(
+            f"edge endpoint out of range for graph with {num_nodes} nodes"
+        )
+    if bool((u == v).any()):
+        raise GraphError("self-loops are not allowed in edge batches")
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    keys = lo * np.int64(max(num_nodes, 1)) + hi
+    return _frozen_keys(np.unique(keys))
+
+
+def decode_edge_keys(keys: np.ndarray, num_nodes: int) -> List[Edge]:
+    """Decode sorted canonical edge keys back into ``(u, v)`` tuples."""
+    n = max(num_nodes, 1)
+    return [(int(k) // n, int(k) % n) for k in np.asarray(keys, dtype=np.int64)]
+
+
+def _overlay_adjacency(keys: np.ndarray, num_nodes: int) -> Dict[int, np.ndarray]:
+    """Symmetric per-node adjacency for a (small) overlay key array."""
+    n = max(num_nodes, 1)
+    lists: Dict[int, List[int]] = {}
+    for key in keys.tolist():
+        u, v = key // n, key % n
+        lists.setdefault(u, []).append(v)
+        lists.setdefault(v, []).append(u)
+    out: Dict[int, np.ndarray] = {}
+    for node, neigh in lists.items():
+        arr = np.array(sorted(neigh), dtype=np.int64)
+        arr.setflags(write=False)
+        out[node] = arr
+    return out
+
+
+class DeltaSnapshot:
+    """An immutable, versioned view of base CSR plus an edge overlay.
+
+    The overlay invariants (established by :class:`DeltaGraph`, assumed
+    here): ``added_keys`` and ``removed_keys`` are sorted, unique, mutually
+    disjoint; ``added_keys`` is disjoint from the base edge set and
+    ``removed_keys`` is a subset of it.
+    """
+
+    __slots__ = (
+        "base",
+        "version",
+        "added_keys",
+        "removed_keys",
+        "_added_adj",
+        "_removed_adj",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        base: CSRGraph,
+        version: int,
+        added_keys: np.ndarray | None = None,
+        removed_keys: np.ndarray | None = None,
+    ) -> None:
+        self.base = base
+        self.version = int(version)
+        self.added_keys = _frozen_keys(added_keys if added_keys is not None else _EMPTY_KEYS)
+        self.removed_keys = _frozen_keys(removed_keys if removed_keys is not None else _EMPTY_KEYS)
+        self._added_adj = _overlay_adjacency(self.added_keys, base.num_nodes)
+        self._removed_adj = _overlay_adjacency(self.removed_keys, base.num_nodes)
+
+    # -- basic shape -------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.base.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.base.num_edges - int(self.removed_keys.size) + int(self.added_keys.size)
+
+    @property
+    def overlay_size(self) -> int:
+        return int(self.added_keys.size) + int(self.removed_keys.size)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.base.num_nodes:
+            raise GraphError(f"node {node} out of range for graph with {self.base.num_nodes} nodes")
+
+    # -- queries -----------------------------------------------------------
+
+    def edge_key(self, u: int, v: int) -> int:
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise GraphError("self-loops have no edge key")
+        lo, hi = (u, v) if u < v else (v, u)
+        return lo * max(self.base.num_nodes, 1) + hi
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        key = np.array([self.edge_key(u, v)], dtype=np.int64)
+        if bool(in_sorted(self.added_keys, key)[0]):
+            return True
+        if bool(in_sorted(self.removed_keys, key)[0]):
+            return False
+        return self.base.has_edge(u, v)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted effective neighbourhood: base row minus tombstones plus adds."""
+        self._check_node(node)
+        row = self.base.neighbor_slice(node)
+        removed = self._removed_adj.get(node)
+        if removed is not None:
+            row = np.setdiff1d(row, removed, assume_unique=True)
+        added = self._added_adj.get(node)
+        if added is not None:
+            row = np.union1d(row, added)
+        return row
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        removed = self._removed_adj.get(node)
+        added = self._added_adj.get(node)
+        return (
+            self.base.degree(node)
+            - (0 if removed is None else int(removed.size))
+            + (0 if added is None else int(added.size))
+        )
+
+    def common_neighbors(self, u: int, v: int) -> np.ndarray:
+        return np.intersect1d(self.neighbors(u), self.neighbors(v), assume_unique=True)
+
+    # -- materialization ---------------------------------------------------
+
+    def edge_keys(self) -> np.ndarray:
+        """Sorted canonical keys of the effective edge set."""
+        base_keys = self.base._edge_key_array()
+        if self.removed_keys.size:
+            base_keys = np.setdiff1d(base_keys, self.removed_keys, assume_unique=True)
+        if self.added_keys.size:
+            return np.union1d(base_keys, self.added_keys)
+        return base_keys
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        keys = self.edge_keys()
+        n = np.int64(max(self.base.num_nodes, 1))
+        return keys // n, keys % n
+
+    def compact(self) -> CSRGraph:
+        """Fold the overlay into a fresh CSR.
+
+        Deterministic: the effective key set is canonical and sorted, so the
+        resulting CSR arrays are byte-identical for any batch history that
+        reaches the same logical graph.
+        """
+        edge_u, edge_v = self.edge_arrays()
+        return CSRGraph.from_edge_arrays(self.base.num_nodes, edge_u, edge_v)
+
+    def materialize(self) -> Graph:
+        """Build a mutable :class:`Graph` with the effective edge set."""
+        edge_u, edge_v = self.edge_arrays()
+        return Graph.from_edge_arrays(self.base.num_nodes, edge_u, edge_v, deduplicate=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaSnapshot(version={self.version}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges}, overlay=+{self.added_keys.size}/-{self.removed_keys.size})"
+        )
+
+
+class DeltaGraph:
+    """Mutable front over :class:`DeltaSnapshot` with batched updates.
+
+    ``apply_batch`` is the only mutator.  It canonicalizes the batch,
+    reduces it to its *effective* part (inserts already present and deletes
+    already absent are dropped), produces a new immutable snapshot with the
+    version bumped by one, and compacts when the overlay exceeds the
+    threshold.  Readers grab ``.snapshot`` once and work on a consistent
+    frozen state for as long as they like.
+    """
+
+    __slots__ = ("_snapshot", "_compact_threshold", "_compactions", "_lock")
+
+    def __init__(
+        self,
+        base: "Graph | CSRGraph",
+        *,
+        compact_threshold: int | None = None,
+    ) -> None:
+        csr = base.csr() if isinstance(base, Graph) else base
+        if not isinstance(csr, CSRGraph):
+            raise GraphError(f"DeltaGraph needs a Graph or CSRGraph base, got {type(base).__name__}")
+        if compact_threshold is None:
+            compact_threshold = DEFAULT_COMPACT_THRESHOLD
+        if compact_threshold < 1:
+            raise GraphError("compact_threshold must be at least 1")
+        self._snapshot = DeltaSnapshot(csr, 0)
+        self._compact_threshold = int(compact_threshold)
+        self._compactions = 0
+        self._lock = threading.Lock()
+
+    @property
+    def snapshot(self) -> DeltaSnapshot:
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        return self._snapshot.version
+
+    @property
+    def num_nodes(self) -> int:
+        return self._snapshot.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._snapshot.num_edges
+
+    @property
+    def compact_threshold(self) -> int:
+        return self._compact_threshold
+
+    @property
+    def compactions(self) -> int:
+        return self._compactions
+
+    def apply_batch(
+        self,
+        insert: Iterable[Tuple[int, int]] = (),
+        delete: Iterable[Tuple[int, int]] = (),
+    ) -> Tuple[DeltaSnapshot, np.ndarray, np.ndarray]:
+        """Apply one insert/delete batch and return the new snapshot.
+
+        Returns ``(snapshot, inserted_keys, deleted_keys)`` where the key
+        arrays hold only the *effective* part of the batch.  Asking to both
+        insert and delete the same edge in one batch is ambiguous and
+        raises :class:`~repro.errors.GraphError`; every call bumps the
+        version even when the effective batch is empty.
+        """
+        num_nodes = self._snapshot.num_nodes
+        ins_keys = canonical_batch_keys(insert, num_nodes)
+        del_keys = canonical_batch_keys(delete, num_nodes)
+        both = np.intersect1d(ins_keys, del_keys, assume_unique=True)
+        if both.size:
+            u, v = decode_edge_keys(both[:1], num_nodes)[0]
+            raise GraphError(f"edge ({u}, {v}) appears in both insert and delete sets of one batch")
+        with self._lock:
+            snap = self._snapshot
+            base_keys = snap.base._edge_key_array()
+
+            ins_in_base = in_sorted(base_keys, ins_keys)
+            ins_in_removed = in_sorted(snap.removed_keys, ins_keys)
+            ins_in_added = in_sorted(snap.added_keys, ins_keys)
+            ins_present = (ins_in_base & ~ins_in_removed) | ins_in_added
+            eff_ins = ins_keys[~ins_present]
+            eff_ins_in_base = ins_in_base[~ins_present]
+
+            del_in_base = in_sorted(base_keys, del_keys)
+            del_in_removed = in_sorted(snap.removed_keys, del_keys)
+            del_in_added = in_sorted(snap.added_keys, del_keys)
+            del_present = (del_in_base & ~del_in_removed) | del_in_added
+            eff_del = del_keys[del_present]
+            eff_del_in_added = del_in_added[del_present]
+
+            added = snap.added_keys
+            removed = snap.removed_keys
+            if eff_del.size:
+                added = np.setdiff1d(added, eff_del[eff_del_in_added], assume_unique=True)
+                removed = np.union1d(removed, eff_del[~eff_del_in_added])
+            if eff_ins.size:
+                removed = np.setdiff1d(removed, eff_ins[eff_ins_in_base], assume_unique=True)
+                added = np.union1d(added, eff_ins[~eff_ins_in_base])
+
+            version = snap.version + 1
+            if int(added.size) + int(removed.size) > self._compact_threshold:
+                staged = DeltaSnapshot(snap.base, version, added, removed)
+                new_snap = DeltaSnapshot(staged.compact(), version)
+                self._compactions += 1
+            else:
+                new_snap = DeltaSnapshot(snap.base, version, added, removed)
+            self._snapshot = new_snap
+            return new_snap, _frozen_keys(eff_ins), _frozen_keys(eff_del)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DeltaGraph({self._snapshot!r}, compactions={self._compactions})"

@@ -1,0 +1,239 @@
+"""Incremental triangle maintenance over :class:`~repro.dynamic.delta.DeltaGraph`.
+
+Full recomputation after a batch costs the whole ``edge_support`` pass —
+O(Σ_e |N(u) ∩ N(v)|), seconds at n=4000.  A batch of k edge updates only
+ever creates or destroys triangles *containing a batch edge*, so the
+oracle walks just those:
+
+* **destroyed** — triangles of the pre-batch snapshot G containing at least
+  one deleted edge: for each deleted ``(u, v)``, every common neighbour
+  ``w`` in G closes one,
+* **created** — triangles of the post-batch snapshot G' containing at least
+  one inserted edge, enumerated the same way on G'.
+
+A triangle touching several batch edges would be enumerated once per such
+edge; the *min-index rule* keeps exactly one copy — a triangle is charged
+to the lowest-index batch edge it contains.  Each batch therefore costs
+O(Σ deg(endpoint)) intersection work, independent of m.
+
+From those exact sets the oracle maintains, in lockstep with the delta
+layer's versions:
+
+* the global triangle count,
+* per-node triangle counts,
+* the ``edge_support`` index (common-neighbour count per live edge),
+
+and returns a :class:`BatchDelta` per batch — the effective edge changes
+plus the created/destroyed triangle lists, which is the streaming
+``listing`` mode of the serving layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+from ..graphs.csr import CSRGraph
+from ..graphs.graph import Graph
+from ..types import Edge, Triangle
+from .delta import DeltaGraph, DeltaSnapshot, decode_edge_keys
+
+__all__ = ["BatchDelta", "IncrementalTriangleOracle"]
+
+
+@dataclass(frozen=True)
+class BatchDelta:
+    """The exact effect of one applied batch.
+
+    ``inserted``/``deleted`` hold the *effective* edge changes (requests
+    that were no-ops are dropped); ``created``/``destroyed`` list the
+    triangles that appeared/disappeared, in canonical sorted order.
+    """
+
+    version: int
+    inserted: Tuple[Edge, ...]
+    deleted: Tuple[Edge, ...]
+    created: Tuple[Triangle, ...]
+    destroyed: Tuple[Triangle, ...]
+    triangles_after: int
+    compacted: bool
+
+    def to_dict(self, *, include_triangles: bool = True) -> dict:
+        doc = {
+            "version": self.version,
+            "inserted": [list(e) for e in self.inserted],
+            "deleted": [list(e) for e in self.deleted],
+            "created_count": len(self.created),
+            "destroyed_count": len(self.destroyed),
+            "triangles_after": self.triangles_after,
+            "compacted": self.compacted,
+        }
+        if include_triangles:
+            doc["created"] = [list(t) for t in self.created]
+            doc["destroyed"] = [list(t) for t in self.destroyed]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BatchDelta":
+        return cls(
+            version=int(doc["version"]),
+            inserted=tuple((int(u), int(v)) for u, v in doc["inserted"]),
+            deleted=tuple((int(u), int(v)) for u, v in doc["deleted"]),
+            created=tuple(tuple(int(x) for x in t) for t in doc.get("created", ())),
+            destroyed=tuple(tuple(int(x) for x in t) for t in doc.get("destroyed", ())),
+            triangles_after=int(doc["triangles_after"]),
+            compacted=bool(doc["compacted"]),
+        )
+
+
+def _affected_triangles(
+    snapshot: DeltaSnapshot, keys: np.ndarray, num_nodes: int
+) -> List[Triangle]:
+    """Triangles of ``snapshot`` containing at least one edge from ``keys``.
+
+    Applies the min-index rule so each triangle appears exactly once even
+    when two or three of its edges are in the batch.
+    """
+    n = max(num_nodes, 1)
+    key_list = keys.tolist()
+    index = {key: i for i, key in enumerate(key_list)}
+    out: List[Triangle] = []
+    for i, key in enumerate(key_list):
+        u, v = key // n, key % n
+        for w in snapshot.common_neighbors(u, v).tolist():
+            lo_uw, hi_uw = (u, w) if u < w else (w, u)
+            lo_vw, hi_vw = (v, w) if v < w else (w, v)
+            j = index.get(lo_uw * n + hi_uw)
+            if j is not None and j < i:
+                continue
+            j = index.get(lo_vw * n + hi_vw)
+            if j is not None and j < i:
+                continue
+            a, b, c = sorted((u, v, w))
+            out.append((a, b, c))
+    out.sort()
+    return out
+
+
+class IncrementalTriangleOracle:
+    """Maintains triangle counts and edge support under batched updates."""
+
+    __slots__ = ("_graph", "_total", "_node_counts", "_support")
+
+    def __init__(
+        self,
+        base: "Graph | CSRGraph",
+        *,
+        compact_threshold: int | None = None,
+    ) -> None:
+        self._graph = DeltaGraph(base, compact_threshold=compact_threshold)
+        csr = self._graph.snapshot.base
+        support = csr.edge_support()
+        keys = csr._edge_key_array()
+        self._support: Dict[int, int] = dict(zip(keys.tolist(), support.tolist()))
+        self._node_counts = csr.local_triangle_counts().astype(np.int64, copy=True)
+        self._total = csr.count_triangles()
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def graph(self) -> DeltaGraph:
+        return self._graph
+
+    @property
+    def snapshot(self) -> DeltaSnapshot:
+        return self._graph.snapshot
+
+    @property
+    def version(self) -> int:
+        return self._graph.version
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    @property
+    def total_triangles(self) -> int:
+        return self._total
+
+    def node_count(self, node: int) -> int:
+        if not 0 <= node < self._graph.num_nodes:
+            raise GraphError(
+                f"node {node} out of range for graph with {self._graph.num_nodes} nodes"
+            )
+        return int(self._node_counts[node])
+
+    def node_counts(self) -> np.ndarray:
+        return self._node_counts.copy()
+
+    def support(self, u: int, v: int) -> Optional[int]:
+        """Support of edge ``(u, v)``, or ``None`` when the edge is absent."""
+        snap = self._graph.snapshot
+        key = snap.edge_key(u, v)
+        return self._support.get(key)
+
+    def support_map(self) -> Dict[Edge, int]:
+        n = max(self._graph.num_nodes, 1)
+        return {(key // n, key % n): value for key, value in self._support.items()}
+
+    # -- write side --------------------------------------------------------
+
+    def apply_batch(
+        self,
+        insert: Iterable[Edge] = (),
+        delete: Iterable[Edge] = (),
+    ) -> BatchDelta:
+        """Apply one batch and incrementally update every maintained index."""
+        snap_before = self._graph.snapshot
+        snap_after, ins_keys, del_keys = self._graph.apply_batch(insert, delete)
+        num_nodes = snap_after.num_nodes
+        n = max(num_nodes, 1)
+
+        destroyed = _affected_triangles(snap_before, del_keys, num_nodes)
+        created = _affected_triangles(snap_after, ins_keys, num_nodes)
+
+        del_set = set(del_keys.tolist())
+        for key in del_set:
+            del self._support[key]
+        for key in ins_keys.tolist():
+            self._support[key] = 0
+
+        for a, b, c in destroyed:
+            self._total -= 1
+            self._node_counts[a] -= 1
+            self._node_counts[b] -= 1
+            self._node_counts[c] -= 1
+            for x, y in ((a, b), (a, c), (b, c)):
+                key = x * n + y
+                if key not in del_set:
+                    self._support[key] -= 1
+        for a, b, c in created:
+            self._total += 1
+            self._node_counts[a] += 1
+            self._node_counts[b] += 1
+            self._node_counts[c] += 1
+            for x, y in ((a, b), (a, c), (b, c)):
+                self._support[x * n + y] += 1
+
+        return BatchDelta(
+            version=snap_after.version,
+            inserted=tuple(decode_edge_keys(ins_keys, num_nodes)),
+            deleted=tuple(decode_edge_keys(del_keys, num_nodes)),
+            created=tuple(created),
+            destroyed=tuple(destroyed),
+            triangles_after=self._total,
+            compacted=snap_after.base is not snap_before.base,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IncrementalTriangleOracle(version={self.version}, "
+            f"triangles={self._total}, edges={self.num_edges})"
+        )

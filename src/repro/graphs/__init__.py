@@ -53,6 +53,7 @@ from .triangles import (
 from .io import (
     from_edge_list_string,
     read_edge_list,
+    read_edge_stream,
     to_edge_list_string,
     write_edge_list,
 )
@@ -100,6 +101,7 @@ __all__ = [
     "triangles_through_node",
     "from_edge_list_string",
     "read_edge_list",
+    "read_edge_stream",
     "to_edge_list_string",
     "write_edge_list",
 ]

@@ -21,6 +21,7 @@ verification.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -50,6 +51,7 @@ class Graph:
         "_num_edges",
         "_csr_cache",
         "_shared_owner",
+        "_lock",
         "__weakref__",
     )
 
@@ -61,6 +63,10 @@ class Graph:
         self._num_edges = 0
         self._csr_cache: Optional[CSRGraph] = None
         self._shared_owner: Optional[SharedGraphOwner] = None
+        # Serializes mutation against the lazy CSR build, so a reader
+        # thread never snapshots a half-applied edge update (the
+        # concurrent reader/ingest pattern of repro.dynamic).
+        self._lock = threading.Lock()
         for u, v in edges:
             self.add_edge(u, v)
 
@@ -142,10 +148,19 @@ class Graph:
         snapshot and never aliases a graph that has since changed.  All
         read-heavy consumers (the triangle oracle, simulator context
         construction, parameter selection) run on this view.
+
+        Safe under concurrent readers and mutators: the build happens
+        under the graph's lock, mutating calls take the same lock, and a
+        reader racing a mutation gets either the pre- or post-mutation
+        snapshot — never a torn one.
         """
-        if self._csr_cache is None:
-            self._csr_cache = CSRGraph.from_graph(self)
-        return self._csr_cache
+        view = self._csr_cache
+        if view is not None:
+            return view
+        with self._lock:
+            if self._csr_cache is None:
+                self._csr_cache = CSRGraph.from_graph(self)
+            return self._csr_cache
 
     # ------------------------------------------------------------------
     # shared-memory plane
@@ -239,14 +254,15 @@ class Graph:
         self._check_node(v)
         if u == v:
             raise GraphError(f"self-loops are not allowed (vertex {u})")
-        if v in self._adjacency[u]:
-            return False
-        self._adjacency[u].add(v)
-        self._adjacency[v].add(u)
-        self._num_edges += 1
-        self._csr_cache = None
-        self.release_shared()
-        return True
+        with self._lock:
+            if v in self._adjacency[u]:
+                return False
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+            self._num_edges += 1
+            self._csr_cache = None
+            self.release_shared()
+            return True
 
     def remove_edge(self, u: NodeId, v: NodeId) -> bool:
         """Remove the edge ``{u, v}`` if present.
@@ -258,14 +274,15 @@ class Graph:
         """
         self._check_node(u)
         self._check_node(v)
-        if u == v or v not in self._adjacency[u]:
-            return False
-        self._adjacency[u].discard(v)
-        self._adjacency[v].discard(u)
-        self._num_edges -= 1
-        self._csr_cache = None
-        self.release_shared()
-        return True
+        with self._lock:
+            if u == v or v not in self._adjacency[u]:
+                return False
+            self._adjacency[u].discard(v)
+            self._adjacency[v].discard(u)
+            self._num_edges -= 1
+            self._csr_cache = None
+            self.release_shared()
+            return True
 
     # ------------------------------------------------------------------
     # derived graphs
@@ -338,6 +355,7 @@ class Graph:
         for slot in ("_num_nodes", "_adjacency", "_num_edges", "_csr_cache"):
             setattr(self, slot, state[slot])
         self._shared_owner = None
+        self._lock = threading.Lock()
 
     def __repr__(self) -> str:
         return f"Graph(num_nodes={self._num_nodes}, num_edges={self._num_edges})"

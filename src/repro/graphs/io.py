@@ -79,6 +79,21 @@ def read_edge_list(source: Union[PathLike, TextIO]) -> Graph:
     return _read(source)
 
 
+def _parse_edge_line(stripped: str, line_number: int) -> "tuple[int, int]":
+    parts = stripped.split()
+    if len(parts) != 2:
+        raise GraphError(
+            f"line {line_number}: expected 'u v', got {stripped!r}"
+        )
+    try:
+        u, v = int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise GraphError(
+            f"line {line_number}: endpoints must be integers, got {stripped!r}"
+        ) from exc
+    return u, v
+
+
 def _read(handle: TextIO) -> Graph:
     header = handle.readline()
     if not header.startswith("# nodes "):
@@ -94,19 +109,46 @@ def _read(handle: TextIO) -> Graph:
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        parts = stripped.split()
-        if len(parts) != 2:
-            raise GraphError(
-                f"line {line_number}: expected 'u v', got {stripped!r}"
-            )
-        try:
-            u, v = int(parts[0]), int(parts[1])
-        except ValueError as exc:
-            raise GraphError(
-                f"line {line_number}: endpoints must be integers, got {stripped!r}"
-            ) from exc
-        graph.add_edge(u, v)
+        graph.add_edge(*_parse_edge_line(stripped, line_number))
     return graph
+
+
+def read_edge_stream(source: Union[PathLike, TextIO]):
+    """Lazily yield canonical ``(u, v)`` pairs from an edge-list source.
+
+    The ingest-channel counterpart of :func:`read_edge_list`: nothing is
+    materialised — lines are read one at a time (gzip members included),
+    so arbitrarily large ``.gz`` edge streams can be applied in bounded
+    memory.  Differences from the graph reader:
+
+    * no header is required; ``# ...`` comment lines (including a
+      ``# nodes <n>`` header, if present) and blank lines are skipped,
+    * duplicate edges are passed through unchanged — consumers such as
+      :meth:`DeltaGraph.apply_batch` deduplicate per batch,
+    * pairs are canonicalised to ``u < v``; self-loops raise
+      :class:`~repro.errors.GraphError` with the offending line number,
+
+    Node-range validation is the consumer's job (the stream does not know
+    the graph it will be applied to).
+    """
+    if isinstance(source, (str, Path)):
+        def _iter_path():
+            with _open_text(source, "r") as handle:
+                yield from _iter_edge_stream(handle)
+
+        return _iter_path()
+    return _iter_edge_stream(source)
+
+
+def _iter_edge_stream(handle: TextIO):
+    for line_number, line in enumerate(handle, start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        u, v = _parse_edge_line(stripped, line_number)
+        if u == v:
+            raise GraphError(f"line {line_number}: self-loop {u} {v} is not an edge")
+        yield (u, v) if u < v else (v, u)
 
 
 def to_edge_list_string(graph: Graph, comments: Iterable[str] = ()) -> str:

@@ -207,3 +207,58 @@ class TestGraphHelpers:
     def test_is_connected_trivial(self):
         assert is_connected(Graph(0))
         assert is_connected(Graph(1))
+
+
+class TestCsrThreadSafety:
+    def test_concurrent_readers_and_mutator_get_consistent_snapshots(self):
+        """Regression: the lazy CSR build races mutation without the lock.
+
+        Readers hammer ``csr()`` while a writer flips edges.  Every
+        returned view must be internally consistent — a torn snapshot
+        (adjacency mutated mid-build) shows up as indptr/indices length
+        disagreement, unsorted rows, or asymmetric edges.
+        """
+        import threading
+
+        from repro.graphs import gnp_random_graph
+
+        graph = gnp_random_graph(60, 0.2, seed=3)
+        stop = threading.Event()
+        problems = []
+
+        def reader():
+            while not stop.is_set():
+                view = graph.csr()
+                indptr, indices = view.indptr, view.indices
+                if int(indptr[-1]) != indices.shape[0]:
+                    problems.append("indptr total disagrees with indices length")
+                    return
+                if view.edge_u.shape[0] * 2 != indices.shape[0]:
+                    problems.append("edge list disagrees with adjacency size")
+                    return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        try:
+            for round_number in range(300):
+                u = round_number % 59
+                if graph.has_edge(u, u + 1):
+                    graph.remove_edge(u, u + 1)
+                else:
+                    graph.add_edge(u, u + 1)
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+        assert problems == []
+
+    def test_pickled_graph_keeps_working(self):
+        """The lock is process-local state and must survive a round trip."""
+        import pickle
+
+        graph = Graph(4, [(0, 1), (1, 2)])
+        clone = pickle.loads(pickle.dumps(graph))
+        assert clone == graph
+        clone.add_edge(0, 3)
+        assert clone.csr().num_edges == 3

@@ -10,6 +10,7 @@ from repro.graphs import (
     from_edge_list_string,
     gnp_random_graph,
     read_edge_list,
+    read_edge_stream,
     to_edge_list_string,
     write_edge_list,
 )
@@ -94,3 +95,48 @@ class TestFormat:
         text = "# nodes 3\n# a comment\n\n0 1\n"
         graph = from_edge_list_string(text)
         assert graph.num_edges == 1
+
+
+class TestReadEdgeStream:
+    def test_yields_canonical_pairs(self):
+        stream = read_edge_stream(io.StringIO("3 1\n0 2\n"))
+        assert list(stream) == [(1, 3), (0, 2)]
+
+    def test_header_optional_and_skipped(self):
+        stream = read_edge_stream(io.StringIO("# nodes 9\n0 1\n"))
+        assert list(stream) == [(0, 1)]
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\n0 1\n   \n# another\n1 2\n"
+        assert list(read_edge_stream(io.StringIO(text))) == [(0, 1), (1, 2)]
+
+    def test_duplicates_passed_through(self):
+        stream = read_edge_stream(io.StringIO("0 1\n1 0\n0 1\n"))
+        assert list(stream) == [(0, 1), (0, 1), (0, 1)]
+
+    def test_is_lazy(self):
+        # The malformed third line must not fail before it is reached.
+        stream = read_edge_stream(io.StringIO("0 1\n1 2\nbroken\n"))
+        assert next(stream) == (0, 1)
+        assert next(stream) == (1, 2)
+        with pytest.raises(GraphError, match="line 3"):
+            next(stream)
+
+    def test_self_loop_rejected_with_line_number(self):
+        stream = read_edge_stream(io.StringIO("0 1\n2 2\n"))
+        with pytest.raises(GraphError, match="line 2: self-loop"):
+            list(stream)
+
+    def test_gzip_path_round_trip(self, tmp_path):
+        graph = gnp_random_graph(20, 0.3, seed=8)
+        path = tmp_path / "stream.edges.gz"
+        write_edge_list(graph, path)
+        edges = list(read_edge_stream(path))
+        assert sorted(edges) == sorted(graph.edges())
+
+    def test_written_file_round_trips_through_stream(self, tmp_path):
+        graph = Graph(6, [(0, 5), (1, 2), (2, 3)])
+        path = tmp_path / "plain.edges"
+        write_edge_list(graph, path, comments=["anything"])
+        rebuilt = Graph(6, read_edge_stream(path))
+        assert rebuilt == graph
